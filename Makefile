@@ -1,0 +1,41 @@
+# Convenience targets for the YAP repository. Everything is plain `go`
+# underneath; the targets just bundle the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench cover figures report clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/sim/ ./internal/validate/ .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every table and figure of the paper at paper scale
+# (~20-30 min; results/ gets CSVs and PNGs).
+figures:
+	$(GO) run ./cmd/yapvalidate -exp all -sets 300 -wafers 200 -dies 5000 -out results
+	$(GO) run ./cmd/yapcases -png results -csv results
+	$(GO) run ./cmd/yapviz -out results/fig6_voidmap.png
+	$(GO) run ./cmd/yapdesign -target 0.85 -window-png results/process_window.png
+
+# Quick self-contained markdown report (reduced validation scale).
+report:
+	$(GO) run ./cmd/yapreport -out report
+
+clean:
+	rm -rf results report test_output.txt bench_output.txt

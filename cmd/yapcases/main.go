@@ -1,0 +1,101 @@
+// Command yapcases regenerates the paper's case studies (Figs. 11 and 12):
+// the per-mechanism yield breakdown of W2W and D2W hybrid bonding across
+// the grid of defect density {0.01, 0.1} cm⁻², pitch {1, 6} µm and chiplet
+// size {10, 50, 100} mm², plus the 1000 mm² system yield Y_sys.
+//
+// Usage:
+//
+//	yapcases [-mode w2w|d2w|both] [-png dir] [-csv dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"yap/internal/core"
+	"yap/internal/experiments"
+	"yap/internal/report"
+	"yap/internal/viz"
+)
+
+func main() {
+	var (
+		mode   = flag.String("mode", "both", "w2w, d2w or both")
+		pngDir = flag.String("png", "", "directory for bar-chart PNGs (empty = skip)")
+		csvDir = flag.String("csv", "", "directory for CSV output (empty = skip)")
+	)
+	flag.Parse()
+
+	results, err := experiments.RunCases(core.Baseline(), experiments.DefaultCaseGrid())
+	if err != nil {
+		fatal(err)
+	}
+
+	if *mode == "w2w" || *mode == "both" {
+		fmt.Println("Fig 11 - W2W case studies (model):")
+		fmt.Println(experiments.CaseTableW2W(results).Text())
+	}
+	if *mode == "d2w" || *mode == "both" {
+		fmt.Println("Fig 12 - D2W case studies (model):")
+		fmt.Println(experiments.CaseTableD2W(results).Text())
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+		if err := writeCSV(experiments.CaseTableW2W(results), filepath.Join(*csvDir, "fig11_w2w_cases.csv")); err != nil {
+			fatal(err)
+		}
+		if err := writeCSV(experiments.CaseTableD2W(results), filepath.Join(*csvDir, "fig12_d2w_cases.csv")); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *pngDir != "" {
+		if err := os.MkdirAll(*pngDir, 0o755); err != nil {
+			fatal(err)
+		}
+		series := []string{"Y_ovl", "Y_cr", "Y_df", "Y"}
+		var w2wGroups, d2wGroups []viz.BarGroup
+		for _, r := range results {
+			label := r.Config.Label()
+			w2wGroups = append(w2wGroups, viz.BarGroup{
+				Label:  label,
+				Values: []float64{r.W2W.Overlay, r.W2W.Recess, r.W2W.Defect, r.W2W.Total},
+			})
+			d2wGroups = append(d2wGroups, viz.BarGroup{
+				Label:  label,
+				Values: []float64{r.D2W.Overlay, r.D2W.Recess, r.D2W.Defect, r.D2W.Total},
+			})
+		}
+		if err := viz.GroupedBarChart(w2wGroups, series, "Fig 11: W2W case studies (D/p/die)").
+			SavePNG(filepath.Join(*pngDir, "fig11_w2w_cases.png")); err != nil {
+			fatal(err)
+		}
+		if err := viz.GroupedBarChart(d2wGroups, series, "Fig 12: D2W case studies (D/p/die)").
+			SavePNG(filepath.Join(*pngDir, "fig12_d2w_cases.png")); err != nil {
+			fatal(err)
+		}
+		fmt.Println("charts written to", *pngDir)
+	}
+}
+
+func writeCSV(t *report.Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "yapcases:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,150 @@
+// Command yapdesign inverts the YAP yield model into assembly design
+// rules: given a target bonding yield, it reports the finest usable pitch,
+// the dirtiest acceptable particle environment, the deepest tolerable mean
+// Cu recess and the largest tolerable bonded-wafer warpage — for W2W and
+// D2W — plus a pitch × defect-density process-window map.
+//
+// Usage:
+//
+//	yapdesign [-target 0.9] [-mode w2w|d2w|both] [-window]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"yap/internal/core"
+	"yap/internal/design"
+	"yap/internal/report"
+	"yap/internal/units"
+	"yap/internal/viz"
+)
+
+func main() {
+	var (
+		target    = flag.Float64("target", 0.9, "target bonding yield")
+		mode      = flag.String("mode", "both", "w2w, d2w or both")
+		window    = flag.Bool("window", false, "also print the pitch x density process-window map")
+		windowPNG = flag.String("window-png", "", "render the process window as a heatmap PNG")
+	)
+	flag.Parse()
+
+	if *target <= 0 || *target >= 1 {
+		fmt.Fprintln(os.Stderr, "yapdesign: target must be in (0, 1)")
+		os.Exit(1)
+	}
+
+	modes := []design.Mode{design.W2W, design.D2W}
+	switch *mode {
+	case "w2w":
+		modes = modes[:1]
+	case "d2w":
+		modes = modes[1:]
+	case "both":
+	default:
+		fmt.Fprintf(os.Stderr, "yapdesign: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+
+	base := core.Baseline()
+	fmt.Printf("Design rules for target bonding yield >= %.2f (Table I process otherwise):\n\n", *target)
+	t := report.NewTable("Rule", "Mode", "Value", "Note")
+	for _, m := range modes {
+		addRule(t, "finest pitch", m, func() (string, error) {
+			p, err := design.MinPitch(m, base, *target, 0.4*units.Micrometer, 12*units.Micrometer)
+			return units.Meters(p), err
+		})
+		addRule(t, "max defect density", m, func() (string, error) {
+			d, err := design.MaxDefectDensity(m, base, *target,
+				0.0005*units.PerSquareCentimeter, 2*units.PerSquareCentimeter)
+			return units.Density(d), err
+		})
+		addRule(t, "max mean recess", m, func() (string, error) {
+			r, err := design.MaxRecess(m, base.WithPitch(2*units.Micrometer).WithDefectDensity(0.01*units.PerSquareCentimeter),
+				*target, 6*units.Nanometer, 14*units.Nanometer)
+			return units.Meters(r) + " (at 2 um pitch, 0.01 cm^-2)", err
+		})
+		addRule(t, "max warpage", m, func() (string, error) {
+			b, err := design.MaxWarpage(m, base.WithPitch(1.5*units.Micrometer).WithDefectDensity(0.01*units.PerSquareCentimeter),
+				*target, 1*units.Micrometer, 100*units.Micrometer)
+			return units.Meters(b) + " (at 1.5 um pitch, 0.01 cm^-2)", err
+		})
+	}
+	fmt.Println(t.Text())
+
+	if *window || *windowPNG != "" {
+		w := computeWindow(base)
+		if *window {
+			printWindow(w, *target)
+		}
+		if *windowPNG != "" {
+			xt := make([]string, len(w.XValues))
+			for i, x := range w.XValues {
+				xt[i] = fmt.Sprintf("%.1f", x/units.Micrometer)
+			}
+			yt := make([]string, len(w.YValues))
+			for j, y := range w.YValues {
+				yt[j] = fmt.Sprintf("%.3f", y/units.PerSquareCentimeter)
+			}
+			img := viz.Heatmap(w.Yield, xt, yt,
+				fmt.Sprintf("W2W process window (outline: Y >= %.2f)", *target),
+				"pitch (um)", "D_t (cm^-2)", *target)
+			if err := img.SavePNG(*windowPNG); err != nil {
+				fmt.Fprintln(os.Stderr, "yapdesign:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", *windowPNG)
+		}
+	}
+}
+
+func computeWindow(base core.Params) *design.Window {
+	w, err := design.ProcessWindow(design.W2W, base,
+		design.Axis{Lo: 1 * units.Micrometer, Hi: 10 * units.Micrometer, Steps: 10,
+			Apply: func(p core.Params, v float64) core.Params { return p.WithPitch(v) }},
+		design.Axis{Lo: 0.01 * units.PerSquareCentimeter, Hi: 1 * units.PerSquareCentimeter, Steps: 8, Log: true,
+			Apply: func(p core.Params, v float64) core.Params { return p.WithDefectDensity(v) }},
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yapdesign:", err)
+		os.Exit(1)
+	}
+	return w
+}
+
+func addRule(t *report.Table, name string, m design.Mode, f func() (string, error)) {
+	v, err := f()
+	note := ""
+	switch {
+	case errors.Is(err, design.ErrInfeasible):
+		v, note = "-", "infeasible in searched range"
+	case errors.Is(err, design.ErrTrivial):
+		note = "not binding (met across range)"
+	case err != nil:
+		v, note = "-", err.Error()
+	}
+	t.AddRow(name, m.String(), v, note)
+}
+
+func printWindow(w *design.Window, target float64) {
+	fmt.Printf("W2W process window (rows: defect density, cols: pitch; '#' = Y >= %.2f):\n\n", target)
+	fmt.Print("            ")
+	for _, x := range w.XValues {
+		fmt.Printf("%5.1f ", x/units.Micrometer)
+	}
+	fmt.Println("um")
+	for j := len(w.YValues) - 1; j >= 0; j-- {
+		fmt.Printf("%7.3f/cm2 ", w.YValues[j]/units.PerSquareCentimeter)
+		for i := range w.XValues {
+			mark := "  .  "
+			if w.Yield[j][i] >= target {
+				mark = "  #  "
+			}
+			fmt.Print(mark, " "[:1])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nfeasible fraction: %.0f%%\n", w.Feasible(target)*100)
+}

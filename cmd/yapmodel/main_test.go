@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"yap/internal/core"
+	"yap/internal/units"
+)
+
+func TestRunAllModes(t *testing.T) {
+	p := core.Baseline()
+	for _, mode := range []string{"w2w", "d2w", "both"} {
+		if err := run(p, mode, 1000*units.SquareMillimeter); err != nil {
+			t.Errorf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRunUnknownMode(t *testing.T) {
+	if err := run(core.Baseline(), "bogus", 1e-3); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestRunInvalidParams(t *testing.T) {
+	p := core.Baseline()
+	p.DefectShape = 1
+	if err := run(p, "w2w", 1e-3); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratesReport(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 3, 10, 300, 7, 2, 50); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "REPORT.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(data)
+	for _, frag := range []string{
+		"# YAP evaluation report",
+		"Table I — baseline parameters",
+		"Baseline model evaluation",
+		"Fig. 6 — void formation",
+		"Figs. 8a / 9a",
+		"model vs simulation",
+		"case studies",
+		"Runtime",
+		"Extensions",
+		"Interconnect repair",
+		"TCB at 40 µm",
+	} {
+		if !strings.Contains(md, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+	// The figures referenced by the markdown must exist.
+	for _, png := range []string{
+		"fig6_voidmap.png", "fig8a.png", "fig9a.png",
+		"corr_w2w_total.png", "corr_d2w_total.png",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, png)); err != nil {
+			t.Errorf("missing figure %s: %v", png, err)
+		}
+	}
+}
+
+func TestRunBadDirectory(t *testing.T) {
+	if err := run("/dev/null/report", 2, 5, 100, 1, 2, 50); err == nil {
+		t.Error("expected error for unwritable directory")
+	}
+}

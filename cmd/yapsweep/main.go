@@ -1,0 +1,139 @@
+// Command yapsweep runs one-dimensional parameter sweeps of the analytic
+// yield model — the inner loop of the system-technology co-optimization
+// YAP's speed enables. Output is a CSV-compatible table of the swept value
+// against the W2W and D2W per-mechanism breakdowns.
+//
+// Usage:
+//
+//	yapsweep -param pitch -from 0.8 -to 10 -steps 20 [-log]
+//	yapsweep -param density -from 0.01 -to 1 -steps 15 -log
+//	yapsweep -param die-area -from 5 -to 400 -steps 12 -log
+//	yapsweep -param warpage -from 1 -to 100 -steps 12 -log
+//	yapsweep -param recess -from 4 -to 16 -steps 13
+//	yapsweep -param roughness -from 0.2 -to 5 -steps 12 -log
+//
+// Units follow the paper's Table I conventions: pitch/warpage/roughness in
+// µm/µm/nm, density in cm⁻², die-area in mm², recess in nm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"yap/internal/core"
+	"yap/internal/report"
+	"yap/internal/units"
+	"yap/internal/viz"
+)
+
+// sweepParam maps a flag name to units and a parameter mutation.
+type sweepParam struct {
+	unit  string
+	apply func(core.Params, float64) core.Params
+}
+
+var sweepParams = map[string]sweepParam{
+	"pitch": {"um", func(p core.Params, v float64) core.Params {
+		return p.WithPitch(v * units.Micrometer)
+	}},
+	"density": {"cm^-2", func(p core.Params, v float64) core.Params {
+		return p.WithDefectDensity(v * units.PerSquareCentimeter)
+	}},
+	"die-area": {"mm^2", func(p core.Params, v float64) core.Params {
+		return p.WithDieArea(v * units.SquareMillimeter)
+	}},
+	"warpage": {"um", func(p core.Params, v float64) core.Params {
+		p.Warpage = v * units.Micrometer
+		return p
+	}},
+	"recess": {"nm", func(p core.Params, v float64) core.Params {
+		p.RecessTop = v * units.Nanometer
+		p.RecessBottom = v * units.Nanometer
+		return p
+	}},
+	"roughness": {"nm", func(p core.Params, v float64) core.Params {
+		p.Roughness = v * units.Nanometer
+		return p
+	}},
+	"sigma1": {"nm", func(p core.Params, v float64) core.Params {
+		p.RandomMisalignmentSigma = v * units.Nanometer
+		return p
+	}},
+}
+
+func main() {
+	var (
+		param = flag.String("param", "pitch", "parameter to sweep: pitch, density, die-area, warpage, recess, roughness, sigma1")
+		from  = flag.Float64("from", 1, "sweep start (Table I units)")
+		to    = flag.Float64("to", 10, "sweep end")
+		steps = flag.Int("steps", 10, "number of sweep points")
+		log   = flag.Bool("log", false, "logarithmic spacing")
+		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		png   = flag.String("png", "", "also render the sweep as a line chart PNG")
+	)
+	flag.Parse()
+
+	sp, ok := sweepParams[*param]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "yapsweep: unknown parameter %q\n", *param)
+		os.Exit(1)
+	}
+	if *steps < 2 || *to <= *from || (*log && *from <= 0) {
+		fmt.Fprintln(os.Stderr, "yapsweep: need steps >= 2, to > from (and from > 0 for -log)")
+		os.Exit(1)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("%s (%s)", *param, sp.unit),
+		"W2W Y_ovl", "W2W Y_cr", "W2W Y_df", "Y_W2W",
+		"D2W Y_ovl", "D2W Y_cr", "D2W Y_df", "Y_D2W",
+	)
+	var xs, w2wY, d2wY []float64
+	for i := 0; i < *steps; i++ {
+		frac := float64(i) / float64(*steps-1)
+		var v float64
+		if *log {
+			v = math.Exp(math.Log(*from) + frac*(math.Log(*to)-math.Log(*from)))
+		} else {
+			v = *from + frac*(*to-*from)
+		}
+		p := sp.apply(core.Baseline(), v)
+		w, err := p.EvaluateW2W()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yapsweep: %s=%g: %v\n", *param, v, err)
+			os.Exit(1)
+		}
+		d, err := p.EvaluateD2W()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yapsweep: %s=%g: %v\n", *param, v, err)
+			os.Exit(1)
+		}
+		t.AddRow(v, w.Overlay, w.Recess, w.Defect, w.Total,
+			d.Overlay, d.Recess, d.Defect, d.Total)
+		xs = append(xs, v)
+		w2wY = append(w2wY, w.Total)
+		d2wY = append(d2wY, d.Total)
+	}
+	if *png != "" {
+		chart := viz.LineChart([]viz.Series{
+			{Name: "Y_W2W", X: xs, Y: w2wY},
+			{Name: "Y_D2W", X: xs, Y: d2wY},
+		}, fmt.Sprintf("bonding yield vs %s", *param),
+			fmt.Sprintf("%s (%s)", *param, sp.unit), "yield", *log)
+		if err := chart.SavePNG(*png); err != nil {
+			fmt.Fprintln(os.Stderr, "yapsweep:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *png)
+	}
+	if *csv {
+		if err := t.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "yapsweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(t.Text())
+}

@@ -1,0 +1,198 @@
+// Command yapvalidate regenerates the paper's model-validation figures:
+// the 300-parameter-set model-vs-simulation correlations (Figs. 5a, 5b,
+// 8b, 9b–d, 10), the defect-size distribution comparisons (Figs. 8a, 9a)
+// and the model/simulator runtime comparison (§IV). Each experiment writes
+// a CSV of its raw data and a PNG rendering into -out.
+//
+// Usage:
+//
+//	yapvalidate [-exp fig5|fig8a|fig9a|fig9|fig10|runtime|all]
+//	            [-sets n] [-wafers n] [-dies n] [-seed n] [-out dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"yap/internal/core"
+	"yap/internal/experiments"
+	"yap/internal/report"
+	"yap/internal/validate"
+	"yap/internal/viz"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: fig5, fig8a, fig9a, fig9, fig10, runtime or all")
+		sets   = flag.Int("sets", 300, "validation parameter sets (paper: 300)")
+		wafers = flag.Int("wafers", 200, "W2W wafer samples per set")
+		dies   = flag.Int("dies", 5000, "D2W die samples per set")
+		seed   = flag.Uint64("seed", 2025, "RNG seed")
+		out    = flag.String("out", "results", "output directory for CSV and PNG files")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	cfg := validate.Config{
+		Base:   core.Baseline(),
+		Sets:   *sets,
+		Wafers: *wafers,
+		Dies:   *dies,
+		Seed:   *seed,
+		Progress: func(done, total int) {
+			if done%25 == 0 || done == total {
+				fmt.Printf("  %d/%d parameter sets\n", done, total)
+			}
+		},
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("== %s ==\n", name)
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+
+	var w2wStudy, d2wStudy *validate.Study
+
+	run("fig5", func() error {
+		var err error
+		w2wStudy, err = experiments.ValidateW2W(cfg)
+		if err != nil {
+			return err
+		}
+		return writeStudy(w2wStudy, *out, map[string]string{
+			"overlay": "fig5a_overlay_w2w",
+			"recess":  "fig5b_recess_w2w",
+			"defect":  "fig8b_defect_w2w",
+			"total":   "fig10_total_w2w",
+		})
+	})
+
+	run("fig8a", func() error {
+		d := experiments.Fig8aTailDistribution(core.Baseline(), *seed, 500000)
+		fmt.Printf("  max bin error: %.2f%%\n", d.MaxBinError(2000)*100)
+		return writeDistribution(d, filepath.Join(*out, "fig8a_tail_distribution"))
+	})
+
+	run("fig9a", func() error {
+		d := experiments.Fig9aMainVoidDistribution(core.Baseline(), *seed, 500000)
+		fmt.Printf("  max bin error: %.2f%%\n", d.MaxBinError(2000)*100)
+		return writeDistribution(d, filepath.Join(*out, "fig9a_main_void_distribution"))
+	})
+
+	run("fig9", func() error {
+		var err error
+		d2wStudy, err = experiments.ValidateD2W(cfg)
+		if err != nil {
+			return err
+		}
+		return writeStudy(d2wStudy, *out, map[string]string{
+			"overlay": "fig9b_overlay_d2w",
+			"recess":  "fig9c_recess_d2w",
+			"defect":  "fig9d_defect_d2w",
+			"total":   "fig10_total_d2w",
+		})
+	})
+
+	run("fig10", func() error {
+		// Fig. 10 is the total-yield correlation for both styles; reuse
+		// studies when fig5/fig9 already ran (exp=all), else run them.
+		if w2wStudy == nil {
+			var err error
+			w2wStudy, err = experiments.ValidateW2W(cfg)
+			if err != nil {
+				return err
+			}
+			if err := writeStudy(w2wStudy, *out, map[string]string{"total": "fig10_total_w2w"}); err != nil {
+				return err
+			}
+		}
+		if d2wStudy == nil {
+			var err error
+			d2wStudy, err = experiments.ValidateD2W(cfg)
+			if err != nil {
+				return err
+			}
+			if err := writeStudy(d2wStudy, *out, map[string]string{"total": "fig10_total_d2w"}); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("  W2W total: %v\n  D2W total: %v\n", &w2wStudy.Total, &d2wStudy.Total)
+		return nil
+	})
+
+	run("runtime", func() error {
+		w, err := validate.MeasureRuntimeW2W(core.Baseline(), 1000)
+		if err != nil {
+			return err
+		}
+		fmt.Println(" ", w)
+		d, err := validate.MeasureRuntimeD2W(core.Baseline(), 20000)
+		if err != nil {
+			return err
+		}
+		fmt.Println(" ", d)
+		return nil
+	})
+
+	fmt.Println("done; outputs in", *out)
+}
+
+// writeStudy emits a CSV and correlation PNG for each named term.
+func writeStudy(s *validate.Study, dir string, names map[string]string) error {
+	for _, c := range s.Correlations() {
+		base, ok := names[c.Name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %v\n", c)
+		t := report.NewTable("set", "sim_yield", "model_yield")
+		for i := range c.Sim {
+			t.AddRow(i, c.Sim[i], c.Model[i])
+		}
+		if err := writeCSV(t, filepath.Join(dir, base+".csv")); err != nil {
+			return err
+		}
+		title := fmt.Sprintf("%s %s: model vs simulation", s.Mode, c.Name)
+		if err := viz.CorrelationPlot(c.Sim, c.Model, title).SavePNG(filepath.Join(dir, base+".png")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeDistribution(d *experiments.Distribution, base string) error {
+	t := report.NewTable("bin_center", "empirical_density", "analytic_density")
+	for i, c := range d.Hist.Centers() {
+		t.AddRow(c, d.Hist.Density(i), d.PDF(c))
+	}
+	if err := writeCSV(t, base+".csv"); err != nil {
+		return err
+	}
+	return viz.DistributionPlot(d.Hist, d.PDF, d.Title, d.XLabel, d.XScale).SavePNG(base + ".png")
+}
+
+func writeCSV(t *report.Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "yapvalidate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command yapviz renders the void-formation wafer map of the paper's
+// Fig. 6: one simulated W2W bonded wafer with its particles, main voids,
+// bond-wave void tails and the dies they kill.
+//
+// Usage:
+//
+//	yapviz [-out fig6_voidmap.png] [-seed n] [-particles n]
+//	       [-density cm-2] [-die-area mm2]
+//
+// particles = 0 draws the count from the process Poisson law.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"yap/internal/core"
+	"yap/internal/experiments"
+	"yap/internal/units"
+	"yap/internal/viz"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "fig6_voidmap.png", "output PNG path")
+		seed      = flag.Uint64("seed", 6, "RNG seed")
+		particles = flag.Int("particles", 0, "particle count (0 = Poisson draw at the process density)")
+		density   = flag.Float64("density", 0, "defect density in cm^-2 (0 = baseline)")
+		dieArea   = flag.Float64("die-area", 0, "square chiplet area in mm^2 (0 = baseline)")
+		yieldMap  = flag.String("yield-map", "", "also render the per-die model yield map to this PNG")
+		pitch     = flag.Float64("pitch", 0, "bonding pitch in um for the yield map (0 = baseline)")
+	)
+	flag.Parse()
+
+	p := core.Baseline()
+	if *density > 0 {
+		p = p.WithDefectDensity(*density * units.PerSquareCentimeter)
+	}
+	if *dieArea > 0 {
+		p = p.WithDieArea(*dieArea * units.SquareMillimeter)
+	}
+
+	m, err := experiments.Fig6VoidMap(p, *seed, *particles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yapviz:", err)
+		os.Exit(1)
+	}
+	title := fmt.Sprintf("Fig 6: void formation (%s)", units.Density(p.DefectDensity))
+	if err := viz.WaferMap(m, title).SavePNG(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "yapviz:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d voids, %d/%d dies defect-killed\n",
+		*out, len(m.Voids), m.KilledCount(), len(m.Dies))
+
+	if *yieldMap != "" {
+		q := p
+		if *pitch > 0 {
+			q = q.WithPitch(*pitch * units.Micrometer)
+		}
+		dies, err := q.W2WDieYields()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "yapviz:", err)
+			os.Exit(1)
+		}
+		ymTitle := fmt.Sprintf("W2W per-die model yield (pitch %s)", units.Meters(q.Pitch))
+		if err := viz.YieldMap(dies, q.WaferRadius(), ymTitle).SavePNG(*yieldMap); err != nil {
+			fmt.Fprintln(os.Stderr, "yapviz:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *yieldMap)
+	}
+}

@@ -1,0 +1,81 @@
+package yap_test
+
+import (
+	"fmt"
+
+	"yap"
+)
+
+// ExampleEvaluateW2W evaluates the analytic W2W model at the paper's
+// Table I baseline.
+func ExampleEvaluateW2W() {
+	b, err := yap.EvaluateW2W(yap.Baseline())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Y_W2W = %.4f (limited by %s)\n", b.Total, b.Limiter())
+	// Output:
+	// Y_W2W = 0.8100 (limited by defect)
+}
+
+// ExampleEvaluateD2W shows the D2W evaluation and the §IV-C system yield.
+func ExampleEvaluateD2W() {
+	p := yap.Baseline()
+	b, err := yap.EvaluateD2W(p)
+	if err != nil {
+		panic(err)
+	}
+	ySys, n, err := yap.SystemYield(p, 1000e-6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Y_D2W = %.4f, Y_sys(%d chiplets) = %.4f\n", b.Total, n, ySys)
+	// Output:
+	// Y_D2W = 0.8885, Y_sys(10 chiplets) = 0.3065
+}
+
+// ExampleWithPitch applies the case-study pad sizing rule while changing
+// the bonding pitch.
+func ExampleWithPitch() {
+	p := yap.WithPitch(yap.Baseline(), 1e-6)
+	fmt.Printf("pitch %.0f nm: bottom pad %.0f nm, top pad %.0f nm\n",
+		p.Pitch*1e9, p.BottomPadDiameter*1e9, p.TopPadDiameter*1e9)
+	// Output:
+	// pitch 1000 nm: bottom pad 500 nm, top pad 333 nm
+}
+
+// ExampleSimulateW2W runs a small Monte-Carlo simulation; equal seeds
+// reproduce exactly, so the die count is stable output.
+func ExampleSimulateW2W() {
+	res, err := yap.SimulateW2W(yap.SimOptions{Params: yap.Baseline(), Wafers: 10, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("simulated %d dies across 10 wafers\n", res.Counts.Dies)
+	// Output:
+	// simulated 6480 dies across 10 wafers
+}
+
+// ExampleMinPitch inverts the model into a design rule: the finest pitch
+// meeting a 70% W2W yield target at the baseline process.
+func ExampleMinPitch() {
+	pitch, err := yap.MinPitch(yap.DesignW2W, yap.Baseline(), 0.70, 0.5e-6, 10e-6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("finest pitch for 70%% W2W yield: %.1f um\n", pitch*1e6)
+	// Output:
+	// finest pitch for 70% W2W yield: 1.1 um
+}
+
+// ExampleEvaluateTCB compares thermal-compression bonding against hybrid
+// bonding in the same particle environment.
+func ExampleEvaluateTCB() {
+	b, err := yap.EvaluateTCB(yap.DefaultTCB())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("TCB at 40 um pitch: Y = %.4f\n", b.Total)
+	// Output:
+	// TCB at 40 um pitch: Y = 0.9989
+}

@@ -1,0 +1,85 @@
+// Interconnect repair: quantify how much bonding yield spare-lane
+// redundancy (IEEE P3405-style mux repair) buys at fine pitch — the
+// fault-tolerance direction the paper's conclusion points at. The spare
+// lanes consume real pads, so the tradeoff is connectivity overhead
+// against the Cu-recess yield term the pad count otherwise destroys.
+//
+// Run with:
+//
+//	go run ./examples/interconnect_repair
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"yap"
+)
+
+func main() {
+	// The regime where repair matters: 1 µm pitch (10⁸ pads per 10×10 mm
+	// die) in a clean line, so recess variation is the limiter.
+	p := yap.WithDefectDensity(yap.WithPitch(yap.Baseline(), 1e-6), 100) // 0.01 cm⁻²
+
+	base, err := yap.EvaluateW2W(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1 um pitch W2W without repair: Y_cr=%.4f, Y=%.4f\n\n", base.Recess, base.Total)
+
+	fmt.Println("scheme (g+r)   | overhead | Y_cr      | Y_W2W   | gain")
+	fmt.Println("---------------+----------+-----------+---------+---------")
+	for _, s := range []yap.RepairScheme{
+		{GroupSize: 1, Spares: 0},
+		{GroupSize: 256, Spares: 1},
+		{GroupSize: 64, Spares: 1},
+		{GroupSize: 32, Spares: 1},
+		{GroupSize: 64, Spares: 2},
+	} {
+		r, err := yap.EvaluateRepairW2W(p, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d + %d       | %6.2f%%  | %.7f | %.5f | %+.2f pts\n",
+			s.GroupSize, s.Spares, s.Overhead()*100,
+			r.Repaired, r.TotalRepaired, (r.TotalRepaired-r.TotalUnrepaired)*100)
+	}
+
+	// With Table I recess control a single spare per group is enough —
+	// lane failures are ~1e-9 so double failures never land in one group.
+	// The spare count starts to matter when CMP control degrades: at a
+	// 12 nm mean recess the per-lane failure rate is ~1e-3 and the
+	// no-repair yield is zero.
+	fmt.Println()
+	degraded := p
+	degraded.RecessTop, degraded.RecessBottom = 12e-9, 12e-9
+	db, err := yap.EvaluateW2W(degraded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("degraded CMP (12 nm recess): Y_cr without repair = %.2e\n\n", db.Recess)
+	fmt.Println("spares per 64-lane group | Y_cr")
+	fmt.Println("-------------------------+----------")
+	for r := 0; r <= 7; r++ {
+		res, err := yap.EvaluateRepairW2W(degraded, yap.RepairScheme{GroupSize: 64, Spares: r})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("          %d              | %.6f\n", r, res.Repaired)
+	}
+
+	// Design question: how many spares does a 99.9% recess target need as
+	// CMP control degrades?
+	fmt.Println()
+	fmt.Println("spares per 64-lane group for Y_cr >= 99.9% at 1 um pitch:")
+	for _, nm := range []float64{10, 11, 12, 13} {
+		q := p
+		q.RecessTop, q.RecessBottom = nm*1e-9, nm*1e-9
+		r, err := yap.RequiredSpares(q, 64, 16, 0.999)
+		if err != nil {
+			fmt.Printf("  %.0f nm recess: %v\n", nm, err)
+			continue
+		}
+		fmt.Printf("  %.0f nm recess: %d spare(s)\n", nm, r)
+	}
+}

@@ -1,0 +1,75 @@
+// Pitch sweep: reproduce the paper's §IV-B study of how the bonding pitch
+// drives yield, sweeping from today's relaxed 10 µm down to the aggressive
+// sub-µm regime the industry is scaling toward. Pads follow the case-study
+// sizing rule (bottom pad = p/2, top = p/3).
+//
+// The sweep shows the paper's three §IV-B observations:
+//   - W2W yield loss at fine pitch is driven by Cu recess (pad count grows
+//     as 1/p²);
+//   - D2W collapses earlier, driven by overlay (smaller δ at fixed
+//     placement accuracy);
+//   - defect yield barely moves (voids dwarf any pitch).
+//
+// Run with:
+//
+//	go run ./examples/pitch_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"yap"
+)
+
+func main() {
+	pitchesUm := []float64{10, 8, 6, 4, 3, 2, 1.5, 1, 0.8}
+
+	fmt.Println("pitch   | W2W: Yovl   Ycr    Ydf    Y      | D2W: Yovl   Ycr    Ydf    Y")
+	fmt.Println("--------+------------------------------------+---------------------------------")
+	for _, um := range pitchesUm {
+		p := yap.WithPitch(yap.Baseline(), um*1e-6)
+		w, err := yap.EvaluateW2W(p)
+		if err != nil {
+			log.Fatalf("pitch %g um: %v", um, err)
+		}
+		d, err := yap.EvaluateD2W(p)
+		if err != nil {
+			log.Fatalf("pitch %g um: %v", um, err)
+		}
+		fmt.Printf("%5.1fum |     %.4f %.4f %.4f %.4f |     %.4f %.4f %.4f %.4f\n",
+			um, w.Overlay, w.Recess, w.Defect, w.Total,
+			d.Overlay, d.Recess, d.Defect, d.Total)
+	}
+
+	fmt.Println()
+	fmt.Println("Crossover check: the finest pitch at which each style still clears 90%:")
+	for _, style := range []string{"W2W", "D2W"} {
+		finest := 0.0
+		for _, um := range pitchesUm {
+			p := yap.WithPitch(yap.Baseline(), um*1e-6)
+			var y float64
+			if style == "W2W" {
+				b, err := yap.EvaluateW2W(p)
+				if err != nil {
+					log.Fatal(err)
+				}
+				y = b.Total
+			} else {
+				b, err := yap.EvaluateD2W(p)
+				if err != nil {
+					log.Fatal(err)
+				}
+				y = b.Total
+			}
+			if y >= 0.9 {
+				finest = um
+			}
+		}
+		if finest > 0 {
+			fmt.Printf("  %s: %.1f um\n", style, finest)
+		} else {
+			fmt.Printf("  %s: none in the swept range\n", style)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: evaluate the YAP hybrid-bonding yield model at the paper's
+// Table I baseline, cross-check it against a short Monte-Carlo simulation,
+// and print the per-mechanism breakdown.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"yap"
+)
+
+func main() {
+	// The baseline process: 6 µm pitch Cu–SiO₂ hybrid bonding on a 300 mm
+	// wafer with 10×10 mm dies (paper Table I).
+	p := yap.Baseline()
+
+	// Analytic model: microseconds–milliseconds per evaluation.
+	w2w, err := yap.EvaluateW2W(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d2w, err := yap.EvaluateD2W(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("analytic model")
+	fmt.Printf("  W2W: %v (limited by %s)\n", w2w, w2w.Limiter())
+	fmt.Printf("  D2W: %v (limited by %s)\n", d2w, d2w.Limiter())
+
+	// Monte-Carlo simulator: same physics, sampled instead of integrated.
+	// 200 wafers ≈ 130k die samples, enough for ±0.3% here.
+	res, err := yap.SimulateW2W(yap.SimOptions{Params: p, Wafers: 200, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("simulator")
+	fmt.Printf("  %v\n", res)
+
+	// The headline system-level question: what does bonding yield do to a
+	// 1000 mm² 2.5D system assembled from these chiplets?
+	ySys, n, err := yap.SystemYield(p, 1000e-6) // 1000 mm² in m²
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system: %d chiplets -> Y_sys = %.2f%%\n", n, ySys*100)
+}

@@ -1,0 +1,61 @@
+// W2W vs D2W: reproduce the paper's §IV-C chiplet-size study. Die-level
+// bonding yield falls with chiplet size for both styles (more pads, more
+// defect area), but the system-level picture inverts for D2W: fewer, larger
+// chiplets compound fewer bonding risks, so Y_sys of a fixed 1000 mm²
+// system *rises* with chiplet size even as Y_D2W falls.
+//
+// Run with:
+//
+//	go run ./examples/w2w_vs_d2w
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"yap"
+)
+
+func main() {
+	const systemArea = 1000e-6 // 1000 mm² of 2.5D system silicon
+
+	fmt.Println("chiplet | Y_W2W   Y_D2W   | chiplets  Y_sys(D2W)")
+	fmt.Println("--------+-----------------+---------------------")
+	for _, mm2 := range []float64{5, 10, 25, 50, 100, 200} {
+		p := yap.WithDieArea(yap.Baseline(), mm2*1e-6)
+		w, err := yap.EvaluateW2W(p)
+		if err != nil {
+			log.Fatalf("%g mm2: %v", mm2, err)
+		}
+		d, err := yap.EvaluateD2W(p)
+		if err != nil {
+			log.Fatalf("%g mm2: %v", mm2, err)
+		}
+		ySys, n, err := yap.SystemYield(p, systemArea)
+		if err != nil {
+			log.Fatalf("%g mm2: %v", mm2, err)
+		}
+		fmt.Printf("%4.0fmm2 | %.4f  %.4f  | %8d  %.4f\n", mm2, w.Total, d.Total, n, ySys)
+	}
+
+	fmt.Println()
+	fmt.Println("Same comparison at 1 um pitch, where alignment separates the styles:")
+	fmt.Println("chiplet | Y_W2W   Y_D2W   | W2W advantage")
+	fmt.Println("--------+-----------------+--------------")
+	for _, mm2 := range []float64{10, 50, 100} {
+		p := yap.WithPitch(yap.WithDieArea(yap.Baseline(), mm2*1e-6), 1e-6)
+		w, err := yap.EvaluateW2W(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := yap.EvaluateD2W(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4.0fmm2 | %.4f  %.4f  | %+.1f pts\n",
+			mm2, w.Total, d.Total, (w.Total-d.Total)*100)
+	}
+	fmt.Println()
+	fmt.Println("(W2W wins at fine pitch by alignment; D2W recovers known-good-die")
+	fmt.Println(" economics that this bonding-only model deliberately excludes.)")
+}

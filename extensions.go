@@ -1,0 +1,144 @@
+package yap
+
+// This file exposes the two model extensions the paper lists as future
+// work (§V) and this repository implements: the system assembly yield
+// model (assembly of tested/untested chiplets with spares, after Graening
+// et al. [10]) and the thermal-compression bonding variant.
+
+import (
+	"io"
+
+	"yap/internal/assembly"
+	"yap/internal/core"
+	"yap/internal/design"
+	"yap/internal/repair"
+	"yap/internal/tcb"
+)
+
+// LoadParams reads a process description from a JSON file; missing fields
+// default to the Table I baseline and the result is validated.
+func LoadParams(path string) (Params, error) { return core.LoadParams(path) }
+
+// ReadParams decodes a process description from JSON.
+func ReadParams(r io.Reader) (Params, error) { return core.ReadParams(r) }
+
+// DesignMode selects the bonding style a design rule is derived for.
+type DesignMode = design.Mode
+
+// Design-rule bonding styles.
+const (
+	DesignW2W = design.W2W
+	DesignD2W = design.D2W
+)
+
+// MinPitch returns the finest bonding pitch meeting the target yield (the
+// pitch-scaling design rule), searching [pitchLo, pitchHi] with the
+// case-study pad sizing rule.
+func MinPitch(m DesignMode, base Params, target, pitchLo, pitchHi float64) (float64, error) {
+	return design.MinPitch(m, base, target, pitchLo, pitchHi)
+}
+
+// MaxDefectDensity returns the dirtiest particle environment (m⁻²) meeting
+// the target yield — the cleanroom specification.
+func MaxDefectDensity(m DesignMode, base Params, target, dLo, dHi float64) (float64, error) {
+	return design.MaxDefectDensity(m, base, target, dLo, dHi)
+}
+
+// MaxRecess returns the deepest mean Cu recess (m) meeting the target
+// yield — the CMP control specification.
+func MaxRecess(m DesignMode, base Params, target, rLo, rHi float64) (float64, error) {
+	return design.MaxRecess(m, base, target, rLo, rHi)
+}
+
+// MaxWarpage returns the largest bonded-wafer warpage (m) meeting the
+// target yield — the run-out compensation specification.
+func MaxWarpage(m DesignMode, base Params, target, bLo, bHi float64) (float64, error) {
+	return design.MaxWarpage(m, base, target, bLo, bHi)
+}
+
+// ChipletProcess describes front-end (pre-bond) chiplet defectivity for
+// the assembly model: negative-binomial defect yield with clustering
+// parameter α (Poisson when α ≤ 0).
+type ChipletProcess = assembly.ChipletProcess
+
+// AssemblyConfig describes a full system assembly scenario: bonding
+// process, chiplet process, system area, W2W stack tiers, known-good-die
+// testing and spare sites.
+type AssemblyConfig = assembly.Config
+
+// AssemblyResult is one assembly evaluation (chiplet, bond, site and
+// system yields).
+type AssemblyResult = assembly.Result
+
+// EvaluateAssemblyD2W computes the system yield of a 2.5D D2W assembly.
+func EvaluateAssemblyD2W(cfg AssemblyConfig) (AssemblyResult, error) {
+	return assembly.EvaluateD2W(cfg)
+}
+
+// EvaluateAssemblyW2W computes the system yield of a W2W 3D stack.
+func EvaluateAssemblyW2W(cfg AssemblyConfig) (AssemblyResult, error) {
+	return assembly.EvaluateW2W(cfg)
+}
+
+// YieldedCostD2W returns the expected silicon area consumed per good D2W
+// system — the "how small is too small" cost metric.
+func YieldedCostD2W(cfg AssemblyConfig) (float64, error) {
+	return assembly.YieldedCostD2W(cfg)
+}
+
+// CheapestChipletArea sweeps chiplet areas and returns the yielded-cost
+// minimizer and its cost.
+func CheapestChipletArea(cfg AssemblyConfig, areas []float64) (bestArea, bestCost float64, err error) {
+	return assembly.CheapestChipletArea(cfg, areas)
+}
+
+// RepairScheme is a spare-lane interconnect redundancy architecture
+// (IEEE P3405-style mux repair): groups of GroupSize signal lanes share
+// Spares spare lanes.
+type RepairScheme = repair.Scheme
+
+// RepairResult reports a repaired-yield evaluation: the recess yield term
+// and total bonding yield with and without the scheme.
+type RepairResult = repair.Result
+
+// EvaluateRepairW2W returns the W2W bonding yield with the spare-lane
+// scheme applied to the per-pad (Cu recess) failure mechanism.
+func EvaluateRepairW2W(p Params, s RepairScheme) (RepairResult, error) {
+	return repair.EvaluateW2W(p, s)
+}
+
+// EvaluateRepairD2W is EvaluateRepairW2W for die-to-wafer bonding.
+func EvaluateRepairD2W(p Params, s RepairScheme) (RepairResult, error) {
+	return repair.EvaluateD2W(p, s)
+}
+
+// RequiredSpares returns the smallest spare count per group of groupSize
+// lanes that lifts the recess yield term to the target.
+func RequiredSpares(p Params, groupSize, maxSpares int, target float64) (int, error) {
+	return repair.RequiredSpares(p, groupSize, maxSpares, target)
+}
+
+// DieYield is a per-die-site resolved W2W yield prediction.
+type DieYield = core.DieYield
+
+// W2WDieYields returns the per-die yield map of the W2W model — the
+// spatial resolution behind the paper's center-vs-edge observation.
+func W2WDieYields(p Params) ([]DieYield, error) { return p.W2WDieYields() }
+
+// RadialProfile bins per-die yields by radius and returns bin centers and
+// mean yields.
+func RadialProfile(dies []DieYield, bins int, waferRadius float64) (centers, yields []float64) {
+	return core.RadialProfile(dies, bins, waferRadius)
+}
+
+// TCBParams describes a thermal-compression (solder microbump) bonding
+// process.
+type TCBParams = tcb.Params
+
+// DefaultTCB returns a representative 40 µm-pitch TCB process sharing the
+// paper's particle environment.
+func DefaultTCB() TCBParams { return tcb.DefaultParams() }
+
+// EvaluateTCB returns the TCB yield breakdown (overlay / joint-height /
+// defect), comparable field-for-field with the hybrid-bonding Breakdown.
+func EvaluateTCB(p TCBParams) (Breakdown, error) { return p.Evaluate() }

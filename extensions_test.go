@@ -1,0 +1,165 @@
+package yap
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFacadeExtensionsWired exercises every extension wrapper end to end so
+// the public API surface stays covered: each must return the same values
+// as the internal implementation it fronts (spot-checked by invariants).
+func TestFacadeExtensionsWired(t *testing.T) {
+	base := Baseline()
+
+	// Params I/O.
+	p, err := ReadParams(strings.NewReader(`{"Warpage": 2e-5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Warpage != 2e-5 {
+		t.Errorf("ReadParams warpage = %g", p.Warpage)
+	}
+	if _, err := LoadParams("/nonexistent.json"); err == nil {
+		t.Error("LoadParams accepted missing file")
+	}
+
+	// Design rules.
+	d, err := MaxDefectDensity(DesignW2W, base, 0.9, 1, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 1 || d >= 1e4 {
+		t.Errorf("MaxDefectDensity = %g, expected interior", d)
+	}
+	clean := WithDefectDensity(WithPitch(base, 2e-6), 100)
+	r, err := MaxRecess(DesignW2W, clean, 0.9, 6e-9, 14e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r <= 6e-9 || r >= 14e-9 {
+		t.Errorf("MaxRecess = %g", r)
+	}
+	fineClean := WithDefectDensity(WithPitch(base, 1.5e-6), 100)
+	b, err := MaxWarpage(DesignD2W, fineClean, 0.8, 1e-6, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= 1e-6 || b >= 1e-4 {
+		t.Errorf("MaxWarpage = %g", b)
+	}
+
+	// Assembly.
+	cfg := AssemblyConfig{
+		Bonding:      base,
+		Process:      ChipletProcess{DefectDensity: 2e4},
+		SystemArea:   1000e-6,
+		KnownGoodDie: true,
+	}
+	ar, err := EvaluateAssemblyD2W(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.SystemYield <= 0 || ar.SystemYield > 1 {
+		t.Errorf("assembly system yield = %g", ar.SystemYield)
+	}
+	aw, err := EvaluateAssemblyW2W(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aw.SystemYield >= ar.SystemYield {
+		t.Error("untested W2W stack should lose to KGD D2W at high D0")
+	}
+	cost, err := YieldedCostD2W(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Errorf("yielded cost = %g", cost)
+	}
+	areas := []float64{10e-6, 50e-6, 100e-6}
+	bestA, bestC, err := CheapestChipletArea(cfg, areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestC <= 0 || (bestA != areas[0] && bestA != areas[1] && bestA != areas[2]) {
+		t.Errorf("cheapest area = %g at cost %g", bestA, bestC)
+	}
+
+	// Repair.
+	fp := WithDefectDensity(WithPitch(base, 1e-6), 100)
+	rr, err := EvaluateRepairW2W(fp, RepairScheme{GroupSize: 64, Spares: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Repaired <= rr.Unrepaired {
+		t.Error("repair did not improve recess yield")
+	}
+	rd, err := EvaluateRepairD2W(fp, RepairScheme{GroupSize: 64, Spares: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Repaired <= rd.Unrepaired {
+		t.Error("D2W repair did not improve recess yield")
+	}
+	spares, err := RequiredSpares(fp, 64, 8, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spares != 1 {
+		t.Errorf("required spares = %d, want 1", spares)
+	}
+
+	// Per-die map.
+	dies, err := W2WDieYields(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers, yields := RadialProfile(dies, 5, base.WaferDiameter/2)
+	if len(centers) == 0 || len(centers) != len(yields) {
+		t.Errorf("radial profile: %d/%d points", len(centers), len(yields))
+	}
+
+	// TCB.
+	tb, err := EvaluateTCB(DefaultTCB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tb.Total-tb.Overlay*tb.Recess*tb.Defect) > 1e-12 {
+		t.Error("TCB total not the product")
+	}
+
+	// Simulator facade error path.
+	bad := base
+	bad.DefectShape = 1
+	if _, err := SimulateD2W(SimOptions{Params: bad, Dies: 10}); err == nil {
+		t.Error("SimulateD2W accepted invalid params")
+	}
+	if _, err := GenerateVoidMap(bad, 1, 5); err == nil {
+		t.Error("GenerateVoidMap accepted invalid params")
+	}
+}
+
+// TestFacadeMinPitchAgainstInternal guards the thin wrappers against
+// argument-order mistakes: the façade must agree with a direct evaluation.
+func TestFacadeMinPitchAgainstInternal(t *testing.T) {
+	base := Baseline()
+	pitch, err := MinPitch(DesignW2W, base, 0.7, 0.5e-6, 10e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := EvaluateW2W(WithPitch(base, pitch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.Total < 0.7 {
+		t.Errorf("yield at façade MinPitch = %g < target", at.Total)
+	}
+	below, err := EvaluateW2W(WithPitch(base, pitch*0.93))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below.Total >= 0.7 {
+		t.Errorf("yield below MinPitch still meets target: %g", below.Total)
+	}
+}

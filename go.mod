@@ -1,0 +1,3 @@
+module yap
+
+go 1.22

@@ -1,0 +1,113 @@
+// Package contact implements the rough-surface adhesion model the YAP Cu
+// recess model depends on: the normalized effective dielectric bonding area
+// A_b*(σ_z, R_z, E_d, w) of two contacting rough surfaces (after Gui et
+// al. [19] and Maugis [33]) and the resulting maximum tolerable peeling
+// stress before dielectric delamination (Eq. 9 of the paper, after
+// Hutchinson & Suo [35]).
+//
+// The asperity model is summarized by a single dimensionless adhesion
+// parameter
+//
+//	θ = E*·σ_z^(3/2) / (w·√R_z)
+//
+// that compares the elastic energy needed to flatten asperities of height
+// scale σ_z and cap radius R_z against the adhesion energy w available to
+// pull the surfaces together. Surfaces with θ ≪ 1 conform fully (A_b* → 1);
+// past θ ≈ 10–20 bonding collapses (A_b* → 0). Following Rieutord [34], two
+// identical rough surfaces are treated as one effective rough surface
+// against a rigid flat with combined roughness √2·σ_z and plane-strain
+// modulus E* = E_d / (2(1−ν²)).
+//
+// Gui's published bonded-area-fraction curve is only available graphically;
+// YAP uses the logistic fit A_b* = 1 / (1 + (θ/θ_c)^m) with θ_c = 5, m = 2,
+// which reproduces the curve's shape (≈1 below θ≈1, ≈0.5 at θ_c, →0 beyond
+// θ≈20). See DESIGN.md §2.6 for the substitution note.
+package contact
+
+import (
+	"fmt"
+	"math"
+)
+
+// Surface describes the bonding dielectric surfaces and their adhesion.
+type Surface struct {
+	// SigmaZ is the standard deviation of asperity heights σ_z (m).
+	SigmaZ float64
+	// CapRadius is the asperity cap radius R_z (m).
+	CapRadius float64
+	// YoungModulus is the dielectric Young's modulus E_d (Pa).
+	YoungModulus float64
+	// PoissonRatio is the dielectric Poisson ratio ν (0.17 for SiO₂).
+	PoissonRatio float64
+	// AdhesionEnergy is the full-contact bonding energy w (J/m²).
+	AdhesionEnergy float64
+	// Thickness is the dielectric layer thickness t_d (m).
+	Thickness float64
+}
+
+// Fit constants of the logistic bonded-area-fraction curve.
+const (
+	thetaCritical = 5.0
+	thetaExponent = 2.0
+)
+
+// Validate reports whether the surface parameters are physical.
+func (s Surface) Validate() error {
+	switch {
+	case s.SigmaZ < 0:
+		return fmt.Errorf("contact: negative roughness %g", s.SigmaZ)
+	case s.CapRadius <= 0:
+		return fmt.Errorf("contact: non-positive asperity cap radius %g", s.CapRadius)
+	case s.YoungModulus <= 0:
+		return fmt.Errorf("contact: non-positive Young's modulus %g", s.YoungModulus)
+	case s.PoissonRatio < 0 || s.PoissonRatio >= 0.5:
+		return fmt.Errorf("contact: Poisson ratio %g outside [0, 0.5)", s.PoissonRatio)
+	case s.AdhesionEnergy <= 0:
+		return fmt.Errorf("contact: non-positive adhesion energy %g", s.AdhesionEnergy)
+	case s.Thickness <= 0:
+		return fmt.Errorf("contact: non-positive dielectric thickness %g", s.Thickness)
+	}
+	return nil
+}
+
+// EffectiveModulus returns the plane-strain contact modulus E* of the two
+// identical surfaces, E_d / (2(1−ν²)).
+func (s Surface) EffectiveModulus() float64 {
+	return s.YoungModulus / (2 * (1 - s.PoissonRatio*s.PoissonRatio))
+}
+
+// AdhesionParameter returns the dimensionless parameter θ controlling
+// rough-surface bonding. A perfectly smooth surface (σ_z = 0) gives θ = 0.
+func (s Surface) AdhesionParameter() float64 {
+	if s.SigmaZ == 0 {
+		return 0
+	}
+	// Two rough surfaces bond like one surface of roughness √2·σ_z against
+	// a flat ([34]'s normalization).
+	sigma := math.Sqrt2 * s.SigmaZ
+	return s.EffectiveModulus() * math.Pow(sigma, 1.5) /
+		(s.AdhesionEnergy * math.Sqrt(s.CapRadius))
+}
+
+// BondedAreaFraction returns A_b* ∈ [0, 1], the normalized effective
+// contact area of the dielectric interface.
+func (s Surface) BondedAreaFraction() float64 {
+	theta := s.AdhesionParameter()
+	if theta == 0 {
+		return 1
+	}
+	ratio := theta / thetaCritical
+	return 1 / (1 + math.Pow(ratio, thetaExponent))
+}
+
+// TolerablePeelingStress returns σ_tol (Pa), the maximum peeling stress the
+// dielectric interface withstands before delaminating (Eq. 9):
+//
+//	σ_tol = A_b* · √(2·E_d·w / t_d)
+//
+// The square-root factor is the cohesive strength of a perfectly bonded
+// film of thickness t_d ([35]); roughness derates it by the bonded-area
+// fraction.
+func (s Surface) TolerablePeelingStress() float64 {
+	return s.BondedAreaFraction() * math.Sqrt(2*s.YoungModulus*s.AdhesionEnergy/s.Thickness)
+}

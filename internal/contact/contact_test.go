@@ -1,0 +1,141 @@
+package contact
+
+import (
+	"math"
+	"testing"
+
+	"yap/internal/units"
+)
+
+// baseline returns the paper's SiO₂ surface at Table I values.
+func baseline() Surface {
+	return Surface{
+		SigmaZ:         1 * units.Nanometer,
+		CapRadius:      1 * units.Micrometer,
+		YoungModulus:   73 * units.Gigapascal,
+		PoissonRatio:   0.17,
+		AdhesionEnergy: 1.2,
+		Thickness:      1.5 * units.Micrometer,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := baseline().Validate(); err != nil {
+		t.Errorf("baseline rejected: %v", err)
+	}
+	mutations := []func(*Surface){
+		func(s *Surface) { s.SigmaZ = -1 },
+		func(s *Surface) { s.CapRadius = 0 },
+		func(s *Surface) { s.YoungModulus = 0 },
+		func(s *Surface) { s.PoissonRatio = 0.5 },
+		func(s *Surface) { s.PoissonRatio = -0.1 },
+		func(s *Surface) { s.AdhesionEnergy = 0 },
+		func(s *Surface) { s.Thickness = -1 },
+	}
+	for i, mutate := range mutations {
+		s := baseline()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestEffectiveModulus(t *testing.T) {
+	s := baseline()
+	want := s.YoungModulus / (2 * (1 - 0.17*0.17))
+	if got := s.EffectiveModulus(); math.Abs(got-want) > 1 {
+		t.Errorf("E* = %g, want %g", got, want)
+	}
+}
+
+func TestSmoothSurfaceFullContact(t *testing.T) {
+	s := baseline()
+	s.SigmaZ = 0
+	if got := s.AdhesionParameter(); got != 0 {
+		t.Errorf("smooth θ = %g, want 0", got)
+	}
+	if got := s.BondedAreaFraction(); got != 1 {
+		t.Errorf("smooth A_b* = %g, want 1", got)
+	}
+}
+
+func TestBondedAreaFractionBounds(t *testing.T) {
+	s := baseline()
+	for _, sz := range []float64{0, 0.1e-9, 1e-9, 5e-9, 50e-9, 1e-6} {
+		s.SigmaZ = sz
+		a := s.BondedAreaFraction()
+		if a < 0 || a > 1 {
+			t.Errorf("A_b*(σ_z=%g) = %g outside [0,1]", sz, a)
+		}
+	}
+}
+
+func TestBondedAreaMonotoneInRoughness(t *testing.T) {
+	s := baseline()
+	prev := 2.0
+	for sz := 0.0; sz <= 20e-9; sz += 0.5e-9 {
+		s.SigmaZ = sz
+		a := s.BondedAreaFraction()
+		if a > prev {
+			t.Fatalf("A_b* increased with roughness at σ_z=%g", sz)
+		}
+		prev = a
+	}
+}
+
+func TestBondedAreaRegimes(t *testing.T) {
+	// 1 nm RMS SiO₂ should bond nearly fully; ≥20 nm should mostly fail —
+	// the qualitative regimes of Gui's curve the fit must reproduce.
+	s := baseline()
+	if a := s.BondedAreaFraction(); a < 0.8 {
+		t.Errorf("1 nm roughness A_b* = %g, want ≥ 0.8", a)
+	}
+	s.SigmaZ = 30 * units.Nanometer
+	if a := s.BondedAreaFraction(); a > 0.05 {
+		t.Errorf("30 nm roughness A_b* = %g, want ≤ 0.05", a)
+	}
+}
+
+func TestAdhesionParameterScaling(t *testing.T) {
+	s := baseline()
+	theta := s.AdhesionParameter()
+	// θ ∝ σ_z^(3/2): doubling σ_z multiplies θ by 2^1.5.
+	s.SigmaZ *= 2
+	if got := s.AdhesionParameter(); math.Abs(got/theta-math.Pow(2, 1.5)) > 1e-9 {
+		t.Errorf("θ scaling with σ_z: ratio %g, want %g", got/theta, math.Pow(2, 1.5))
+	}
+	// θ ∝ 1/√R_z.
+	s = baseline()
+	s.CapRadius *= 4
+	if got := s.AdhesionParameter(); math.Abs(got/theta-0.5) > 1e-9 {
+		t.Errorf("θ scaling with R_z: ratio %g, want 0.5", got/theta)
+	}
+	// θ ∝ 1/w.
+	s = baseline()
+	s.AdhesionEnergy *= 3
+	if got := s.AdhesionParameter(); math.Abs(got/theta-1.0/3) > 1e-9 {
+		t.Errorf("θ scaling with w: ratio %g, want 1/3", got/theta)
+	}
+}
+
+func TestTolerablePeelingStress(t *testing.T) {
+	s := baseline()
+	// σ_tol = A_b*·√(2·E·w/t_d); with Table I values √(2·73e9·1.2/1.5e-6)
+	// ≈ 341.8 MPa before the roughness derating.
+	cohesive := math.Sqrt(2 * s.YoungModulus * s.AdhesionEnergy / s.Thickness)
+	if math.Abs(cohesive-341.76e6) > 0.1e6 {
+		t.Fatalf("cohesive strength = %g, want ≈ 341.8 MPa", cohesive)
+	}
+	got := s.TolerablePeelingStress()
+	want := s.BondedAreaFraction() * cohesive
+	if math.Abs(got-want) > 1 {
+		t.Errorf("σ_tol = %g, want %g", got, want)
+	}
+	// Rougher surface tolerates less.
+	rough := s
+	rough.SigmaZ = 5 * units.Nanometer
+	if rough.TolerablePeelingStress() >= got {
+		t.Error("σ_tol did not decrease with roughness")
+	}
+}

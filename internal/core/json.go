@@ -1,0 +1,62 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Params serializes to plain JSON with SI values; this file adds the
+// checked load/save helpers the CLI tools use so that process descriptions
+// can be versioned alongside designs.
+
+// ReadParams decodes a parameter set from JSON. Unknown fields are
+// rejected (catching typos in hand-written process files), missing fields
+// default to the Table I baseline, and the result is validated before
+// being returned.
+func ReadParams(r io.Reader) (Params, error) {
+	p := Baseline()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Params{}, fmt.Errorf("core: decode params: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Params{}, fmt.Errorf("core: loaded params invalid: %w", err)
+	}
+	return p, nil
+}
+
+// LoadParams reads a parameter set from a JSON file.
+func LoadParams(path string) (Params, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Params{}, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return ReadParams(f)
+}
+
+// WriteParams encodes the parameter set as indented JSON.
+func (p Params) WriteParams(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		return fmt.Errorf("core: encode params: %w", err)
+	}
+	return nil
+}
+
+// SaveParams writes the parameter set to a JSON file.
+func (p Params) SaveParams(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	if err := p.WriteParams(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParamsJSONRoundTrip(t *testing.T) {
+	p := Baseline().WithPitch(2e-6)
+	p.Warpage = 42e-6
+	dir := t.TempDir()
+	path := filepath.Join(dir, "process.json")
+	if err := p.SaveParams(path); err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadParams(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", q, p)
+	}
+}
+
+func TestReadParamsDefaultsToBaseline(t *testing.T) {
+	// A partial file overrides only the named fields.
+	q, err := ReadParams(strings.NewReader(`{"Pitch": 3e-6, "BottomPadDiameter": 1.5e-6, "TopPadDiameter": 1e-6}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pitch != 3e-6 {
+		t.Errorf("pitch = %g", q.Pitch)
+	}
+	base := Baseline()
+	if q.WaferDiameter != base.WaferDiameter || q.DefectDensity != base.DefectDensity {
+		t.Error("unspecified fields should default to baseline")
+	}
+}
+
+func TestReadParamsRejectsUnknownField(t *testing.T) {
+	if _, err := ReadParams(strings.NewReader(`{"Pich": 3e-6}`)); err == nil {
+		t.Error("typo field accepted")
+	}
+}
+
+func TestReadParamsRejectsInvalid(t *testing.T) {
+	// d₂ > pitch.
+	if _, err := ReadParams(strings.NewReader(`{"Pitch": 1e-6}`)); err == nil {
+		t.Error("invalid combination accepted")
+	}
+	if _, err := ReadParams(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestLoadParamsMissingFile(t *testing.T) {
+	if _, err := LoadParams("/nonexistent/process.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

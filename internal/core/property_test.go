@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"yap/internal/units"
+)
+
+// randomParams maps three raw quick-generated floats onto a valid
+// parameter set spanning the model's intended operating envelope.
+func randomParams(a, b, c float64) Params {
+	wrap := func(x, lo, hi float64) float64 {
+		f := math.Abs(math.Mod(x, 1))
+		if math.IsNaN(f) {
+			f = 0.5
+		}
+		return lo + f*(hi-lo)
+	}
+	p := Baseline().
+		WithPitch(wrap(a, 1, 10) * units.Micrometer).
+		WithDefectDensity(wrap(b, 0.005, 0.5) * units.PerSquareCentimeter).
+		WithDieArea(wrap(c, 9, 150) * units.SquareMillimeter)
+	p.Warpage = wrap(a*b+1, 2, 50) * units.Micrometer
+	p.RecessTop = wrap(b*c+1, 6, 11) * units.Nanometer
+	p.RecessBottom = p.RecessTop
+	return p
+}
+
+// TestEvaluateW2WYieldsAreProbabilities is the core invariant of the whole
+// model: every yield term is a probability in [0, 1] and the total is
+// their product, for any parameter set in the operating envelope.
+func TestEvaluateW2WYieldsAreProbabilities(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		p := randomParams(a, b, c)
+		if p.Validate() != nil {
+			return true // generator landed outside the envelope; skip
+		}
+		bd, err := p.EvaluateW2W()
+		if err != nil {
+			return false
+		}
+		inUnit := func(y float64) bool { return y >= 0 && y <= 1 && !math.IsNaN(y) }
+		return inUnit(bd.Overlay) && inUnit(bd.Recess) && inUnit(bd.Defect) && inUnit(bd.Total) &&
+			math.Abs(bd.Total-bd.Overlay*bd.Recess*bd.Defect) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateD2WYieldsAreProbabilities(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		p := randomParams(a, b, c)
+		if p.Validate() != nil {
+			return true
+		}
+		bd, err := p.EvaluateD2W()
+		if err != nil {
+			return false
+		}
+		inUnit := func(y float64) bool { return y >= 0 && y <= 1 && !math.IsNaN(y) }
+		return inUnit(bd.Overlay) && inUnit(bd.Recess) && inUnit(bd.Defect) && inUnit(bd.Total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDefectYieldMonotoneInDensityProperty: more particles never help.
+func TestDefectYieldMonotoneInDensityProperty(t *testing.T) {
+	f := func(a, c float64) bool {
+		p := randomParams(a, 0.3, c)
+		if p.Validate() != nil {
+			return true
+		}
+		dirty := p.WithDefectDensity(p.DefectDensity * 2)
+		y1, err1 := p.EvaluateW2W()
+		y2, err2 := dirty.EvaluateW2W()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return y2.Defect <= y1.Defect+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSystemYieldBoundedByDieYield: a multi-chiplet system can never
+// out-yield one of its chiplet bonds.
+func TestSystemYieldBoundedByDieYield(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		p := randomParams(a, b, c)
+		if p.Validate() != nil {
+			return true
+		}
+		d, err := p.EvaluateD2W()
+		if err != nil {
+			return false
+		}
+		ySys, n, err := p.SystemYield(1000 * units.SquareMillimeter)
+		if err != nil {
+			return false
+		}
+		return n >= 1 && ySys <= d.Total+1e-12 && ySys >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWithPitchPreservesOtherFields: the pitch helper only touches the
+// three pad-geometry fields.
+func TestWithPitchPreservesOtherFields(t *testing.T) {
+	f := func(a float64) bool {
+		pitch := (1 + math.Abs(math.Mod(a, 9))) * units.Micrometer
+		base := Baseline()
+		q := base.WithPitch(pitch)
+		q.Pitch = base.Pitch
+		q.TopPadDiameter = base.TopPadDiameter
+		q.BottomPadDiameter = base.BottomPadDiameter
+		return q == base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

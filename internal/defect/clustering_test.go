@@ -1,0 +1,135 @@
+package defect
+
+import (
+	"math"
+	"testing"
+
+	"yap/internal/num"
+	"yap/internal/randx"
+)
+
+func TestClusteringValidation(t *testing.T) {
+	p := baseline()
+	p.RadialClustering = -0.5
+	if err := p.Validate(); err == nil {
+		t.Error("negative clustering accepted")
+	}
+	p.RadialClustering = 2
+	if err := p.Validate(); err != nil {
+		t.Errorf("positive clustering rejected: %v", err)
+	}
+}
+
+func TestDensityAtProfile(t *testing.T) {
+	p := baseline()
+	p.RadialClustering = 2
+	// Center density is suppressed, edge density boosted; both relative to
+	// the normalized mean D_t.
+	if got := p.DensityAt(0); got >= p.Density {
+		t.Errorf("center density %g should be below D_t %g", got, p.Density)
+	}
+	if got := p.DensityAt(p.WaferRadius); got <= p.Density {
+		t.Errorf("edge density %g should exceed D_t %g", got, p.Density)
+	}
+	// k_c = 0 is uniform.
+	p.RadialClustering = 0
+	if got := p.DensityAt(0.1); got != p.Density {
+		t.Errorf("uniform density = %g", got)
+	}
+}
+
+func TestDensityAtNormalized(t *testing.T) {
+	// The wafer-average of the clustered density must stay D_t:
+	// (1/πR²)·∫ D(r)·2πr dr = D_t.
+	p := baseline()
+	p.RadialClustering = 3
+	integrand := func(r float64) float64 {
+		return p.DensityAt(r) * 2 * math.Pi * r
+	}
+	avg := num.Integrate(integrand, 0, p.WaferRadius, 1e-9) /
+		(math.Pi * p.WaferRadius * p.WaferRadius)
+	if math.Abs(avg-p.Density) > 1e-6*p.Density {
+		t.Errorf("wafer-average density = %g, want %g", avg, p.Density)
+	}
+}
+
+func TestClusteringTailFactor(t *testing.T) {
+	p := baseline()
+	if p.ClusteringTailFactor() != 1 {
+		t.Error("uniform factor should be 1")
+	}
+	p.RadialClustering = 2
+	// (1 + 6/5)/(1 + 1) = 1.1.
+	if got := p.ClusteringTailFactor(); math.Abs(got-1.1) > 1e-12 {
+		t.Errorf("factor(k_c=2) = %g, want 1.1", got)
+	}
+	// The factor grows with clustering but is bounded by 6/5.
+	prev := 1.0
+	for kc := 0.5; kc <= 16; kc *= 2 {
+		p.RadialClustering = kc
+		f := p.ClusteringTailFactor()
+		if f <= prev {
+			t.Errorf("factor not increasing at k_c=%g", kc)
+		}
+		if f > 1.2 {
+			t.Errorf("factor %g exceeds asymptote 6/5", f)
+		}
+		prev = f
+	}
+}
+
+func TestClusteringTailFactorMatchesSampling(t *testing.T) {
+	// The factor is E[L·local-weight]/E[L] under the clustered position
+	// law versus uniform; check against direct sampling of E[L].
+	p := baseline()
+	kc := 2.0
+	rng := randx.NewSource(55)
+	const n = 400000
+	var sumUniform, sumClustered float64
+	for i := 0; i < n; i++ {
+		sumUniform += rng.RadiusClustered(p.WaferRadius, 0)
+		sumClustered += rng.RadiusClustered(p.WaferRadius, kc)
+	}
+	ratio := sumClustered / sumUniform
+	p.RadialClustering = kc
+	want := p.ClusteringTailFactor()
+	if math.Abs(ratio-want) > 0.01 {
+		t.Errorf("sampled E[L] ratio %g vs analytic factor %g", ratio, want)
+	}
+}
+
+func TestLambdaW2WClusteringRaisesTailTerm(t *testing.T) {
+	p := baseline()
+	base := p.LambdaW2W(10e-3, 10e-3)
+	p.RadialClustering = 2
+	clustered := p.LambdaW2W(10e-3, 10e-3)
+	if clustered <= base {
+		t.Errorf("clustering should raise Λ: %g vs %g", clustered, base)
+	}
+	// Only the tail term scales: the increase equals (factor−1)·tailTerm.
+	pointTerm := p.Density * 10e-3 * 10e-3
+	tailTerm := base - pointTerm
+	want := base + tailTerm*(p.ClusteringTailFactor()-1)
+	if math.Abs(clustered-want) > 1e-9*want {
+		t.Errorf("clustered Λ = %g, want %g", clustered, want)
+	}
+}
+
+func TestRadiusClusteredDistribution(t *testing.T) {
+	rng := randx.NewSource(66)
+	kc := 2.0
+	const n = 300000
+	// E[u] with u = (r/R)²: (1/2 + kc/3)/(1 + kc/2) = (7/6)/2 = 0.58333.
+	var sumU float64
+	for i := 0; i < n; i++ {
+		r := rng.RadiusClustered(1, kc)
+		if r < 0 || r >= 1.0000001 {
+			t.Fatalf("clustered radius %g out of range", r)
+		}
+		sumU += r * r
+	}
+	want := (0.5 + kc/3) / (1 + kc/2)
+	if got := sumU / n; math.Abs(got-want) > 0.005 {
+		t.Errorf("E[(r/R)²] = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"yap/internal/core"
+	"yap/internal/report"
+	"yap/internal/units"
+)
+
+// CaseConfig is one cell of the paper's case-study grid (§IV, Figs. 11–12).
+type CaseConfig struct {
+	// DefectDensity is D_t (m⁻²).
+	DefectDensity float64
+	// Pitch is the bonding pitch (m); pads follow the d₂ = p/2, d₁ = p/3
+	// sizing rule.
+	Pitch float64
+	// DieArea is the chiplet area (m²); the die is square.
+	DieArea float64
+}
+
+func (c CaseConfig) String() string {
+	return fmt.Sprintf("D=%s p=%s die=%s",
+		units.Density(c.DefectDensity), units.Meters(c.Pitch), units.Area(c.DieArea))
+}
+
+// Label is a compact identifier used as a chart group label.
+func (c CaseConfig) Label() string {
+	return fmt.Sprintf("%.2g/%.0f/%.0f",
+		c.DefectDensity/units.PerSquareCentimeter,
+		c.Pitch/units.Micrometer,
+		c.DieArea/units.SquareMillimeter)
+}
+
+// CaseResult is the model evaluation of one grid cell.
+type CaseResult struct {
+	Config CaseConfig
+	// W2W and D2W are the per-mechanism breakdowns (Fig. 11 and Fig. 12).
+	W2W, D2W core.Breakdown
+	// SystemYield is Y_sys = Y_D2W^Chiplets for the nominal 1000 mm²
+	// system of §IV-C.
+	SystemYield float64
+	// Chiplets is the chiplet count of that system.
+	Chiplets int
+}
+
+// SystemArea is the nominal 2.5D system size of §IV-C.
+const SystemArea = 1000 * units.SquareMillimeter
+
+// DefaultCaseGrid returns the paper's case-study grid: defect density
+// {0.01, 0.1} cm⁻² × pitch {1, 6} µm × chiplet {10, 50, 100} mm².
+func DefaultCaseGrid() []CaseConfig {
+	var grid []CaseConfig
+	for _, d := range []float64{0.01, 0.1} {
+		for _, p := range []float64{1, 6} {
+			for _, a := range []float64{10, 50, 100} {
+				grid = append(grid, CaseConfig{
+					DefectDensity: d * units.PerSquareCentimeter,
+					Pitch:         p * units.Micrometer,
+					DieArea:       a * units.SquareMillimeter,
+				})
+			}
+		}
+	}
+	return grid
+}
+
+// RunCases evaluates the analytic model on every grid cell (experiments
+// E10, E11).
+func RunCases(base core.Params, grid []CaseConfig) ([]CaseResult, error) {
+	results := make([]CaseResult, 0, len(grid))
+	for _, cfg := range grid {
+		p := base.
+			WithDefectDensity(cfg.DefectDensity).
+			WithDieArea(cfg.DieArea).
+			WithPitch(cfg.Pitch)
+		w2w, err := p.EvaluateW2W()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: case %v W2W: %w", cfg, err)
+		}
+		d2w, err := p.EvaluateD2W()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: case %v D2W: %w", cfg, err)
+		}
+		ySys, n, err := p.SystemYield(SystemArea)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: case %v system: %w", cfg, err)
+		}
+		results = append(results, CaseResult{
+			Config:      cfg,
+			W2W:         w2w,
+			D2W:         d2w,
+			SystemYield: ySys,
+			Chiplets:    n,
+		})
+	}
+	return results, nil
+}
+
+// CaseTableW2W renders the Fig. 11 data as a table.
+func CaseTableW2W(results []CaseResult) *report.Table {
+	t := report.NewTable("Density", "Pitch", "Die", "Y_ovl", "Y_cr", "Y_df", "Y_W2W", "Limiter")
+	for _, r := range results {
+		t.AddRow(
+			units.Density(r.Config.DefectDensity),
+			units.Meters(r.Config.Pitch),
+			units.Area(r.Config.DieArea),
+			r.W2W.Overlay, r.W2W.Recess, r.W2W.Defect, r.W2W.Total,
+			r.W2W.Limiter(),
+		)
+	}
+	return t
+}
+
+// CaseTableD2W renders the Fig. 12 data as a table, including Y_sys.
+func CaseTableD2W(results []CaseResult) *report.Table {
+	t := report.NewTable("Density", "Pitch", "Die", "Y_ovl", "Y_cr", "Y_df", "Y_D2W", "Chiplets", "Y_sys")
+	for _, r := range results {
+		t.AddRow(
+			units.Density(r.Config.DefectDensity),
+			units.Meters(r.Config.Pitch),
+			units.Area(r.Config.DieArea),
+			r.D2W.Overlay, r.D2W.Recess, r.D2W.Defect, r.D2W.Total,
+			r.Chiplets, r.SystemYield,
+		)
+	}
+	return t
+}

@@ -1,0 +1,183 @@
+// Package experiments defines one reproducible entry point per table and
+// figure of the paper's evaluation (the E1–E12 index in DESIGN.md). The
+// command-line tools, examples and benchmarks all call through here so that
+// every reported number has exactly one definition.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"yap/internal/core"
+	"yap/internal/defect"
+	"yap/internal/num"
+	"yap/internal/report"
+	"yap/internal/sim"
+	"yap/internal/units"
+	"yap/internal/validate"
+	"yap/internal/wafer"
+)
+
+// TableI renders the parameter set in the layout of the paper's Table I
+// (experiment E1).
+func TableI(p core.Params) *report.Table {
+	t := report.NewTable("Parameter", "Value")
+	add := func(name, value string) { t.AddRow(name, value) }
+	add("Pad pitch", units.Meters(p.Pitch))
+	add("Bottom, Top pad size", fmt.Sprintf("%s, %s", units.Meters(p.BottomPadDiameter), units.Meters(p.TopPadDiameter)))
+	add("Die size", fmt.Sprintf("%s x %s", units.Meters(p.DieWidth), units.Meters(p.DieHeight)))
+	add("Wafer size", units.Meters(p.WaferDiameter))
+	add("Random misalignment (sigma1)", units.Meters(p.RandomMisalignmentSigma))
+	add("System x,y translation", fmt.Sprintf("%s, %s", units.Meters(p.TranslationX), units.Meters(p.TranslationY)))
+	add("System rotation", fmt.Sprintf("%.3g urad", p.Rotation/units.Microradian))
+	add("Bonded wafer warpage", units.Meters(p.Warpage))
+	add("System magnification", fmt.Sprintf("%.3g ppm", p.Magnification()/units.PPM))
+	add("Particle defect density", units.Density(p.DefectDensity))
+	add("Minimum particle thickness", units.Meters(p.MinParticleThickness))
+	add("Shaping factor z", fmt.Sprintf("%g", p.DefectShape))
+	add("Bottom/Top pad recess", fmt.Sprintf("%s / %s", units.Meters(p.RecessBottom), units.Meters(p.RecessTop)))
+	add("Recess sigma (per pad)", units.Meters(p.RecessSigma))
+	add("Roughness (sigma_z)", units.Meters(p.Roughness))
+	add("Adhesion energy (SiO2-SiO2)", fmt.Sprintf("%g J/m^2", p.AdhesionEnergy))
+	add("Young's modulus (SiO2)", fmt.Sprintf("%g GPa", p.YoungModulus/units.Gigapascal))
+	add("Dielectric thickness", units.Meters(p.DielectricThickness))
+	add("Contact area constraint k_ca", fmt.Sprintf("%g", p.ContactAreaFraction))
+	add("Critical distance constraint k_cd", fmt.Sprintf("%g", p.CriticalDistanceFraction))
+	add("k_mag", fmt.Sprintf("%g m^-1", p.KMag))
+	add("k_peel", fmt.Sprintf("%.3g N/m^3", p.KPeel))
+	add("h_0", units.Meters(p.H0))
+	add("k_r", fmt.Sprintf("%.3g um^-1/2", p.KRVoid/units.PerSquareRootUm))
+	add("k_r0", fmt.Sprintf("%.3g um^1/2", p.KR0Void/units.SquareRootUm))
+	add("k_l", fmt.Sprintf("%.3g um^-1/2", p.KLTail/units.PerSquareRootUm))
+	add("Anneal temperature", fmt.Sprintf("%g C", p.AnnealTemp-units.ZeroCelsiusInK))
+	add("Cu expansion rate k_exp", fmt.Sprintf("%.4g nm/K", p.ExpansionRate/units.NanometerPerK))
+	return t
+}
+
+// ValidateW2W runs the W2W model-vs-simulation study. Its overlay, recess,
+// defect and total correlations are the data of Figs. 5a, 5b, 8b and the
+// W2W half of Fig. 10 (experiments E2, E3, E6, E9).
+func ValidateW2W(cfg validate.Config) (*validate.Study, error) {
+	return validate.RunW2W(cfg)
+}
+
+// ValidateD2W runs the D2W study: Figs. 9b–d and the D2W half of Fig. 10
+// (experiments E8, E9).
+func ValidateD2W(cfg validate.Config) (*validate.Study, error) {
+	return validate.RunD2W(cfg)
+}
+
+// StudyTable summarizes a validation study's correlations.
+func StudyTable(s *validate.Study) *report.Table {
+	t := report.NewTable("Term", "Sets", "MSE", "Pearson r")
+	for _, c := range s.Correlations() {
+		t.AddRow(c.Name, len(c.Sim), c.MSE(), c.Pearson())
+	}
+	return t
+}
+
+// Distribution is the data behind a distribution-comparison figure: an
+// empirical histogram from the simulator's generative process and the
+// analytic density evaluated on the same support.
+type Distribution struct {
+	// Hist is the empirical histogram (SI units).
+	Hist *num.Histogram
+	// PDF is the analytic density (SI units).
+	PDF func(float64) float64
+	// Title and XLabel describe the figure; XScale converts the x-axis to
+	// display units.
+	Title, XLabel string
+	XScale        float64
+}
+
+// MaxBinError returns the largest relative |empirical − analytic| over
+// well-populated bins, the scalar accuracy summary quoted in
+// EXPERIMENTS.md. Analytic values are bin averages.
+func (d *Distribution) MaxBinError(minCount int) float64 {
+	worst := 0.0
+	for i := range d.Hist.Counts {
+		if d.Hist.Counts[i] < minCount {
+			continue
+		}
+		lo := d.Hist.Min + float64(i)*d.Hist.BinWidth()
+		want := num.Integrate(d.PDF, lo, lo+d.Hist.BinWidth(), 1e-9) / d.Hist.BinWidth()
+		if want <= 0 {
+			continue
+		}
+		if e := math.Abs(d.Hist.Density(i)-want) / want; e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// Fig8aTailDistribution builds the void-tail length comparison (E5):
+// empirical tail lengths from the simulator against the Eq. 18 density.
+func Fig8aTailDistribution(p core.Params, seed uint64, n int) *Distribution {
+	dp := p.DefectParams()
+	samples := sim.SampleTailLengths(p, seed, n)
+	knee := dp.TailKnee()
+	h := num.NewHistogram(0, 3*knee, 40)
+	for _, l := range samples {
+		h.Add(l)
+	}
+	return &Distribution{
+		Hist:   h,
+		PDF:    dp.TailLengthPDF,
+		Title:  "Fig 8a: void tail length distribution",
+		XLabel: "tail length (mm)",
+		XScale: 1 / units.Millimeter,
+	}
+}
+
+// Fig9aMainVoidDistribution builds the D2W main-void size comparison (E7):
+// empirical radii against the Eq. 24 density.
+func Fig9aMainVoidDistribution(p core.Params, seed uint64, n int) *Distribution {
+	dp := p.DefectParams()
+	effR := wafer.EffectiveDieRadius(p.DieWidth, p.DieHeight)
+	samples := sim.SampleMainVoidSizes(p, seed, n)
+	rMin := p.KR0Void * math.Sqrt(p.MinParticleThickness)
+	h := num.NewHistogram(rMin, 2.5*rMin, 40)
+	for _, r := range samples {
+		h.Add(r)
+	}
+	return &Distribution{
+		Hist:   h,
+		PDF:    func(r float64) float64 { return dp.MainVoidPDFD2W(r, effR) },
+		Title:  "Fig 9a: main void size distribution (D2W)",
+		XLabel: "main void radius (um)",
+		XScale: 1 / units.Micrometer,
+	}
+}
+
+// Fig6VoidMap materializes one simulated wafer's defects (E4). particles=0
+// draws the Poisson count.
+func Fig6VoidMap(p core.Params, seed uint64, particles int) (*sim.VoidMap, error) {
+	return sim.GenerateVoidMap(p, seed, particles)
+}
+
+// RadialYieldProfile computes the per-die W2W model yields and their
+// radial binning — the spatially resolved view behind §IV-B's
+// center-vs-edge observation (experiment E-PD).
+func RadialYieldProfile(p core.Params, bins int) (dies []core.DieYield, centers, yields []float64, err error) {
+	dies, err = p.W2WDieYields()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	centers, yields = core.RadialProfile(dies, bins, p.WaferRadius())
+	return dies, centers, yields, nil
+}
+
+// TailOnlyDefectYield exposes the W2W closed form for ablation tables.
+func TailOnlyDefectYield(p core.Params) float64 {
+	dp := defect.Params{
+		Density:      p.DefectDensity,
+		MinThickness: p.MinParticleThickness,
+		Shape:        p.DefectShape,
+		KR:           p.KRVoid,
+		KR0:          p.KR0Void,
+		KL:           p.KLTail,
+		WaferRadius:  p.WaferRadius(),
+	}
+	return dp.YieldW2W(p.DieWidth, p.DieHeight)
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"yap/internal/core"
+	"yap/internal/units"
+	"yap/internal/validate"
+)
+
+func TestTableIContainsAllParameters(t *testing.T) {
+	text := TableI(core.Baseline()).Text()
+	for _, frag := range []string{
+		"Pad pitch", "6 um",
+		"Die size", "10 mm",
+		"Wafer size", "300 mm",
+		"Random misalignment", "5 nm",
+		"System rotation", "0.1 urad",
+		"System magnification", "0.9 ppm",
+		"Particle defect density", "0.1 cm^-2",
+		"Shaping factor z", "3",
+		"Adhesion energy", "1.2 J/m^2",
+		"Young's modulus", "73 GPa",
+		"k_peel", "6.55e+15",
+		"k_r0", "230 um^1/2",
+		"Anneal temperature", "300 C",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("Table I missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+func TestFig8aDistribution(t *testing.T) {
+	d := Fig8aTailDistribution(core.Baseline(), 1, 200000)
+	if d.Hist.N != 200000 {
+		t.Errorf("samples = %d", d.Hist.N)
+	}
+	// Empirical and analytic must match within a few percent in the bulk.
+	if e := d.MaxBinError(5000); e > 0.10 {
+		t.Errorf("max bin error = %g", e)
+	}
+	if d.XScale != 1/units.Millimeter {
+		t.Errorf("x scale = %g", d.XScale)
+	}
+}
+
+func TestFig9aDistribution(t *testing.T) {
+	d := Fig9aMainVoidDistribution(core.Baseline(), 2, 200000)
+	if e := d.MaxBinError(5000); e > 0.10 {
+		t.Errorf("max bin error = %g", e)
+	}
+	// Support starts at k_r0·√t0.
+	p := core.Baseline()
+	rMin := p.KR0Void * math.Sqrt(p.MinParticleThickness)
+	if math.Abs(d.Hist.Min-rMin) > 1e-12 {
+		t.Errorf("histogram min %g, want %g", d.Hist.Min, rMin)
+	}
+}
+
+func TestFig6VoidMapWrapper(t *testing.T) {
+	m, err := Fig6VoidMap(core.Baseline(), 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Voids) != 10 {
+		t.Errorf("voids = %d", len(m.Voids))
+	}
+}
+
+func TestDefaultCaseGrid(t *testing.T) {
+	grid := DefaultCaseGrid()
+	if len(grid) != 12 {
+		t.Fatalf("grid size = %d, want 2*2*3", len(grid))
+	}
+	seen := map[string]bool{}
+	for _, c := range grid {
+		if seen[c.Label()] {
+			t.Errorf("duplicate cell %s", c.Label())
+		}
+		seen[c.Label()] = true
+	}
+}
+
+func TestRunCasesReproducesPaperShapes(t *testing.T) {
+	results, err := RunCases(core.Baseline(), DefaultCaseGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 12 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		coarse := r.Config.Pitch > 3*units.Micrometer
+		clean := r.Config.DefectDensity < 0.05*units.PerSquareCentimeter
+
+		// §IV-A: relaxed pitch is defect-limited.
+		if coarse && !clean && r.W2W.Limiter() != "defect" {
+			t.Errorf("%s: W2W limiter %s, want defect", r.Config, r.W2W.Limiter())
+		}
+		// §IV-A: W2W is more particle-sensitive (void tails).
+		if r.D2W.Defect < r.W2W.Defect {
+			t.Errorf("%s: D2W defect %g below W2W %g", r.Config, r.D2W.Defect, r.W2W.Defect)
+		}
+		// §IV-A: 10x density improvement ⇒ near-perfect defect yield.
+		if clean && (r.W2W.Defect < 0.97 || r.D2W.Defect < 0.97) {
+			t.Errorf("%s: clean defect yields %g/%g", r.Config, r.W2W.Defect, r.D2W.Defect)
+		}
+		// §IV-B: fine pitch is overlay-limited for D2W.
+		if !coarse && r.D2W.Limiter() != "overlay" {
+			t.Errorf("%s: D2W limiter %s, want overlay", r.Config, r.D2W.Limiter())
+		}
+		// Sanity: Y_sys = Y_D2W^chiplets.
+		want := math.Pow(r.D2W.Total, float64(r.Chiplets))
+		if math.Abs(r.SystemYield-want) > 1e-9 {
+			t.Errorf("%s: Y_sys %g, want %g", r.Config, r.SystemYield, want)
+		}
+	}
+}
+
+func TestCaseTables(t *testing.T) {
+	results, err := RunCases(core.Baseline(), DefaultCaseGrid()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := CaseTableW2W(results).Text()
+	if !strings.Contains(w, "Y_W2W") || !strings.Contains(w, "Limiter") {
+		t.Errorf("W2W table:\n%s", w)
+	}
+	d := CaseTableD2W(results).Text()
+	if !strings.Contains(d, "Y_sys") || !strings.Contains(d, "Chiplets") {
+		t.Errorf("D2W table:\n%s", d)
+	}
+}
+
+func TestStudyTable(t *testing.T) {
+	s, err := ValidateW2W(validate.Config{Sets: 3, Wafers: 10, Dies: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := StudyTable(s).Text()
+	for _, term := range []string{"overlay", "recess", "defect", "total"} {
+		if !strings.Contains(text, term) {
+			t.Errorf("study table missing %s:\n%s", term, text)
+		}
+	}
+}
+
+func TestTailOnlyDefectYieldMatchesModel(t *testing.T) {
+	p := core.Baseline()
+	got := TailOnlyDefectYield(p)
+	want, err := p.EvaluateW2W()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want.Defect) > 1e-12 {
+		t.Errorf("tail-only yield %g vs model defect term %g", got, want.Defect)
+	}
+}
+
+func TestRunCasesRejectsInvalidBase(t *testing.T) {
+	p := core.Baseline()
+	p.DefectShape = 1
+	if _, err := RunCases(p, DefaultCaseGrid()[:1]); err == nil {
+		t.Error("accepted invalid base")
+	}
+}

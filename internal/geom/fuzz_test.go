@@ -1,0 +1,69 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCircleLensArea drives the lens-area kernel with arbitrary inputs and
+// checks its structural invariants: bounded by the smaller circle, zero
+// beyond separation, symmetric in the radii, and never NaN.
+func FuzzCircleLensArea(f *testing.F) {
+	f.Add(1.0, 1.5, 0.5)
+	f.Add(1.0, 1.0, 0.0)
+	f.Add(0.1, 5.0, 4.9)
+	f.Add(2.0, 2.0, 4.0)
+	f.Add(1e-9, 1e-9, 1e-10)
+	f.Fuzz(func(t *testing.T, r1, r2, s float64) {
+		if math.IsNaN(r1) || math.IsNaN(r2) || math.IsNaN(s) {
+			return
+		}
+		if math.Abs(r1) > 1e12 || math.Abs(r2) > 1e12 || math.Abs(s) > 1e12 {
+			return // keep products representable
+		}
+		a := CircleLensArea(r1, r2, s)
+		if math.IsNaN(a) || a < 0 {
+			t.Fatalf("lens(%g, %g, %g) = %g", r1, r2, s, a)
+		}
+		if r1 > 0 && r2 > 0 {
+			rm := math.Min(r1, r2)
+			if a > math.Pi*rm*rm*(1+1e-9)+1e-12 {
+				t.Fatalf("lens %g exceeds smaller circle π·%g²", a, rm)
+			}
+			if math.Abs(s) >= r1+r2 && a != 0 {
+				t.Fatalf("separated circles lens = %g", a)
+			}
+		}
+		b := CircleLensArea(r2, r1, s)
+		scale := math.Max(math.Max(r1, r2), 1e-30)
+		if math.Abs(a-b) > 1e-7*scale*scale+1e-12 {
+			t.Fatalf("asymmetric: %g vs %g", a, b)
+		}
+	})
+}
+
+// FuzzSegmentIntersectsRect cross-checks the Liang–Barsky clip against a
+// dense sampling oracle away from grazing cases.
+func FuzzSegmentIntersectsRect(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 1.0)
+	f.Add(-3.0, 0.5, 3.0, 0.5)
+	f.Add(2.0, 2.0, 5.0, 5.0)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by float64) {
+		for _, v := range []float64{ax, ay, bx, by} {
+			if math.IsNaN(v) || math.Abs(v) > 100 {
+				return
+			}
+		}
+		r := Rect{-1, -0.5, 1, 0.5}
+		seg := Segment{Vec2{ax, ay}, Vec2{bx, by}}
+		got := seg.IntersectsRect(r)
+		want := bruteSegmentIntersects(seg, r, 4000)
+		if got != want && got && !want {
+			// The oracle misses grazing hits; a fast-positive is fine.
+			return
+		}
+		if got != want {
+			t.Fatalf("segment (%g,%g)-(%g,%g): fast=%v oracle=%v", ax, ay, bx, by, got, want)
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package num
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestBesselI0KnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 1},
+		{0.5, 1.0634833707413236},
+		{1, 1.2660658777520084},
+		{2, 2.2795853023360673},
+		{5, 27.239871823604442},
+		{10, 2815.716628466254},
+	}
+	for _, c := range cases {
+		if got := BesselI0(c.x); !almostEqual(got, c.want, 5e-7) {
+			t.Errorf("I0(%g) = %.10g, want %.10g", c.x, got, c.want)
+		}
+		// Even function.
+		if got := BesselI0(-c.x); !almostEqual(got, c.want, 5e-7) {
+			t.Errorf("I0(-%g) = %.10g, want %.10g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestBesselI0ScaledConsistency(t *testing.T) {
+	for _, x := range []float64{0, 0.3, 1, 3.7, 4, 10, 50} {
+		want := math.Exp(-x) * BesselI0(x)
+		if got := BesselI0Scaled(x); !almostEqual(got, want, 1e-6) {
+			t.Errorf("I0Scaled(%g) = %g, want %g", x, got, want)
+		}
+	}
+	// Must stay finite where I0 overflows.
+	if got := BesselI0Scaled(1e6); math.IsInf(got, 0) || math.IsNaN(got) || got <= 0 {
+		t.Errorf("I0Scaled(1e6) = %g", got)
+	}
+}
+
+func TestRiceCDFReducesToRayleigh(t *testing.T) {
+	// ν = 0: Rice → Rayleigh, P(r ≤ x) = 1 − exp(−x²/2σ²).
+	sigma := 2.0
+	for _, x := range []float64{0.5, 1, 3, 6} {
+		want := 1 - math.Exp(-x*x/(2*sigma*sigma))
+		if got := RiceCDF(x, 0, sigma); !almostEqual(got, want, 1e-6) {
+			t.Errorf("Rayleigh CDF(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestRiceCDFMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	nu, sigma := 3.0, 1.0
+	const n = 400000
+	for _, x := range []float64{1.5, 3, 4.5} {
+		hits := 0
+		rngLocal := rng
+		for i := 0; i < n; i++ {
+			u1 := nu + sigma*rngLocal.NormFloat64()
+			u2 := sigma * rngLocal.NormFloat64()
+			if math.Hypot(u1, u2) <= x {
+				hits++
+			}
+		}
+		mc := float64(hits) / n
+		got := RiceCDF(x, nu, sigma)
+		if math.Abs(got-mc) > 0.005 {
+			t.Errorf("RiceCDF(%g; ν=%g σ=%g) = %g, MC = %g", x, nu, sigma, got, mc)
+		}
+	}
+}
+
+func TestRiceCDFEdgeCases(t *testing.T) {
+	if RiceCDF(0, 1, 1) != 0 || RiceCDF(-1, 1, 1) != 0 {
+		t.Error("non-positive x should give 0")
+	}
+	if RiceCDF(2, 1, 0) != 1 {
+		t.Error("deterministic |v| inside x should give 1")
+	}
+	if RiceCDF(0.5, 1, 0) != 0 {
+		t.Error("deterministic |v| outside x should give 0")
+	}
+	// Far above the mass: 1.
+	if got := RiceCDF(1e3, 2, 1); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("CDF far above = %g", got)
+	}
+	// Far below: 0.
+	if got := RiceCDF(1e-3, 50, 1); got > 1e-9 {
+		t.Errorf("CDF far below = %g", got)
+	}
+	// Large ν/σ ratio (the overlay regime: ν ~ 100 nm, σ ~ 5 nm) must not
+	// overflow.
+	if got := RiceCDF(150e-9, 140e-9, 5e-9); got < 0.9 || got > 1 {
+		t.Errorf("overlay-regime Rice CDF = %g", got)
+	}
+}
+
+func TestRiceCDFMonotone(t *testing.T) {
+	prev := -1.0
+	for x := 0.1; x < 8; x += 0.1 {
+		v := RiceCDF(x, 2.5, 0.8)
+		if v < prev-1e-12 {
+			t.Fatalf("Rice CDF decreased at x=%g", x)
+		}
+		prev = v
+	}
+}

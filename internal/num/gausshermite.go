@@ -1,0 +1,97 @@
+package num
+
+import "math"
+
+// ghNodes7 and ghWeights7 are the 7-point Gauss–Hermite nodes and weights
+// for ∫ e^(−x²) f(x) dx (physicists' convention, positive half; the rule is
+// symmetric and includes the origin).
+var ghNodes7 = [4]float64{
+	0,
+	0.8162878828589647,
+	1.6735516287674714,
+	2.6519613568352334,
+}
+
+var ghWeights7 = [4]float64{
+	0.8102646175568073,
+	0.4256072526101278,
+	0.0545155828191270,
+	0.0009717812450995,
+}
+
+// invSqrtPi is 1/√π, the normalization of the Gauss–Hermite measure.
+const invSqrtPi = 0.5641895835477563
+
+// ExpectNormal1 returns E[g(X)] for X ~ N(mu, sigma²) using the 7-point
+// Gauss–Hermite rule, exact for polynomial g up to degree 13. A zero sigma
+// collapses to g(mu).
+func ExpectNormal1(g func(float64) float64, mu, sigma float64) float64 {
+	if sigma == 0 {
+		return g(mu)
+	}
+	scale := math.Sqrt2 * sigma
+	sum := ghWeights7[0] * g(mu)
+	for i := 1; i < 4; i++ {
+		d := scale * ghNodes7[i]
+		sum += ghWeights7[i] * (g(mu+d) + g(mu-d))
+	}
+	return sum * invSqrtPi
+}
+
+// ExpectNormal returns E[g(X₁,…,X_k)] for independent X_i ~ N(mu[i],
+// sigma[i]²) via a tensor-product 7-point Gauss–Hermite rule. Dimensions
+// with sigma[i] = 0 contribute a single node, so degenerate (deterministic)
+// parameters cost nothing.
+//
+// It backs the D2W overlay model, where per-die placement draws of
+// translation, rotation and warpage must be averaged analytically to keep
+// the model's >10⁴× speed advantage over simulation.
+func ExpectNormal(g func(x []float64) float64, mu, sigma []float64) float64 {
+	if len(mu) != len(sigma) {
+		panic("num: ExpectNormal mu/sigma length mismatch")
+	}
+	x := make([]float64, len(mu))
+	return expectNormalRec(g, mu, sigma, x, 0)
+}
+
+// ExpectNormalAdaptive returns E[g(X)] for X ~ N(mu, sigma²) by adaptive
+// Simpson integration of g against the normal density over ±8σ. Unlike the
+// fixed Gauss–Hermite rule it resolves near-discontinuous g (yield
+// indicators smoothed over a few nanometers of misalignment), at the cost
+// of more evaluations; use it for the one or two dimensions whose spread
+// dwarfs the indicator's transition width.
+func ExpectNormalAdaptive(g func(float64) float64, mu, sigma float64) float64 {
+	if sigma == 0 {
+		return g(mu)
+	}
+	f := func(x float64) float64 {
+		z := (x - mu) / sigma
+		return g(x) * math.Exp(-0.5*z*z) / (sigma * math.Sqrt(2*math.Pi))
+	}
+	const span = 7.0
+	// g is bounded by O(1) in yield use; 1e-6 absolute keeps the quadrature
+	// error three orders below the Monte-Carlo noise it is compared to,
+	// without over-refining (each g evaluation may itself be a quadrature).
+	return Integrate(f, mu-span*sigma, mu+span*sigma, 1e-6)
+}
+
+func expectNormalRec(g func(x []float64) float64, mu, sigma, x []float64, dim int) float64 {
+	if dim == len(mu) {
+		return g(x)
+	}
+	if sigma[dim] == 0 {
+		x[dim] = mu[dim]
+		return expectNormalRec(g, mu, sigma, x, dim+1)
+	}
+	scale := math.Sqrt2 * sigma[dim]
+	x[dim] = mu[dim]
+	sum := ghWeights7[0] * expectNormalRec(g, mu, sigma, x, dim+1)
+	for i := 1; i < 4; i++ {
+		d := scale * ghNodes7[i]
+		x[dim] = mu[dim] + d
+		sum += ghWeights7[i] * expectNormalRec(g, mu, sigma, x, dim+1)
+		x[dim] = mu[dim] - d
+		sum += ghWeights7[i] * expectNormalRec(g, mu, sigma, x, dim+1)
+	}
+	return sum * invSqrtPi
+}

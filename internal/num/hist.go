@@ -1,0 +1,90 @@
+package num
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram accumulates samples into equal-width bins over [Min, Max).
+// Samples outside the range are counted in Under/Over rather than dropped,
+// so totals always reconcile. It backs the distribution-validation figures
+// (Fig. 8a void-tail lengths, Fig. 9a main-void sizes).
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	Under    int
+	Over     int
+	N        int
+}
+
+// NewHistogram creates a histogram with the given number of bins spanning
+// [min, max). It panics if bins < 1 or max ≤ min — both are programmer
+// errors, not data conditions.
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("num: histogram needs at least one bin")
+	}
+	if !(max > min) {
+		panic(fmt.Sprintf("num: invalid histogram range [%g, %g)", min, max))
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.N++
+	switch {
+	case math.IsNaN(x):
+		h.Under++ // NaN is unclassifiable; count low so totals reconcile
+	case x < h.Min:
+		h.Under++
+	case x >= h.Max:
+		h.Over++
+	default:
+		i := int((x - h.Min) / h.BinWidth())
+		if i >= len(h.Counts) { // guard against float rounding at h.Max
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 {
+	return (h.Max - h.Min) / float64(len(h.Counts))
+}
+
+// BinCenter returns the center of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Min + (float64(i)+0.5)*h.BinWidth()
+}
+
+// Density returns the empirical probability density of bin i, normalized so
+// that the histogram integrates to the in-range fraction of samples.
+func (h *Histogram) Density(i int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / (float64(h.N) * h.BinWidth())
+}
+
+// Densities returns the per-bin empirical densities.
+func (h *Histogram) Densities() []float64 {
+	d := make([]float64, len(h.Counts))
+	for i := range h.Counts {
+		d[i] = h.Density(i)
+	}
+	return d
+}
+
+// Centers returns the per-bin centers.
+func (h *Histogram) Centers() []float64 {
+	c := make([]float64, len(h.Counts))
+	for i := range h.Counts {
+		c[i] = h.BinCenter(i)
+	}
+	return c
+}
+
+// InRange returns the number of samples that fell inside [Min, Max).
+func (h *Histogram) InRange() int { return h.N - h.Under - h.Over }

@@ -1,0 +1,94 @@
+package num
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, x := range []float64{0, 0.5, 1, 5.5, 9.9999} {
+		h.Add(x)
+	}
+	if h.Counts[0] != 2 {
+		t.Errorf("bin 0 count = %d, want 2 (0 and 0.5)", h.Counts[0])
+	}
+	if h.Counts[1] != 1 || h.Counts[5] != 1 || h.Counts[9] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.N != 5 || h.InRange() != 5 {
+		t.Errorf("N=%d InRange=%d", h.N, h.InRange())
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-0.1)
+	h.Add(1.0) // max is exclusive
+	h.Add(2)
+	h.Add(0.5)
+	h.Add(math.NaN())
+	if h.Under != 2 { // -0.1 and NaN
+		t.Errorf("under = %d, want 2", h.Under)
+	}
+	if h.Over != 2 {
+		t.Errorf("over = %d, want 2", h.Over)
+	}
+	if h.InRange() != 1 {
+		t.Errorf("in-range = %d, want 1", h.InRange())
+	}
+}
+
+func TestHistogramDensityNormalization(t *testing.T) {
+	h := NewHistogram(0, 1, 20)
+	n := 10000
+	for i := 0; i < n; i++ {
+		h.Add(float64(i) / float64(n))
+	}
+	var integral float64
+	for i := range h.Counts {
+		integral += h.Density(i) * h.BinWidth()
+	}
+	if !almostEqual(integral, 1, 1e-9) {
+		t.Errorf("density integrates to %g, want 1", integral)
+	}
+}
+
+func TestHistogramCentersAndWidth(t *testing.T) {
+	h := NewHistogram(2, 4, 4)
+	if !almostEqual(h.BinWidth(), 0.5, 1e-15) {
+		t.Errorf("bin width = %g", h.BinWidth())
+	}
+	want := []float64{2.25, 2.75, 3.25, 3.75}
+	for i, c := range h.Centers() {
+		if !almostEqual(c, want[i], 1e-12) {
+			t.Errorf("center[%d] = %g, want %g", i, c, want[i])
+		}
+	}
+	if len(h.Densities()) != 4 {
+		t.Error("densities length mismatch")
+	}
+}
+
+func TestHistogramPanicsOnBadConstruction(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("zero bins", func() { NewHistogram(0, 1, 0) })
+	assertPanics("inverted range", func() { NewHistogram(1, 0, 5) })
+}
+
+func TestHistogramEdgeRoundingGuard(t *testing.T) {
+	// A value that floats to exactly Max after the division must land in
+	// the last bin, not out of range.
+	h := NewHistogram(0, 0.3, 3)
+	h.Add(math.Nextafter(0.3, 0)) // just below max
+	if h.Counts[2] != 1 || h.Over != 0 {
+		t.Errorf("near-max sample mishandled: counts=%v over=%d", h.Counts, h.Over)
+	}
+}

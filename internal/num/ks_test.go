@@ -1,0 +1,84 @@
+package num
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestKSUniformSamplesAccepted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	n := 5000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = rng.Float64()
+	}
+	d, p := KolmogorovSmirnov(samples, func(x float64) float64 { return Clamp(x, 0, 1) })
+	if d > 0.03 {
+		t.Errorf("uniform KS D = %g, implausibly large", d)
+	}
+	if p < 0.001 {
+		t.Errorf("uniform samples rejected: p = %g", p)
+	}
+}
+
+func TestKSWrongDistributionRejected(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	n := 5000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = rng.Float64() * rng.Float64() // triangular-ish, not uniform
+	}
+	_, p := KolmogorovSmirnov(samples, func(x float64) float64 { return Clamp(x, 0, 1) })
+	if p > 1e-6 {
+		t.Errorf("wrong distribution not rejected: p = %g", p)
+	}
+}
+
+func TestKSNormalSamples(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	n := 3000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = 2 + 0.5*rng.NormFloat64()
+	}
+	d, p := KolmogorovSmirnov(samples, func(x float64) float64 {
+		return NormalCDF(x, 2, 0.5)
+	})
+	if p < 0.001 {
+		t.Errorf("normal samples rejected: D = %g, p = %g", d, p)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	d, p := KolmogorovSmirnov(nil, func(x float64) float64 { return x })
+	if !math.IsNaN(d) || !math.IsNaN(p) {
+		t.Error("empty sample should give NaN")
+	}
+}
+
+func TestKSDoesNotMutateInput(t *testing.T) {
+	samples := []float64{0.9, 0.1, 0.5}
+	KolmogorovSmirnov(samples, func(x float64) float64 { return x })
+	if samples[0] != 0.9 || samples[1] != 0.1 {
+		t.Error("input mutated")
+	}
+}
+
+func TestKolmogorovQ(t *testing.T) {
+	// Known points of the Kolmogorov distribution.
+	cases := []struct{ lambda, want float64 }{
+		{0.5, 0.9639},
+		{1.0, 0.2700},
+		{1.36, 0.0490}, // the classic 5% critical value
+		{2.0, 0.00067},
+	}
+	for _, c := range cases {
+		if got := kolmogorovQ(c.lambda); math.Abs(got-c.want) > 0.002 {
+			t.Errorf("Q(%g) = %g, want %g", c.lambda, got, c.want)
+		}
+	}
+	if kolmogorovQ(0) != 1 {
+		t.Error("Q(0) should be 1")
+	}
+}

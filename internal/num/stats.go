@@ -1,0 +1,148 @@
+package num
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (NaN for n < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MSE returns the mean squared error between paired slices a and b.
+// The slices must have equal, nonzero length; otherwise NaN is returned.
+func MSE(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a))
+}
+
+// Pearson returns the Pearson correlation coefficient of paired slices.
+// Returns NaN when undefined (length mismatch, n < 2, or zero variance).
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return math.NaN()
+	}
+	ma, mb := Mean(a), Mean(b)
+	var sab, saa, sbb float64
+	for i := range a {
+		da := a[i] - ma
+		db := b[i] - mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return math.NaN()
+	}
+	return sab / math.Sqrt(saa*sbb)
+}
+
+// LinearFit returns the least-squares slope and intercept of y against x.
+// Both NaN when undefined.
+func LinearFit(x, y []float64) (slope, intercept float64) {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN(), math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx float64
+	for i := range x {
+		dx := x[i] - mx
+		sxy += dx * (y[i] - my)
+		sxx += dx * dx
+	}
+	if sxx == 0 {
+		return math.NaN(), math.NaN()
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	return slope, intercept
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. xs need not be sorted. Returns
+// NaN for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, n)
+	copy(s, xs)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return s[n-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Clamp limits x to the interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// WilsonInterval returns the Wilson score 95% confidence interval for a
+// binomial proportion with k successes out of n trials. It is used to
+// report simulator yields with honest error bars (yields near 0 or 1 are
+// exactly where the naive normal interval fails).
+func WilsonInterval(k, n int) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	const z = 1.959963984540054 // 97.5th percentile of N(0,1)
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	lo = Clamp(center-half, 0, 1)
+	hi = Clamp(center+half, 0, 1)
+	return lo, hi
+}

@@ -1,0 +1,282 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewSource(42)
+	b := NewSource(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("equal seeds diverged")
+		}
+	}
+	c := NewSource(43)
+	same := 0
+	d := NewSource(42)
+	for i := 0; i < 100; i++ {
+		if c.Float64() == d.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("nearby seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestDeriveIndependentOfOrder(t *testing.T) {
+	// Derive(seed, i) must not depend on any other stream's consumption.
+	first := Derive(7, 3).Float64()
+	s := Derive(7, 1)
+	for i := 0; i < 50; i++ {
+		s.Float64()
+	}
+	second := Derive(7, 3).Float64()
+	if first != second {
+		t.Error("Derive stream changed after consuming a sibling stream")
+	}
+}
+
+func TestDeriveDistinctStreams(t *testing.T) {
+	a := Derive(7, 0)
+	b := Derive(7, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("derived streams overlap: %d identical draws", same)
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	root := NewSource(1)
+	a := root.Split()
+	b := root.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams overlap: %d identical draws", same)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := NewSource(5)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(-2, 3)
+		if v < -2 || v >= 3 {
+			t.Fatalf("uniform out of range: %g", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := NewSource(11)
+	const n = 200000
+	mu, sigma := 3.0, 2.0
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(mu, sigma)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-mu) > 0.02 {
+		t.Errorf("normal mean = %g, want %g", mean, mu)
+	}
+	if math.Abs(variance-sigma*sigma) > 0.1 {
+		t.Errorf("normal variance = %g, want %g", variance, sigma*sigma)
+	}
+}
+
+func TestPositiveNormal(t *testing.T) {
+	s := NewSource(13)
+	for i := 0; i < 10000; i++ {
+		if v := s.PositiveNormal(1, 5); v <= 0 {
+			t.Fatalf("PositiveNormal returned %g", v)
+		}
+	}
+}
+
+func TestPositiveNormalPanicsOnNonPositiveMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSource(1).PositiveNormal(0, 1)
+}
+
+func TestPoissonMoments(t *testing.T) {
+	s := NewSource(17)
+	for _, lambda := range []float64{0.3, 3, 29, 70, 500} {
+		const n = 50000
+		var sum, sum2 float64
+		for i := 0; i < n; i++ {
+			v := float64(s.Poisson(lambda))
+			sum += v
+			sum2 += v * v
+		}
+		mean := sum / n
+		variance := sum2/n - mean*mean
+		// Poisson mean = variance = λ; allow 5σ sampling slack.
+		slack := 5 * math.Sqrt(lambda/n)
+		if math.Abs(mean-lambda) > slack+0.01 {
+			t.Errorf("Poisson(%g) mean = %g", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > 0.1*lambda+0.1 {
+			t.Errorf("Poisson(%g) variance = %g", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonZeroAndNegativeLambda(t *testing.T) {
+	s := NewSource(19)
+	if s.Poisson(0) != 0 || s.Poisson(-3) != 0 {
+		t.Error("non-positive lambda should give 0")
+	}
+}
+
+func TestParticleThicknessDistribution(t *testing.T) {
+	s := NewSource(23)
+	t0, z := 1e-6, 3.0
+	const n = 100000
+	var minV = math.Inf(1)
+	countAbove2 := 0
+	var sumSqrt float64
+	for i := 0; i < n; i++ {
+		v := s.ParticleThickness(t0, z)
+		if v < minV {
+			minV = v
+		}
+		if v > 2*t0 {
+			countAbove2++
+		}
+		sumSqrt += math.Sqrt(v)
+	}
+	if minV < t0 {
+		t.Errorf("thickness below t0: %g", minV)
+	}
+	// P(t > 2t0) = (1/2)^(z−1) = 0.25 for z = 3.
+	p := float64(countAbove2) / n
+	if math.Abs(p-0.25) > 0.01 {
+		t.Errorf("P(t > 2t0) = %g, want 0.25", p)
+	}
+	// E[√t] = (z−1)/(z−3/2)·√t0 = (4/3)√t0 for z = 3.
+	meanSqrt := sumSqrt / n
+	want := 4.0 / 3 * math.Sqrt(t0)
+	if math.Abs(meanSqrt-want) > 0.01*want {
+		t.Errorf("E[sqrt(t)] = %g, want %g", meanSqrt, want)
+	}
+}
+
+func TestParticleThicknessPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for z <= 1")
+		}
+	}()
+	NewSource(1).ParticleThickness(1e-6, 1)
+}
+
+func TestInDiskUniformity(t *testing.T) {
+	s := NewSource(29)
+	const n = 100000
+	radius := 2.0
+	var sumR, sumR2 float64
+	inside := 0
+	quadrant := 0
+	for i := 0; i < n; i++ {
+		x, y := s.InDisk(radius)
+		r := math.Hypot(x, y)
+		if r <= radius {
+			inside++
+		}
+		if x > 0 && y > 0 {
+			quadrant++
+		}
+		sumR += r
+		sumR2 += r * r
+	}
+	if inside != n {
+		t.Errorf("%d points outside the disk", n-inside)
+	}
+	// Uniform disk: E[r] = 2R/3, E[r²] = R²/2, P(quadrant) = 1/4.
+	if got := sumR / n; math.Abs(got-2*radius/3) > 0.01 {
+		t.Errorf("E[r] = %g, want %g", got, 2*radius/3)
+	}
+	if got := sumR2 / n; math.Abs(got-radius*radius/2) > 0.02 {
+		t.Errorf("E[r²] = %g, want %g", got, radius*radius/2)
+	}
+	if p := float64(quadrant) / n; math.Abs(p-0.25) > 0.01 {
+		t.Errorf("quadrant probability = %g, want 0.25", p)
+	}
+}
+
+func TestInRect(t *testing.T) {
+	s := NewSource(31)
+	for i := 0; i < 1000; i++ {
+		x, y := s.InRect(-1, 2, 3, 5)
+		if x < -1 || x >= 3 || y < 2 || y >= 5 {
+			t.Fatalf("InRect out of bounds: (%g, %g)", x, y)
+		}
+	}
+}
+
+func TestAngleRange(t *testing.T) {
+	s := NewSource(37)
+	for i := 0; i < 1000; i++ {
+		a := s.Angle()
+		if a < 0 || a >= 2*math.Pi {
+			t.Fatalf("angle out of range: %g", a)
+		}
+	}
+}
+
+func TestBernoulliProbability(t *testing.T) {
+	s := NewSource(41)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) frequency = %g", p)
+	}
+	if s.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	alwaysTrue := true
+	for i := 0; i < 100; i++ {
+		alwaysTrue = alwaysTrue && s.Bernoulli(1)
+	}
+	if !alwaysTrue {
+		t.Error("Bernoulli(1) returned false")
+	}
+}
+
+func TestIntN(t *testing.T) {
+	s := NewSource(43)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.IntN(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("IntN out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("IntN(5) covered only %d values", len(seen))
+	}
+}

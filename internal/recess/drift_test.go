@@ -1,0 +1,112 @@
+package recess
+
+import (
+	"math"
+	"testing"
+
+	"yap/internal/units"
+)
+
+func TestWaferSigmaValidation(t *testing.T) {
+	p := baseline()
+	p.WaferSigma = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative wafer sigma accepted")
+	}
+	p.WaferSigma = 1 * units.Nanometer
+	if err := p.Validate(); err != nil {
+		t.Errorf("positive wafer sigma rejected: %v", err)
+	}
+}
+
+func TestZeroWaferSigmaIsIdentity(t *testing.T) {
+	p := baseline()
+	base := p.DieYield(1e6)
+	p.WaferSigma = 0
+	if got := p.DieYield(1e6); got != base {
+		t.Errorf("zero drift changed yield: %g vs %g", got, base)
+	}
+	if got := p.ShiftedDieYield(1e6, 0); math.Abs(got-base) > 1e-15 {
+		t.Errorf("zero shift = %g, want %g", got, base)
+	}
+}
+
+func TestShiftedDieYieldDirection(t *testing.T) {
+	// Near the deep-recess cliff, a positive height shift (shallower
+	// effective recess) helps and a negative shift hurts.
+	p := baseline()
+	p.MeanRecessTop, p.MeanRecessBottom = 12*units.Nanometer, 12*units.Nanometer
+	const n = 1000
+	mid := p.ShiftedDieYield(n, 0)
+	up := p.ShiftedDieYield(n, 2*units.Nanometer)
+	down := p.ShiftedDieYield(n, -2*units.Nanometer)
+	if !(up > mid && mid > down) {
+		t.Errorf("shift direction wrong: up=%g mid=%g down=%g", up, mid, down)
+	}
+}
+
+func TestDriftAveragesOverCliff(t *testing.T) {
+	// Sitting right at the yield cliff, common-mode drift averages the
+	// 0/1 outcomes: the expected yield lands strictly between them.
+	p := baseline()
+	p.MeanRecessTop, p.MeanRecessBottom = 13.2*units.Nanometer, 13.2*units.Nanometer
+	const n = 2775556
+	sharp := p.DieYield(n)
+	p.WaferSigma = 1.5 * units.Nanometer
+	smeared := p.DieYield(n)
+	if smeared <= 0 || smeared >= 1 {
+		t.Fatalf("smeared yield = %g", smeared)
+	}
+	// On the good side of the cliff drift can only hurt; on the bad side
+	// it can only help. At 13.2 nm the sharp yield is near zero, so drift
+	// must help.
+	if sharp > 0.5 {
+		t.Fatalf("regime check: sharp yield %g, expected cliff bottom", sharp)
+	}
+	if smeared <= sharp {
+		t.Errorf("drift below the cliff should raise expected yield: %g vs %g", smeared, sharp)
+	}
+}
+
+func TestDriftHurtsOnGoodSide(t *testing.T) {
+	// With Table I control (comfortably inside the window), drift only
+	// adds ways to fail.
+	p := baseline()
+	const n = 2775556
+	base := p.DieYield(n)
+	p.WaferSigma = 3 * units.Nanometer
+	drifted := p.DieYield(n)
+	if drifted >= base {
+		t.Errorf("drift on the good side should reduce yield: %g vs %g", drifted, base)
+	}
+}
+
+func TestDriftedYieldMatchesMonteCarloAverage(t *testing.T) {
+	// The adaptive expectation must agree with direct averaging of
+	// ShiftedDieYield over sampled shifts.
+	p := baseline()
+	p.MeanRecessTop, p.MeanRecessBottom = 12.5*units.Nanometer, 12.5*units.Nanometer
+	p.WaferSigma = 1 * units.Nanometer
+	const n = 2775556
+	got := p.DieYield(n)
+
+	var state uint64 = 987
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	const mc = 200000
+	var sum float64
+	for i := 0; i < mc; i++ {
+		u1, u2 := next(), next()
+		if u1 < 1e-300 {
+			u1 = 1e-300
+		}
+		z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+		sum += p.ShiftedDieYield(n, z*p.WaferSigma)
+	}
+	want := sum / mc
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("quadrature %g vs Monte-Carlo %g", got, want)
+	}
+}

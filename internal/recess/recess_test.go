@@ -1,0 +1,240 @@
+package recess
+
+import (
+	"math"
+	"testing"
+
+	"yap/internal/contact"
+	"yap/internal/num"
+	"yap/internal/units"
+)
+
+// baseline mirrors the Table I recess process plus the DESIGN.md §2.5 PBA
+// constants.
+func baseline() Params {
+	return Params{
+		MeanRecessTop:    10 * units.Nanometer,
+		MeanRecessBottom: 10 * units.Nanometer,
+		SigmaTop:         1 * units.Nanometer,
+		SigmaBottom:      1 * units.Nanometer,
+		AnnealTemp:       units.FromCelsius(300),
+		RefTemp:          units.FromCelsius(25),
+		ExpansionRate:    0.0515 * units.NanometerPerK,
+		KPeel:            6.55e15,
+		H0:               75 * units.Nanometer,
+		CuDensity:        0.196,
+		Surface: contact.Surface{
+			SigmaZ:         1 * units.Nanometer,
+			CapRadius:      1 * units.Micrometer,
+			YoungModulus:   73 * units.Gigapascal,
+			PoissonRatio:   0.17,
+			AdhesionEnergy: 1.2,
+			Thickness:      1.5 * units.Micrometer,
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := baseline().Validate(); err != nil {
+		t.Errorf("baseline rejected: %v", err)
+	}
+	mutations := []func(*Params){
+		func(p *Params) { p.SigmaTop = -1 },
+		func(p *Params) { p.AnnealTemp = p.RefTemp },
+		func(p *Params) { p.ExpansionRate = 0 },
+		func(p *Params) { p.KPeel = -1 },
+		func(p *Params) { p.CuDensity = 0 },
+		func(p *Params) { p.CuDensity = 1.5 },
+		func(p *Params) { p.Surface.Thickness = 0 },
+	}
+	for i, mutate := range mutations {
+		p := baseline()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestHeightSumStatistics(t *testing.T) {
+	p := baseline()
+	// Both pads recessed 10 nm ⇒ µ_h = −20 nm.
+	if got := p.MeanHeightSum(); math.Abs(got+20e-9) > 1e-15 {
+		t.Errorf("µ_h = %g, want −20 nm", got)
+	}
+	// Independent 1 nm sigmas add in quadrature: √2 nm.
+	if got := p.SigmaHeightSum(); math.Abs(got-math.Sqrt2*1e-9) > 1e-15 {
+		t.Errorf("σ_h = %g, want √2 nm", got)
+	}
+}
+
+func TestTotalExpansion(t *testing.T) {
+	p := baseline()
+	// 2 · 0.0515 nm/K · 275 K = 28.325 nm.
+	want := 2 * 0.0515e-9 * 275
+	if got := p.TotalExpansion(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("expansion = %g, want %g", got, want)
+	}
+	if got := p.LowerBound(); got != -p.TotalExpansion() {
+		t.Errorf("ζ₋ = %g", got)
+	}
+}
+
+func TestUpperBoundNeverPositive(t *testing.T) {
+	p := baseline()
+	if got := p.UpperBound(); got > 0 {
+		t.Errorf("ζ₊ = %g, must not exceed 0", got)
+	}
+	// With a very weak interface, h_peel can drop below zero and tighten
+	// the protrusion bound.
+	p.Surface.SigmaZ = 50 * units.Nanometer // destroys A_b*
+	p.H0 = -10 * units.Nanometer
+	if got := p.UpperBound(); got >= 0 {
+		t.Errorf("weak-interface ζ₊ = %g, want negative", got)
+	}
+}
+
+func TestPeelHeightMovesWithStrength(t *testing.T) {
+	p := baseline()
+	base := p.PeelHeight()
+	// Stronger adhesion tolerates more protrusion.
+	p.Surface.AdhesionEnergy *= 2
+	if p.PeelHeight() <= base {
+		t.Error("h_peel should rise with adhesion energy")
+	}
+	// Denser Cu concentrates stress: lower h_peel.
+	p = baseline()
+	p.CuDensity = 0.4
+	if p.PeelHeight() >= base {
+		t.Error("h_peel should fall with Cu density")
+	}
+}
+
+func TestPadPOSConsistentWithNormalInterval(t *testing.T) {
+	p := baseline()
+	want := num.NormalInterval(p.LowerBound(), p.UpperBound(), p.MeanHeightSum(), p.SigmaHeightSum())
+	got := p.PadPOS()
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("PadPOS = %.15g, interval = %.15g", got, want)
+	}
+}
+
+func TestPadFailProbFarTailPrecision(t *testing.T) {
+	p := baseline()
+	pf := p.PadFailProb()
+	if pf <= 0 {
+		t.Fatalf("baseline fail prob = %g, want small positive", pf)
+	}
+	if pf > 1e-6 {
+		t.Fatalf("baseline fail prob = %g, implausibly large", pf)
+	}
+	// The whole point of the tail computation: pf must remain meaningful
+	// below the 1e−16 granularity of 1−POS.
+	p.ExpansionRate = 0.08 * units.NanometerPerK // expansion 44 nm, ~17σ margin
+	pf = p.PadFailProb()
+	if pf <= 0 || pf > 1e-30 {
+		t.Errorf("deep-tail fail prob = %g, want (0, 1e-30]", pf)
+	}
+}
+
+func TestPadFailProbDegenerateBounds(t *testing.T) {
+	p := baseline()
+	// Upper bound below lower bound: certain failure.
+	p.H0 = -1
+	p.Surface.SigmaZ = 1 // absurd roughness, A_b* ≈ 0 ⇒ h_peel ≈ h0 < ζ₋
+	if got := p.PadFailProb(); got != 1 {
+		t.Errorf("inverted bounds fail prob = %g, want 1", got)
+	}
+}
+
+func TestPadFailProbZeroSigma(t *testing.T) {
+	p := baseline()
+	p.SigmaTop, p.SigmaBottom = 0, 0
+	// Mean −20 nm sits inside (ζ₋, ζ₊): never fails.
+	if got := p.PadFailProb(); got != 0 {
+		t.Errorf("deterministic in-range fail prob = %g, want 0", got)
+	}
+	// Shift the mean outside: always fails.
+	p.MeanRecessTop = 30 * units.Nanometer
+	if got := p.PadFailProb(); got != 1 {
+		t.Errorf("deterministic out-of-range fail prob = %g, want 1", got)
+	}
+}
+
+func TestDieYieldMatchesPowForModerateN(t *testing.T) {
+	p := baseline()
+	p.ExpansionRate = 0.045 * units.NanometerPerK // larger pf for contrast
+	pos := p.PadPOS()
+	want := math.Pow(pos, 1000)
+	if got := p.DieYield(1000); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("DieYield(1000) = %.15g, pow = %.15g", got, want)
+	}
+}
+
+func TestDieYieldEdgeCases(t *testing.T) {
+	p := baseline()
+	if got := p.DieYield(0); got != 1 {
+		t.Errorf("zero pads yield = %g, want 1", got)
+	}
+	if got := p.DieYield(-5); got != 1 {
+		t.Errorf("negative pads yield = %g, want 1", got)
+	}
+	p.MeanRecessTop = 100 * units.Nanometer // hopeless recess
+	if got := p.DieYield(10); got >= 1e-10 {
+		t.Errorf("hopeless yield = %g", got)
+	}
+}
+
+func TestDieYieldMonotoneInPadCount(t *testing.T) {
+	p := baseline()
+	prev := 1.1
+	for _, n := range []int{1, 1e3, 1e6, 1e8} {
+		y := p.DieYield(n)
+		if y > prev {
+			t.Fatalf("yield increased with pad count at n=%d", n)
+		}
+		prev = y
+	}
+}
+
+func TestDieYieldPitchScalingRegime(t *testing.T) {
+	// The paper's case-study shape: at 6 µm pitch a 10×10 mm die
+	// (2.78M pads) yields ≳0.99, while at 1 µm (100M pads) the same
+	// process loses several points (§IV-B).
+	p := baseline()
+	coarse := p.DieYield(1666 * 1666)
+	fine := p.DieYield(10000 * 10000)
+	if coarse < 0.98 {
+		t.Errorf("6 µm recess yield = %g, want ≳0.99", coarse)
+	}
+	if fine > coarse-0.01 {
+		t.Errorf("1 µm recess yield = %g, should lose noticeably vs %g", fine, coarse)
+	}
+	if fine < 0.5 {
+		t.Errorf("1 µm recess yield = %g, implausibly low for Table I control", fine)
+	}
+}
+
+func TestDieYieldImprovesWithTighterSigma(t *testing.T) {
+	p := baseline()
+	base := p.DieYield(1e8)
+	p.SigmaTop, p.SigmaBottom = 0.5*units.Nanometer, 0.5*units.Nanometer
+	if p.DieYield(1e8) <= base {
+		t.Error("halving recess sigma should improve yield")
+	}
+}
+
+func TestCuPatternDensity(t *testing.T) {
+	// π·1.5²/6² ≈ 0.19635 for the Table I stack.
+	got := CuPatternDensity(3*units.Micrometer, 6*units.Micrometer)
+	if math.Abs(got-0.19634954) > 1e-6 {
+		t.Errorf("D_Cu = %g, want 0.19635", got)
+	}
+	// Scale invariance: d2 = p/2 always gives π/16.
+	if got := CuPatternDensity(0.5e-6, 1e-6); math.Abs(got-math.Pi/16) > 1e-12 {
+		t.Errorf("D_Cu(p/2) = %g, want π/16", got)
+	}
+	if got := CuPatternDensity(1e-6, 0); got != 0 {
+		t.Errorf("zero pitch density = %g", got)
+	}
+}

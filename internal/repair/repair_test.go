@@ -1,0 +1,224 @@
+package repair
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"yap/internal/core"
+	"yap/internal/units"
+)
+
+// finePitch returns the recess-limited regime where repair matters: 1 µm
+// pitch, clean particles so the defect term doesn't mask the effect.
+func finePitch() core.Params {
+	return core.Baseline().
+		WithPitch(1 * units.Micrometer).
+		WithDefectDensity(0.01 * units.PerSquareCentimeter)
+}
+
+func TestSchemeValidate(t *testing.T) {
+	if err := (Scheme{GroupSize: 32, Spares: 2}).Validate(); err != nil {
+		t.Errorf("valid scheme rejected: %v", err)
+	}
+	if err := (Scheme{GroupSize: 0, Spares: 1}).Validate(); err == nil {
+		t.Error("zero group accepted")
+	}
+	if err := (Scheme{GroupSize: 8, Spares: -1}).Validate(); err == nil {
+		t.Error("negative spares accepted")
+	}
+}
+
+func TestNoneSchemeIsIdentity(t *testing.T) {
+	p := finePitch()
+	res, err := EvaluateW2W(p, None())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g=1, r=0 uses every physical pad as signal with no repair: the
+	// repaired recess yield equals the model's.
+	if math.Abs(res.Repaired-res.Unrepaired) > 1e-9 {
+		t.Errorf("identity scheme changed yield: %g vs %g", res.Repaired, res.Unrepaired)
+	}
+	if res.Scheme.Overhead() != 0 {
+		t.Errorf("identity overhead = %g", res.Scheme.Overhead())
+	}
+}
+
+func TestGroupSurvivalKnownValues(t *testing.T) {
+	s := Scheme{GroupSize: 2, Spares: 1} // n = 3 lanes, survives ≤1 failure
+	pf := 0.1
+	// P(X ≤ 1), X~Binom(3, 0.1) = 0.729 + 3·0.081 = 0.972.
+	if got := s.GroupSurvival(pf); math.Abs(got-0.972) > 1e-12 {
+		t.Errorf("group survival = %g, want 0.972", got)
+	}
+	// Degenerate pf.
+	if s.GroupSurvival(0) != 1 || s.GroupSurvival(1) != 0 {
+		t.Error("degenerate pf handling wrong")
+	}
+}
+
+func TestGroupSurvivalDeepTail(t *testing.T) {
+	// pf ~ 1e-12 with one spare: failure needs two hits,
+	// P(fail) ≈ C(n,2)·pf² — far below 1e-16; survival must not collapse
+	// to exactly 1 in a way that loses the die-level product. We check the
+	// complementary route: die survival with 1e8 lanes stays below 1 but
+	// above the unrepaired value.
+	p := finePitch()
+	res, err := EvaluateW2W(p, Scheme{GroupSize: 64, Spares: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repaired <= res.Unrepaired {
+		t.Errorf("one spare per 64 lanes should improve recess yield: %g vs %g",
+			res.Repaired, res.Unrepaired)
+	}
+	if res.Repaired > 1 {
+		t.Errorf("repaired yield %g > 1", res.Repaired)
+	}
+}
+
+func TestRepairRescuesFinePitchRecess(t *testing.T) {
+	// The headline: at 1 µm pitch the recess term costs ~18 points; one
+	// spare per 64 lanes recovers nearly all of it for 1.6% pad overhead.
+	p := finePitch()
+	res, err := EvaluateW2W(p, Scheme{GroupSize: 64, Spares: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unrepaired > 0.9 {
+		t.Fatalf("regime check: unrepaired recess yield %g should be <0.9", res.Unrepaired)
+	}
+	if res.Repaired < 0.99 {
+		t.Errorf("repaired recess yield = %g, want ≥0.99", res.Repaired)
+	}
+	if res.TotalRepaired <= res.TotalUnrepaired {
+		t.Error("total yield did not improve")
+	}
+	if got := res.Scheme.Overhead(); math.Abs(got-1.0/64) > 1e-12 {
+		t.Errorf("overhead = %g", got)
+	}
+}
+
+func TestRepairDoesNotTouchDefectOrOverlay(t *testing.T) {
+	p := finePitch()
+	base, err := p.EvaluateW2W()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateW2W(p, Scheme{GroupSize: 32, Spares: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TotalRepaired = overlay · repairedRecess · defect exactly.
+	want := base.Overlay * res.Repaired * base.Defect
+	if math.Abs(res.TotalRepaired-want) > 1e-12 {
+		t.Errorf("repaired total = %g, want %g", res.TotalRepaired, want)
+	}
+}
+
+func TestEvaluateD2W(t *testing.T) {
+	p := finePitch()
+	res, err := EvaluateD2W(p, Scheme{GroupSize: 64, Spares: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repaired <= res.Unrepaired {
+		t.Error("D2W repair did not improve recess yield")
+	}
+	// D2W overlay loss is untouched by lane repair (die-level mechanism).
+	d2w, err := p.EvaluateD2W()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRepaired > d2w.Overlay*1.0*d2w.Defect+1e-12 {
+		t.Errorf("repaired total %g exceeds overlay*defect bound", res.TotalRepaired)
+	}
+}
+
+func TestMoreSparesNeverHurt(t *testing.T) {
+	p := finePitch()
+	prev := -1.0
+	for r := 0; r <= 3; r++ {
+		res, err := EvaluateW2W(p, Scheme{GroupSize: 64, Spares: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Repaired < prev-1e-12 {
+			t.Errorf("recess yield fell when adding spare %d: %g < %g", r, res.Repaired, prev)
+		}
+		prev = res.Repaired
+	}
+}
+
+func TestGroupSurvivalMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		pf1 := math.Abs(math.Mod(a, 1))
+		pf2 := math.Abs(math.Mod(b, 1))
+		if pf1 > pf2 {
+			pf1, pf2 = pf2, pf1
+		}
+		s := Scheme{GroupSize: 16, Spares: 2}
+		// Higher lane failure probability never raises group survival.
+		return s.GroupSurvival(pf2) <= s.GroupSurvival(pf1)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequiredSpares(t *testing.T) {
+	p := finePitch()
+	r, err := RequiredSpares(p, 64, 4, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("required spares = %d, want 1", r)
+	}
+	// Already-met target needs zero spares.
+	r, err = RequiredSpares(core.Baseline(), 64, 4, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Errorf("baseline required spares = %d, want 0", r)
+	}
+	// Impossible target errors out.
+	if _, err := RequiredSpares(p, 64, 0, 0.9999); err == nil {
+		t.Error("unreachable target accepted")
+	}
+	if _, err := RequiredSpares(p, 0, 4, 0.9); err == nil {
+		t.Error("zero group size accepted")
+	}
+}
+
+func TestEvaluateRejectsBadInput(t *testing.T) {
+	p := finePitch()
+	if _, err := EvaluateW2W(p, Scheme{GroupSize: -1}); err == nil {
+		t.Error("bad scheme accepted")
+	}
+	bad := p
+	bad.DefectShape = 1
+	if _, err := EvaluateW2W(bad, None()); err == nil {
+		t.Error("bad params accepted")
+	}
+	// A group larger than the die's pad budget is unrealizable. Keep the
+	// wafer proportional to the die so the floorplan stays enumerable.
+	tiny := core.Baseline()
+	tiny.DieWidth, tiny.DieHeight = 20*units.Micrometer, 20*units.Micrometer
+	tiny.WaferDiameter = 2 * units.Millimeter
+	if _, err := EvaluateW2W(tiny, Scheme{GroupSize: 100, Spares: 10}); err == nil {
+		t.Error("unrealizable scheme accepted")
+	}
+}
+
+func TestDieSurvivalEdgeCases(t *testing.T) {
+	s := Scheme{GroupSize: 8, Spares: 1}
+	if s.DieSurvival(0, 0.5) != 1 {
+		t.Error("zero lanes should survive trivially")
+	}
+	if got := s.DieSurvival(100, 1); got != 0 {
+		t.Errorf("pf=1 survival = %g", got)
+	}
+}

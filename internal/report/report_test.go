@@ -1,0 +1,114 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("name", "value", "note")
+	t.AddRow("alpha", 0.5, "first")
+	t.AddRow("beta", 123456.0, "second, with comma")
+	t.AddRow("gamma", 42, `quoted "cell"`)
+	return t
+}
+
+func TestWriteTextAlignment(t *testing.T) {
+	out := sample().Text()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + rule + 3 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("rule line = %q", lines[1])
+	}
+	// Columns align: "value" column starts at the same offset in each row.
+	idx := strings.Index(lines[0], "value")
+	for _, l := range lines[2:] {
+		cell := strings.TrimRight(l[idx:], " ")
+		if cell == "" {
+			t.Errorf("misaligned row %q", l)
+		}
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "| name | value | note |") {
+		t.Errorf("markdown header: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Error("missing markdown separator")
+	}
+	if !strings.Contains(out, "| alpha | 0.5000 | first |") {
+		t.Errorf("missing row in:\n%s", out)
+	}
+}
+
+func TestWriteCSVQuoting(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"second, with comma"`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"quoted ""cell"""`) {
+		t.Errorf("quote cell not escaped:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "name,value,note\n") {
+		t.Errorf("CSV header: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{0.5, "0.5000"},
+		{0.81, "0.8100"},
+		{1.5, "1.5000"},
+		{123.4, "123.4"},
+		{1e6, "1.000e+06"},
+		{1e-6, "1.000e-06"},
+		{-0.25, "-0.2500"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddRowMixedTypes(t *testing.T) {
+	tab := NewTable("a", "b", "c")
+	tab.AddRow(1, "x", 2.5)
+	if tab.Rows[0][0] != "1" || tab.Rows[0][1] != "x" || tab.Rows[0][2] != "2.5000" {
+		t.Errorf("row = %v", tab.Rows[0])
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := NewTable("only")
+	out := tab.Text()
+	if !strings.Contains(out, "only") {
+		t.Errorf("empty table text = %q", out)
+	}
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "only\n" {
+		t.Errorf("empty CSV = %q", sb.String())
+	}
+}

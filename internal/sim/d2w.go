@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"yap/internal/geom"
+	"yap/internal/overlay"
+	"yap/internal/randx"
+	"yap/internal/wafer"
+)
+
+// d2wEnv is the per-run immutable state shared by all D2W workers.
+type d2wEnv struct {
+	opts Options
+	pads wafer.PadArray
+
+	delta    float64
+	sigma1   float64
+	refR     float64 // rotation/magnification reference radius
+	halfDiag float64
+
+	recessQ float64
+
+	effR       float64 // effective die radius √(ab/π) of Eq. 24
+	extRect    geom.Rect
+	particleMu float64
+	padHalf    float64 // top-pad half-side r₁
+}
+
+func newD2WEnv(opts Options) (*d2wEnv, error) {
+	p := opts.Params
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pads := p.PadArray()
+	dp := p.DefectParams()
+	effR := wafer.EffectiveDieRadius(p.DieWidth, p.DieHeight)
+	// Particle-sampling margin: void squares larger than margin·knee are
+	// truncated; with the default factor 20 and z = 3 that is a ~20⁻⁴
+	// relative tail loss (DESIGN.md §2.8).
+	knee := dp.MainVoidRadius(effR, p.MinParticleThickness)
+	margin := opts.marginFactor()*knee + p.TopPadDiameter/2
+	ext := geom.RectAround(geom.Vec2{}, p.DieWidth, p.DieHeight).Expand(margin)
+	return &d2wEnv{
+		opts:       opts,
+		pads:       pads,
+		delta:      p.PadGeometry().MaxMisalignment(),
+		sigma1:     p.RandomMisalignmentSigma,
+		refR:       p.WaferRadius(),
+		halfDiag:   wafer.HalfDiagonal(p.DieWidth, p.DieHeight),
+		recessQ:    recessSurvivalProb(p, pads.Pads()),
+		effR:       effR,
+		extRect:    ext,
+		particleMu: p.DefectDensity * ext.Area(),
+		padHalf:    p.TopPadDiameter / 2,
+	}, nil
+}
+
+// RunD2W simulates opts.Dies die-to-wafer bond events and returns the
+// per-mechanism and overall die yields.
+func RunD2W(opts Options) (Result, error) {
+	env, err := newD2WEnv(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	dies := opts.Dies
+	if dies <= 0 {
+		dies = 20000
+	}
+	start := time.Now()
+
+	workers := opts.workers()
+	if workers > dies {
+		workers = dies
+	}
+	results := make(chan Counts, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			var local Counts
+			for i := worker; i < dies; i += workers {
+				local.Add(env.simulateDie(randx.Derive(opts.Seed, uint64(i))))
+			}
+			results <- local
+		}(w)
+	}
+	wg.Wait()
+	close(results)
+
+	var total Counts
+	for c := range results {
+		total.Add(c)
+	}
+	return resultFrom("D2W", total, time.Since(start)), nil
+}
+
+// simulateDie runs one bonded-die sample through the three checks.
+func (e *d2wEnv) simulateDie(rng *randx.Source) Counts {
+	c := Counts{Dies: 1}
+
+	if e.overlayCheck(rng) {
+		c.OverlayPass++
+	}
+	defectPass := e.defectCheck(rng)
+	if defectPass {
+		c.DefectPass++
+	}
+	recessPass := e.recessCheck(rng)
+	if recessPass {
+		c.RecessPass++
+	}
+	if c.OverlayPass == 1 && defectPass && recessPass {
+		c.Survived++
+	}
+	return c
+}
+
+// recessCheck performs one die's Cu recess check: the exact Bernoulli
+// shortcut by default, or the explicit per-pad draw when requested. The
+// common-mode CMP drift (if configured) is drawn per bond event.
+func (e *d2wEnv) recessCheck(rng *randx.Source) bool {
+	rp := e.opts.Params.RecessParams()
+	var shift float64
+	q := e.recessQ
+	if rp.WaferSigma > 0 {
+		shift = rng.Normal(0, rp.WaferSigma)
+		q = rp.ShiftedDieYield(e.pads.Pads(), shift)
+	}
+	if !e.opts.ExplicitRecessPads {
+		return rng.Bernoulli(q)
+	}
+	mu := rp.MeanHeightSum() + shift
+	sigma := rp.SigmaHeightSum()
+	lo, hi := rp.LowerBound(), rp.UpperBound()
+	for i := 0; i < e.pads.Pads(); i++ {
+		h := rng.Normal(mu, sigma)
+		if h <= lo || h >= hi {
+			return false
+		}
+	}
+	return true
+}
+
+// overlayCheck draws this die's placement (systematic terms vary
+// independently die-to-die, §III-E-1) plus the shared random error and
+// tests the worst pad.
+func (e *d2wEnv) overlayCheck(rng *randx.Source) bool {
+	p := e.opts.Params
+	dist := overlay.Distortion{
+		TX:       rng.Normal(p.TranslationX, p.PlacementTranslationSigma),
+		TY:       rng.Normal(p.TranslationY, p.PlacementTranslationSigma),
+		Rotation: rng.Normal(p.Rotation, p.PlacementRotationSigma),
+		Magnification: overlay.MagnificationFromWarpage(
+			p.KMag, rng.Normal(p.Warpage, p.PlacementWarpageSigma)),
+	}.ScaleToDie(e.refR, e.halfDiag)
+
+	if e.opts.ExplicitOverlayPads {
+		u := rng.Normal(0, e.sigma1)
+		for ix := 0; ix < e.pads.NX; ix++ {
+			for iy := 0; iy < e.pads.NY; iy++ {
+				if math.Abs(dist.Magnitude(e.pads.PadCenter(ix, iy))+u) > e.delta {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if e.opts.TwoDRandomMisalignment {
+		u := geom.Vec2{X: rng.Normal(0, e.sigma1), Y: rng.Normal(0, e.sigma1)}
+		worst := 0.0
+		for _, corner := range e.pads.Rect.Corners() {
+			if m := dist.Displacement(corner).Add(u).Norm(); m > worst {
+				worst = m
+			}
+		}
+		return worst <= e.delta
+	}
+	u := rng.Normal(0, e.sigma1)
+	sMax := dist.MaxOverRect(e.pads.Rect)
+	if math.Abs(sMax+u) > e.delta {
+		return false
+	}
+	sMin := dist.MinOverRect(e.pads.Rect)
+	return math.Abs(sMin+u) <= e.delta
+}
+
+// defectCheck samples particles around the die and tests each main void
+// (a square of half-side r_mv, Eq. 15/25) against the pad grid.
+func (e *d2wEnv) defectCheck(rng *randx.Source) bool {
+	p := e.opts.Params
+	dp := p.DefectParams()
+	particles := rng.Poisson(e.particleMu)
+	for k := 0; k < particles; k++ {
+		x, y := rng.InRect(e.extRect.X0, e.extRect.Y0, e.extRect.X1, e.extRect.Y1)
+		// L is the distance from the die center, clamped to the effective
+		// radius to match Eq. 24's support (DESIGN.md §2.8).
+		l := math.Min(math.Hypot(x, y), e.effR)
+		t := rng.ParticleThickness(p.MinParticleThickness, p.DefectShape)
+		rv := dp.MainVoidRadius(l, t)
+		if e.voidKills(geom.Vec2{X: x, Y: y}, rv) {
+			return false
+		}
+	}
+	return true
+}
+
+// voidKills reports whether a square void of half-side rv centered at pos
+// overlaps any square pad of half-side r₁: equivalently, whether the
+// nearest pad center lies within L∞ distance rv + r₁. On a full grid the
+// per-axis nearest center (clamped rounding) is the L∞-nearest pad, so the
+// test is exact in both branches of Eq. 25.
+func (e *d2wEnv) voidKills(pos geom.Vec2, rv float64) bool {
+	reach := rv + e.padHalf
+	grid := e.pads
+	if grid.NX == 0 || grid.NY == 0 {
+		return false
+	}
+	nearest := func(v, lo float64, n int) float64 {
+		idx := math.Round((v-lo)/grid.Pitch - 0.5)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > float64(n-1) {
+			idx = float64(n - 1)
+		}
+		return lo + (idx+0.5)*grid.Pitch
+	}
+	cx := nearest(pos.X, grid.Rect.X0, grid.NX)
+	cy := nearest(pos.Y, grid.Rect.Y0, grid.NY)
+	return math.Abs(pos.X-cx) <= reach && math.Abs(pos.Y-cy) <= reach
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"yap/internal/core"
+	"yap/internal/num"
+	"yap/internal/units"
+)
+
+func TestCollectPerDieBookkeeping(t *testing.T) {
+	p := core.Baseline()
+	res, err := RunW2W(Options{Params: p, Seed: 31, Wafers: 25, CollectPerDie: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dies := p.Layout().DieCount()
+	if len(res.PerDie) != dies {
+		t.Fatalf("per-die slots = %d, want %d", len(res.PerDie), dies)
+	}
+	var agg Counts
+	for _, c := range res.PerDie {
+		if c.Dies != 25 {
+			t.Fatalf("per-die wafer count = %d, want 25", c.Dies)
+		}
+		agg.Add(c)
+	}
+	if agg != res.Counts {
+		t.Errorf("per-die totals %+v disagree with aggregate %+v", agg, res.Counts)
+	}
+	// Without the flag, PerDie is nil.
+	res2, err := RunW2W(Options{Params: p, Seed: 31, Wafers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PerDie != nil {
+		t.Error("PerDie populated without CollectPerDie")
+	}
+}
+
+func TestPerDieIndependentOfWorkerCount(t *testing.T) {
+	p := core.Baseline()
+	a, err := RunW2W(Options{Params: p, Seed: 33, Wafers: 12, Workers: 1, CollectPerDie: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunW2W(Options{Params: p, Seed: 33, Wafers: 12, Workers: 7, CollectPerDie: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PerDie {
+		if a.PerDie[i] != b.PerDie[i] {
+			t.Fatalf("per-die slot %d differs across worker counts", i)
+		}
+	}
+}
+
+// TestPerDieSimMatchesModelOverlayProfile is the strongest overlay
+// validation in the suite: the simulated per-die overlay pass rate must
+// track the model's per-die POS die by die, not just on wafer average.
+func TestPerDieSimMatchesModelOverlayProfile(t *testing.T) {
+	p := core.Baseline().WithPitch(0.8 * units.Micrometer) // radial cliff regime
+	modelDies, err := p.W2WDieYields()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunW2W(Options{Params: p, Seed: 37, Wafers: 150, CollectPerDie: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerDie) != len(modelDies) {
+		t.Fatalf("per-die lengths differ: %d vs %d", len(res.PerDie), len(modelDies))
+	}
+	var simY, modelY []float64
+	for i, c := range res.PerDie {
+		simY = append(simY, float64(c.OverlayPass)/float64(c.Dies))
+		modelY = append(modelY, modelDies[i].Overlay)
+	}
+	mse := num.MSE(simY, modelY)
+	if mse > 2e-3 {
+		t.Errorf("per-die overlay MSE = %g", mse)
+	}
+	// The per-die profile must correlate strongly (dies span ~0 to ~0.6).
+	if r := num.Pearson(simY, modelY); math.IsNaN(r) || r < 0.98 {
+		t.Errorf("per-die overlay correlation r = %g", r)
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"yap/internal/core"
+	"yap/internal/units"
+)
+
+// randomSimParams maps quick-generated floats onto a valid parameter set
+// cheap enough to simulate in a property loop (small wafer, coarse pads).
+func randomSimParams(a, b float64) core.Params {
+	wrap := func(x, lo, hi float64) float64 {
+		f := math.Abs(math.Mod(x, 1))
+		if math.IsNaN(f) {
+			f = 0.5
+		}
+		return lo + f*(hi-lo)
+	}
+	p := core.Baseline().
+		WithPitch(wrap(a, 3, 9) * units.Micrometer).
+		WithDefectDensity(wrap(b, 0.05, 2) * units.PerSquareCentimeter)
+	p.WaferDiameter = 60 * units.Millimeter
+	p.DieWidth, p.DieHeight = 5*units.Millimeter, 5*units.Millimeter
+	p.Warpage = wrap(a+b, 5, 60) * units.Micrometer
+	return p
+}
+
+// TestSimCountInvariantsProperty: for any parameter set in the envelope,
+// the simulator's tallies must be coherent — pass counts bounded by die
+// count, survivors bounded by each mechanism, and the Fréchet lower bound
+// respected.
+func TestSimCountInvariantsProperty(t *testing.T) {
+	f := func(a, b float64, seed uint64) bool {
+		p := randomSimParams(a, b)
+		if p.Validate() != nil {
+			return true
+		}
+		res, err := RunW2W(Options{Params: p, Seed: seed, Wafers: 3})
+		if err != nil {
+			return false
+		}
+		c := res.Counts
+		if c.Dies <= 0 {
+			return false
+		}
+		bounded := c.OverlayPass <= c.Dies && c.DefectPass <= c.Dies && c.RecessPass <= c.Dies
+		surv := c.Survived <= c.OverlayPass && c.Survived <= c.DefectPass && c.Survived <= c.RecessPass
+		frechet := c.Survived >= c.OverlayPass+c.DefectPass+c.RecessPass-2*c.Dies
+		ci := res.YieldLo <= res.Yield && res.Yield <= res.YieldHi
+		return bounded && surv && frechet && ci
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimSeedDeterminismProperty: any seed reproduces exactly.
+func TestSimSeedDeterminismProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := randomSimParams(0.3, 0.7)
+		r1, err1 := RunD2W(Options{Params: p, Seed: seed, Dies: 300})
+		r2, err2 := RunD2W(Options{Params: p, Seed: seed, Dies: 300})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1.Counts == r2.Counts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

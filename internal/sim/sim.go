@@ -1,0 +1,187 @@
+// Package sim is the YAP Monte-Carlo yield simulator (Fig. 4 of the paper):
+// it draws overlay errors, Cu recess heights and particle defects from
+// their process distributions, applies the three per-die checks — Overlay
+// Check, Defect Check, Cu Recess Check — and reports the surviving-die
+// fraction per mechanism and overall. The analytic model in internal/core
+// is validated against this simulator across parameter sets (Figs. 5,
+// 8–10).
+//
+// The simulator makes fewer approximations than the model:
+//
+//   - the overlay check tests every die against the exact distortion field,
+//     including the s_min side of the shared random error that Eq. 7 drops,
+//     and can optionally use a 2-D random misalignment vector;
+//   - void tails are placed at sampled particle positions and swept
+//     radially (the bond-wave direction), rather than orientation-averaged;
+//   - D2W main voids are square regions tested against the actual pad grid,
+//     including the disjoint-kill-box regime of Eq. 25's first branch.
+//
+// One exactness shortcut is taken deliberately: the per-die Cu recess check
+// needs N ~ 10⁶–10⁸ i.i.d. normal pad heights per die, whose all-pads-pass
+// indicator is exactly Bernoulli((1−p_fail)^N); the simulator samples that
+// indicator directly instead of drawing 10⁸ heights. The equivalence is
+// distributional, not approximate, and is verified in tests against the
+// explicit per-pad path (which remains available via ExplicitRecessPads).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"yap/internal/core"
+	"yap/internal/num"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Params is the process description (shared with the analytic model).
+	Params core.Params
+	// Seed makes the run reproducible; runs with equal seeds and options
+	// produce identical results regardless of Workers.
+	Seed uint64
+	// Wafers is the number of bonded-wafer samples for W2W runs
+	// (paper default: 1000).
+	Wafers int
+	// Dies is the number of bonded-die samples for D2W runs
+	// (paper default: 20000).
+	Dies int
+	// Workers bounds the parallelism; 0 means GOMAXPROCS.
+	Workers int
+
+	// TwoDRandomMisalignment switches the random overlay error from the
+	// paper's scalar convention to a 2-D vector (u_x, u_y), each N(0, σ₁)
+	// — the ablation quantifying the scalar approximation (DESIGN.md §2.1).
+	TwoDRandomMisalignment bool
+	// IncludeMainVoidW2W additionally kills W2W dies overlapped by the
+	// main-void disk, not just the tail segment (ablation of the
+	// line-defect simplification, DESIGN.md §2.7).
+	IncludeMainVoidW2W bool
+	// PerWaferSystematics draws T_x, T_y, α and B per bonded wafer from
+	// the placement spreads instead of holding them at the parameter-set
+	// values (extension; W2W only — D2W always draws per die).
+	PerWaferSystematics bool
+	// ExplicitRecessPads forces per-pad recess sampling instead of the
+	// exact Bernoulli shortcut. Only sensible for small pad counts; runs
+	// at O(N) per die.
+	ExplicitRecessPads bool
+	// ExplicitOverlayPads forces the overlay check to visit every pad
+	// center instead of exploiting the convexity of the distortion field
+	// (which reduces the die check to its corners). Distributionally
+	// identical up to the sub-pitch gap between the outermost pad centers
+	// and the array corners; exists so the runtime study can price the
+	// paper's O(N)-per-die simulation faithfully.
+	ExplicitOverlayPads bool
+	// ModelConventionDefects switches the W2W defect generator to the
+	// analytic model's idealization: defect anchors uniform over an
+	// extended field (so edge dies see the same defect flux as center
+	// dies), tail lengths drawn from the marginal law f_l of Eq. 18
+	// independent of position, and tail orientation uniform in [0, 2π)
+	// instead of radial. Comparing a run with this flag against the
+	// default isolates the wafer-edge and orientation approximations in
+	// the closed-form Λ of Eq. 20 (ablation; DESIGN.md §2.7).
+	ModelConventionDefects bool
+	// D2WDefectMarginFactor scales the particle-sampling margin around a
+	// D2W die in units of the void-size knee (default 20, which leaves a
+	// ~20⁻⁴ relative truncation of the void-size tail).
+	D2WDefectMarginFactor float64
+	// CollectPerDie (W2W only) additionally accumulates per-die-site
+	// survival statistics into Result.PerDie, index-aligned with the
+	// wafer layout's Dies() — the simulated counterpart of the model's
+	// W2WDieYields.
+	CollectPerDie bool
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) marginFactor() float64 {
+	if o.D2WDefectMarginFactor > 0 {
+		return o.D2WDefectMarginFactor
+	}
+	return 20
+}
+
+// Counts aggregates per-check outcomes over all simulated dies. A die is
+// evaluated against all three checks independently, so mechanism yields can
+// be reported separately even when a die fails several checks at once.
+type Counts struct {
+	// Dies is the number of simulated dies.
+	Dies int
+	// OverlayPass, DefectPass and RecessPass count dies passing each check.
+	OverlayPass, DefectPass, RecessPass int
+	// Survived counts dies passing all three checks.
+	Survived int
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.Dies += other.Dies
+	c.OverlayPass += other.OverlayPass
+	c.DefectPass += other.DefectPass
+	c.RecessPass += other.RecessPass
+	c.Survived += other.Survived
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	// Mode is "W2W" or "D2W".
+	Mode string
+	// Counts holds the raw per-check tallies.
+	Counts Counts
+	// OverlayYield, DefectYield and RecessYield are the per-mechanism
+	// surviving fractions; Yield is the all-checks fraction.
+	OverlayYield, DefectYield, RecessYield, Yield float64
+	// YieldLo and YieldHi bound Yield with a Wilson 95% interval.
+	YieldLo, YieldHi float64
+	// Elapsed is the wall-clock simulation time (the quantity behind the
+	// paper's 10⁴× model-speedup claim).
+	Elapsed time.Duration
+	// PerDie holds per-die-site tallies when Options.CollectPerDie is set
+	// (W2W), index-aligned with the layout's Dies(); nil otherwise. Each
+	// entry's Dies field counts the simulated wafers.
+	PerDie []Counts
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s sim: Y_ovl=%.6f Y_df=%.6f Y_cr=%.6f Y=%.6f (95%% CI [%.6f, %.6f], %d dies, %v)",
+		r.Mode, r.OverlayYield, r.DefectYield, r.RecessYield, r.Yield,
+		r.YieldLo, r.YieldHi, r.Counts.Dies, r.Elapsed.Round(time.Millisecond))
+}
+
+func resultFrom(mode string, c Counts, elapsed time.Duration) Result {
+	r := Result{Mode: mode, Counts: c, Elapsed: elapsed}
+	if c.Dies == 0 {
+		return r
+	}
+	n := float64(c.Dies)
+	r.OverlayYield = float64(c.OverlayPass) / n
+	r.DefectYield = float64(c.DefectPass) / n
+	r.RecessYield = float64(c.RecessPass) / n
+	r.Yield = float64(c.Survived) / n
+	r.YieldLo, r.YieldHi = num.WilsonInterval(c.Survived, c.Dies)
+	return r
+}
+
+// ErrNoDies is returned when the wafer layout holds no complete die.
+var ErrNoDies = errors.New("sim: wafer layout holds no complete die")
+
+// recessSurvivalProb returns the exact probability that all n pads of a die
+// pass the recess check.
+func recessSurvivalProb(p core.Params, n int) float64 {
+	return p.RecessParams().DieYield(n)
+}
+
+// chebyshevDistToRect returns the L∞ distance from point (x, y) to the
+// rectangle, zero inside. The square-void kill test is an L∞ ball test.
+func chebyshevDistToRect(x, y, x0, y0, x1, y1 float64) float64 {
+	dx := math.Max(math.Max(x0-x, 0), x-x1)
+	dy := math.Max(math.Max(y0-y, 0), y-y1)
+	return math.Max(dx, dy)
+}

@@ -1,0 +1,205 @@
+package tcb
+
+import (
+	"math"
+	"testing"
+
+	"yap/internal/core"
+	"yap/internal/num"
+	"yap/internal/units"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.Pitch = 0 },
+		func(p *Params) { p.BumpDiameter = 30 * units.Micrometer }, // bump > pad
+		func(p *Params) { p.PadDiameter = 50 * units.Micrometer },  // pad > pitch
+		func(p *Params) { p.DieWidth = 0 },
+		func(p *Params) { p.Sigma1 = -1 },
+		func(p *Params) { p.Standoff = 0 },
+		func(p *Params) { p.CollapseMargin = 0 },
+		func(p *Params) { p.DefectShape = 1 },
+		func(p *Params) { p.RefRadius = 0 },
+	}
+	for i, mutate := range mutations {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestJointsCount(t *testing.T) {
+	p := DefaultParams()
+	// 10 mm / 40 µm = 250 per side; binary floor may shave one row, so
+	// accept 249–250 per side (the floorplan package owns the exact rule).
+	got := p.Joints()
+	if got < 249*249 || got > 250*250 {
+		t.Errorf("joints = %d, want ≈ 250²", got)
+	}
+}
+
+func TestDeltaScalesWithPitch(t *testing.T) {
+	p := DefaultParams()
+	d40 := p.Delta()
+	if d40 <= 0 {
+		t.Fatalf("delta = %g", d40)
+	}
+	// Halving all lateral dimensions halves δ.
+	p.Pitch /= 2
+	p.BumpDiameter /= 2
+	p.PadDiameter /= 2
+	if d20 := p.Delta(); math.Abs(d20-d40/2) > 1e-9*d40 {
+		t.Errorf("delta scaling: %g vs %g/2", d20, d40)
+	}
+}
+
+func TestOverlayYieldRegimes(t *testing.T) {
+	// At 40 µm pitch, δ is microns while placement errors are ~100s of nm:
+	// overlay yield ≈ 1. TCB's pitch floor appears when δ approaches σ₁.
+	p := DefaultParams()
+	if y := p.OverlayYield(); y < 0.9999 {
+		t.Errorf("40 µm TCB overlay yield = %g, want ≈ 1", y)
+	}
+	// At 1.5 µm pitch with the same 200 nm placement accuracy it collapses
+	// (δ ≈ 375 nm is under 2σ₁ once systematics are subtracted).
+	p.Pitch = 1.5 * units.Micrometer
+	p.BumpDiameter = 0.75 * units.Micrometer
+	p.PadDiameter = 0.95 * units.Micrometer
+	if y := p.OverlayYield(); y > 0.9 {
+		t.Errorf("1.5 µm TCB overlay yield = %g, expected collapse at σ₁ = 200 nm", y)
+	}
+}
+
+func TestJointHeightPOS(t *testing.T) {
+	p := DefaultParams()
+	want := num.NormalInterval(-p.CollapseMargin, p.CollapseMargin, 0, p.HeightSigma)
+	if got := p.JointHeightPOS(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("joint POS = %g, want %g", got, want)
+	}
+}
+
+func TestHeightYieldTailSafe(t *testing.T) {
+	p := DefaultParams()
+	// margin/σ = 3.75 ⇒ per-joint fail ≈ 1.8e-4 ⇒ 62500 joints ⇒ Y ≈ e^-11.
+	y := p.HeightYield()
+	if y <= 0 || y >= 1 {
+		t.Fatalf("height yield = %g", y)
+	}
+	// Tighter process: near-perfect.
+	p.HeightSigma = 0.4 * units.Micrometer // margin/σ = 7.5
+	if y := p.HeightYield(); y < 0.999 {
+		t.Errorf("tight height yield = %g", y)
+	}
+	// Deterministic bumps: perfect.
+	p.HeightSigma = 0
+	if y := p.HeightYield(); y != 1 {
+		t.Errorf("zero-sigma height yield = %g", y)
+	}
+}
+
+func TestKillerDensityStandoffFiltering(t *testing.T) {
+	p := DefaultParams()
+	// z = 3, standoff 10 µm, t0 1 µm: P(t > standoff) = (1/10)² = 1%.
+	want := p.DefectDensity * 0.01
+	if got := p.KillerDensity(); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("killer density = %g, want %g", got, want)
+	}
+	// Standoff at or below t0: nothing is filtered.
+	p.Standoff = p.MinParticleThickness
+	if got := p.KillerDensity(); got != p.DefectDensity {
+		t.Errorf("unfiltered killer density = %g", got)
+	}
+	// Taller standoff filters more.
+	p = DefaultParams()
+	base := p.KillerDensity()
+	p.Standoff *= 2
+	if p.KillerDensity() >= base {
+		t.Error("taller standoff should filter more particles")
+	}
+}
+
+func TestDefectYieldBeatsHybridBonding(t *testing.T) {
+	// The standoff advantage: at the same particle environment, TCB's
+	// defect yield beats W2W hybrid bonding's (which suffers every
+	// particle plus void tails).
+	p := DefaultParams()
+	tcbY := p.DefectYield()
+	hb, err := core.Baseline().EvaluateW2W()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcbY <= hb.Defect {
+		t.Errorf("TCB defect yield %g should beat HB W2W %g", tcbY, hb.Defect)
+	}
+	if tcbY < 0.99 {
+		t.Errorf("TCB defect yield = %g, want ≈ 1 at 1%% killer fraction", tcbY)
+	}
+}
+
+func TestEvaluateBreakdown(t *testing.T) {
+	p := DefaultParams()
+	b, err := p.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Overlay * b.Recess * b.Defect; math.Abs(b.Total-got) > 1e-12 {
+		t.Errorf("total %g != product %g", b.Total, got)
+	}
+	for name, v := range map[string]float64{
+		"overlay": b.Overlay, "height": b.Recess, "defect": b.Defect, "total": b.Total,
+	} {
+		if v < 0 || v > 1 {
+			t.Errorf("%s yield %g outside [0,1]", name, v)
+		}
+	}
+	// Invalid params must be rejected.
+	p.Standoff = 0
+	if _, err := p.Evaluate(); err == nil {
+		t.Error("accepted invalid params")
+	}
+}
+
+func TestTCBVsHybridCrossover(t *testing.T) {
+	// The technology-selection story: TCB wins at relaxed pitch (standoff
+	// absorbs particles), hybrid bonding is the only option at fine pitch
+	// (TCB overlay collapses long before 6 µm at placement-grade accuracy).
+	tcb40, err := DefaultParams().Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb6, err := core.Baseline().EvaluateW2W()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcb40.Total <= hb6.Total {
+		t.Errorf("TCB at 40 µm (%g) should beat HB at its 6 µm baseline (%g) on yield",
+			tcb40.Total, hb6.Total)
+	}
+
+	// At 1 µm pitch the comparison inverts: TCB's placement accuracy and
+	// joint count defeat it, while hybrid bonding still delivers usable
+	// yield — the reason HB owns the fine-pitch regime.
+	fine := DefaultParams()
+	fine.Pitch = 1 * units.Micrometer
+	fine.BumpDiameter = 0.5 * units.Micrometer
+	fine.PadDiameter = 0.63 * units.Micrometer
+	tcb1, err := fine.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb1, err := core.Baseline().WithPitch(1 * units.Micrometer).EvaluateW2W()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcb1.Total >= hb1.Total {
+		t.Errorf("TCB at 1 µm (%g) should lose to HB at 1 µm (%g)", tcb1.Total, hb1.Total)
+	}
+}

@@ -1,0 +1,116 @@
+// Package units provides physical unit constants and conversion helpers for
+// the YAP yield models.
+//
+// All quantities in the YAP codebase are stored as plain float64 values in
+// base SI units (meters, square meters, pascals, kelvins, joules). This
+// package holds the multipliers used to construct such values from the unit
+// the literature quotes them in (nanometers for recess, micrometers for
+// pitch, cm⁻² for defect densities, ...) and the formatters used to print
+// them back in those units.
+//
+// Keeping everything in SI avoids the classic EDA bug class of mixed-unit
+// arithmetic; the conversion constants below are the single place the unit
+// system is defined.
+package units
+
+import "fmt"
+
+// Length multipliers: multiply a number in the named unit by the constant to
+// obtain meters.
+const (
+	Meter      = 1.0
+	Centimeter = 1e-2
+	Millimeter = 1e-3
+	Micrometer = 1e-6
+	Nanometer  = 1e-9
+)
+
+// Area multipliers: multiply a number in the named unit by the constant to
+// obtain square meters.
+const (
+	SquareMeter      = 1.0
+	SquareCentimeter = 1e-4
+	SquareMillimeter = 1e-6
+	SquareMicrometer = 1e-12
+)
+
+// Angle multipliers: multiply by the constant to obtain radians.
+const (
+	Radian      = 1.0
+	Microradian = 1e-6
+)
+
+// Dimensionless strain/magnification multipliers.
+const (
+	// PPM converts parts-per-million to a plain ratio.
+	PPM = 1e-6
+)
+
+// Pressure multipliers: multiply by the constant to obtain pascals.
+const (
+	Pascal     = 1.0
+	Megapascal = 1e6
+	Gigapascal = 1e9
+)
+
+// PerSquareCentimeter converts an areal density quoted in cm⁻² to m⁻².
+const PerSquareCentimeter = 1e4
+
+// Kelvin offsets/deltas. Temperatures are stored in kelvins.
+const (
+	Kelvin          = 1.0
+	ZeroCelsiusInK  = 273.15
+	CelsiusDeltaInK = 1.0  // a temperature *difference* of 1 °C is 1 K
+	JoulePerSquareM = 1.0  // adhesion energy unit (J/m²) is already SI
+	NewtonPerCubicM = 1.0  // k_peel unit (N/m³) is already SI
+	PerSquareRootUm = 1e3  // µm^-1/2 → m^-1/2 (1/sqrt(1e-6))
+	SquareRootUm    = 1e-3 // µm^1/2 → m^1/2
+	NanometerPerK   = 1e-9
+	PerMeter        = 1.0 // k_mag unit (m⁻¹) is already SI
+)
+
+// FromCelsius converts a temperature in degrees Celsius to kelvins.
+func FromCelsius(c float64) float64 { return c + ZeroCelsiusInK }
+
+// Meters formats a length in meters using an auto-selected engineering unit.
+func Meters(m float64) string {
+	abs := m
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs == 0:
+		return "0 m"
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.4g mm", m/Millimeter)
+	case abs >= 1e-6:
+		return fmt.Sprintf("%.4g um", m/Micrometer)
+	default:
+		return fmt.Sprintf("%.4g nm", m/Nanometer)
+	}
+}
+
+// Area formats an area in square meters using an auto-selected unit.
+func Area(a float64) string {
+	abs := a
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs == 0:
+		return "0 m^2"
+	case abs >= 1e-7:
+		return fmt.Sprintf("%.4g mm^2", a/SquareMillimeter)
+	default:
+		return fmt.Sprintf("%.4g um^2", a/SquareMicrometer)
+	}
+}
+
+// Density formats an areal density in m⁻² as cm⁻² (the unit used in the
+// paper's Table I).
+func Density(d float64) string {
+	return fmt.Sprintf("%.4g cm^-2", d/PerSquareCentimeter)
+}
+
+// Percent formats a ratio (e.g. a yield in [0,1]) as a percentage.
+func Percent(y float64) string { return fmt.Sprintf("%.2f%%", y*100) }

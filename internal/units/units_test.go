@@ -1,0 +1,95 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLengthConversions(t *testing.T) {
+	if 6*Micrometer != 6e-6 || 10*Nanometer != 1e-8 || 300*Millimeter != 0.3 {
+		t.Error("length multipliers wrong")
+	}
+	if 1*Centimeter != 0.01 || 1*Meter != 1 {
+		t.Error("cm/m multipliers wrong")
+	}
+}
+
+func TestAreaAndDensityConversions(t *testing.T) {
+	if 100*SquareMillimeter != 1e-4 || 1*SquareCentimeter != 1e-4 {
+		t.Error("area multipliers wrong")
+	}
+	// 0.1 cm⁻² = 1000 m⁻².
+	if got := 0.1 * PerSquareCentimeter; got != 1000 {
+		t.Errorf("0.1 cm^-2 = %g m^-2", got)
+	}
+}
+
+func TestDerivedUnitConversions(t *testing.T) {
+	// k_r: 1.8e-4 µm^-1/2 = 0.18 m^-1/2 (factor √(1e6) = 1e3).
+	if got := 1.8e-4 * PerSquareRootUm; math.Abs(got-0.18) > 1e-15 {
+		t.Errorf("k_r conversion = %g", got)
+	}
+	// k_r0: 230 µm^1/2 = 0.23 m^1/2.
+	if got := 230 * SquareRootUm; math.Abs(got-0.23) > 1e-15 {
+		t.Errorf("k_r0 conversion = %g", got)
+	}
+	if 0.1*Microradian != 1e-7 || 0.9*PPM != 9e-7 {
+		t.Error("angle/ppm multipliers wrong")
+	}
+	if 73*Gigapascal != 7.3e10 || 1*Megapascal != 1e6 {
+		t.Error("pressure multipliers wrong")
+	}
+	if 0.05*NanometerPerK != 5e-11 {
+		t.Error("nm/K multiplier wrong")
+	}
+}
+
+func TestFromCelsius(t *testing.T) {
+	if got := FromCelsius(25); math.Abs(got-298.15) > 1e-12 {
+		t.Errorf("25 C = %g K", got)
+	}
+	if got := FromCelsius(-273.15); math.Abs(got) > 1e-12 {
+		t.Errorf("absolute zero = %g K", got)
+	}
+}
+
+func TestMetersFormatter(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0 m"},
+		{6e-6, "6 um"},
+		{10e-3, "10 mm"},
+		{5e-9, "5 nm"},
+		{986.8e-9, "986.8 nm"},
+		{-3e-6, "-3 um"},
+	}
+	for _, c := range cases {
+		if got := Meters(c.in); got != c.want {
+			t.Errorf("Meters(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAreaFormatter(t *testing.T) {
+	if got := Area(100e-6); got != "100 mm^2" {
+		t.Errorf("Area = %q", got)
+	}
+	if got := Area(36e-12); got != "36 um^2" {
+		t.Errorf("Area = %q", got)
+	}
+	if got := Area(0); got != "0 m^2" {
+		t.Errorf("Area = %q", got)
+	}
+}
+
+func TestDensityAndPercentFormatters(t *testing.T) {
+	if got := Density(1000); got != "0.1 cm^-2" {
+		t.Errorf("Density = %q", got)
+	}
+	if got := Percent(0.8145); !strings.HasPrefix(got, "81.45") || !strings.HasSuffix(got, "%") {
+		t.Errorf("Percent = %q", got)
+	}
+}

@@ -1,0 +1,235 @@
+// Package validate reproduces the paper's model-validation methodology
+// (Fig. 4 workflow, right half): draw parameter sets around the Table I
+// baseline, evaluate the near-analytical model and the Monte-Carlo
+// simulator on each, and report the per-mechanism and overall correlations
+// (Figs. 5a, 5b, 8b, 9b–d, 10) with their mean squared errors.
+//
+// Table I's starred "Mean (Std.)" entries define the distributions the
+// translation, rotation, warpage, misalignment and recess parameters are
+// drawn from; the remaining swept parameters (pitch, die size, defect
+// density, roughness, shape factor) use the documented ranges below, wide
+// enough to spread each yield term over (0, 1] as in the paper's figures.
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"yap/internal/core"
+	"yap/internal/num"
+	"yap/internal/randx"
+	"yap/internal/sim"
+	"yap/internal/units"
+)
+
+// Ranges of the non-starred swept parameters. Exported so the CLI can print
+// the experiment design alongside its results.
+const (
+	// PitchMin and PitchMax bound the uniform bonding-pitch sweep.
+	PitchMin = 2 * units.Micrometer
+	PitchMax = 10 * units.Micrometer
+	// DieSideMin and DieSideMax bound the uniform (square) die-side sweep.
+	DieSideMin = 4 * units.Millimeter
+	DieSideMax = 12 * units.Millimeter
+	// DensityMin and DensityMax bound the log-uniform defect-density sweep.
+	DensityMin = 0.01 * units.PerSquareCentimeter
+	DensityMax = 0.5 * units.PerSquareCentimeter
+	// WarpageMin and WarpageMax bound the log-uniform warpage sweep
+	// (§III-A: bonded-wafer warpage spans a few µm to >100 µm).
+	WarpageMin = 2 * units.Micrometer
+	WarpageMax = 80 * units.Micrometer
+	// Sigma1Min and Sigma1Max bound the log-uniform random-misalignment
+	// sweep.
+	Sigma1Min = 2 * units.Nanometer
+	Sigma1Max = 30 * units.Nanometer
+	// RecessMin and RecessMax bound the uniform mean-recess sweep.
+	RecessMin = 5 * units.Nanometer
+	RecessMax = 16 * units.Nanometer
+	// RoughnessMin and RoughnessMax bound the uniform roughness sweep.
+	RoughnessMin = 0.5 * units.Nanometer
+	RoughnessMax = 2 * units.Nanometer
+	// ShapeMin and ShapeMax bound the uniform Glang-exponent sweep [40][41].
+	ShapeMin = 2.0
+	ShapeMax = 3.0
+	// ThicknessMin and ThicknessMax bound the uniform minimum-particle-
+	// thickness sweep.
+	ThicknessMin = 0.5 * units.Micrometer
+	ThicknessMax = 2 * units.Micrometer
+)
+
+// SampleParams draws n parameter sets around base. Draws are deterministic
+// in seed.
+func SampleParams(base core.Params, seed uint64, n int) []core.Params {
+	rng := randx.NewSource(seed)
+	sets := make([]core.Params, 0, n)
+	for len(sets) < n {
+		p := base
+
+		// Starred Table I distributions.
+		p.TranslationX = rng.Normal(base.TranslationX, 10*units.Nanometer)
+		p.TranslationY = rng.Normal(base.TranslationY, 10*units.Nanometer)
+		p.Rotation = rng.Normal(base.Rotation, 0.05*units.Microradian)
+		p.RandomMisalignmentSigma = logUniform(rng, Sigma1Min, Sigma1Max)
+		p.Warpage = logUniform(rng, WarpageMin, WarpageMax)
+		p.RecessTop = rng.Uniform(RecessMin, RecessMax)
+		p.RecessBottom = rng.Uniform(RecessMin, RecessMax)
+		p.RecessSigma = rng.Uniform(0.5*units.Nanometer, 2*units.Nanometer)
+
+		// Swept design/process parameters.
+		p = p.WithPitch(rng.Uniform(PitchMin, PitchMax))
+		side := rng.Uniform(DieSideMin, DieSideMax)
+		p.DieWidth, p.DieHeight = side, side
+		p.DefectDensity = logUniform(rng, DensityMin, DensityMax)
+		p.Roughness = rng.Uniform(RoughnessMin, RoughnessMax)
+		p.DefectShape = rng.Uniform(ShapeMin, ShapeMax)
+		p.MinParticleThickness = rng.Uniform(ThicknessMin, ThicknessMax)
+
+		if p.Validate() != nil {
+			continue // reject unphysical combinations and redraw
+		}
+		sets = append(sets, p)
+	}
+	return sets
+}
+
+func logUniform(rng *randx.Source, lo, hi float64) float64 {
+	return math.Exp(rng.Uniform(math.Log(lo), math.Log(hi)))
+}
+
+// Correlation pairs model predictions with simulation measurements for one
+// yield term across all parameter sets.
+type Correlation struct {
+	// Name identifies the yield term ("overlay", "recess", "defect",
+	// "total").
+	Name string
+	// Sim and Model are the paired yields, one entry per parameter set.
+	Sim, Model []float64
+}
+
+// Append records one parameter set's pair.
+func (c *Correlation) Append(simY, modelY float64) {
+	c.Sim = append(c.Sim, simY)
+	c.Model = append(c.Model, modelY)
+}
+
+// MSE returns the mean squared model-vs-simulation error (the paper's
+// headline accuracy metric in Figs. 5, 8–10).
+func (c *Correlation) MSE() float64 { return num.MSE(c.Sim, c.Model) }
+
+// Pearson returns the correlation coefficient of the pairing.
+func (c *Correlation) Pearson() float64 { return num.Pearson(c.Sim, c.Model) }
+
+func (c *Correlation) String() string {
+	return fmt.Sprintf("%s: n=%d MSE=%.3e r=%.4f", c.Name, len(c.Sim), c.MSE(), c.Pearson())
+}
+
+// Config steers a validation run.
+type Config struct {
+	// Base is the center of the parameter sweep (Table I baseline).
+	Base core.Params
+	// Sets is the number of parameter sets (paper: 300).
+	Sets int
+	// Wafers and Dies set the per-set simulation effort for W2W and D2W.
+	Wafers, Dies int
+	// Seed makes the whole study reproducible.
+	Seed uint64
+	// Progress, when non-nil, receives (completed, total) after each set.
+	Progress func(done, total int)
+}
+
+func (cfg *Config) fill() {
+	if cfg.Sets <= 0 {
+		cfg.Sets = 300
+	}
+	if cfg.Wafers <= 0 {
+		cfg.Wafers = 200
+	}
+	if cfg.Dies <= 0 {
+		cfg.Dies = 5000
+	}
+	zero := core.Params{}
+	if cfg.Base == zero {
+		cfg.Base = core.Baseline()
+	}
+}
+
+// Study is the outcome of a validation run: one correlation per yield term.
+type Study struct {
+	// Mode is "W2W" or "D2W".
+	Mode string
+	// Overlay, Recess, Defect and Total are the per-term correlations.
+	Overlay, Recess, Defect, Total Correlation
+	// Params are the sampled parameter sets, index-aligned with the
+	// correlation entries.
+	Params []core.Params
+}
+
+// Correlations returns the four correlations in presentation order.
+func (s *Study) Correlations() []*Correlation {
+	return []*Correlation{&s.Overlay, &s.Recess, &s.Defect, &s.Total}
+}
+
+// RunW2W executes the W2W validation study: for every sampled parameter
+// set, the analytic model (Eq. 8, 14, 21, 22) is compared against a
+// cfg.Wafers-sample simulation.
+func RunW2W(cfg Config) (*Study, error) {
+	cfg.fill()
+	study := &Study{
+		Mode:    "W2W",
+		Overlay: Correlation{Name: "overlay"},
+		Recess:  Correlation{Name: "recess"},
+		Defect:  Correlation{Name: "defect"},
+		Total:   Correlation{Name: "total"},
+		Params:  SampleParams(cfg.Base, cfg.Seed, cfg.Sets),
+	}
+	for i, p := range study.Params {
+		model, err := p.EvaluateW2W()
+		if err != nil {
+			return nil, fmt.Errorf("validate: set %d model: %w", i, err)
+		}
+		res, err := sim.RunW2W(sim.Options{Params: p, Seed: cfg.Seed + uint64(i) + 1, Wafers: cfg.Wafers})
+		if err != nil {
+			return nil, fmt.Errorf("validate: set %d sim: %w", i, err)
+		}
+		study.Overlay.Append(res.OverlayYield, model.Overlay)
+		study.Recess.Append(res.RecessYield, model.Recess)
+		study.Defect.Append(res.DefectYield, model.Defect)
+		study.Total.Append(res.Yield, model.Total)
+		if cfg.Progress != nil {
+			cfg.Progress(i+1, len(study.Params))
+		}
+	}
+	return study, nil
+}
+
+// RunD2W executes the D2W validation study (Eq. 14, 23, 27, 28 against
+// cfg.Dies-sample simulations).
+func RunD2W(cfg Config) (*Study, error) {
+	cfg.fill()
+	study := &Study{
+		Mode:    "D2W",
+		Overlay: Correlation{Name: "overlay"},
+		Recess:  Correlation{Name: "recess"},
+		Defect:  Correlation{Name: "defect"},
+		Total:   Correlation{Name: "total"},
+		Params:  SampleParams(cfg.Base, cfg.Seed, cfg.Sets),
+	}
+	for i, p := range study.Params {
+		model, err := p.EvaluateD2W()
+		if err != nil {
+			return nil, fmt.Errorf("validate: set %d model: %w", i, err)
+		}
+		res, err := sim.RunD2W(sim.Options{Params: p, Seed: cfg.Seed + uint64(i) + 1, Dies: cfg.Dies})
+		if err != nil {
+			return nil, fmt.Errorf("validate: set %d sim: %w", i, err)
+		}
+		study.Overlay.Append(res.OverlayYield, model.Overlay)
+		study.Recess.Append(res.RecessYield, model.Recess)
+		study.Defect.Append(res.DefectYield, model.Defect)
+		study.Total.Append(res.Yield, model.Total)
+		if cfg.Progress != nil {
+			cfg.Progress(i+1, len(study.Params))
+		}
+	}
+	return study, nil
+}

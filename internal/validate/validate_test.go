@@ -1,0 +1,202 @@
+package validate
+
+import (
+	"math"
+	"testing"
+
+	"yap/internal/core"
+)
+
+func TestSampleParamsDeterministic(t *testing.T) {
+	base := core.Baseline()
+	a := SampleParams(base, 9, 10)
+	b := SampleParams(base, 9, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different parameter sets")
+		}
+	}
+	c := SampleParams(base, 10, 10)
+	if a[0] == c[0] {
+		t.Error("different seeds produced identical first set")
+	}
+}
+
+func TestSampleParamsAllValid(t *testing.T) {
+	for _, p := range SampleParams(core.Baseline(), 3, 50) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("sampled invalid params: %v", err)
+		}
+	}
+}
+
+func TestSampleParamsWithinRanges(t *testing.T) {
+	for _, p := range SampleParams(core.Baseline(), 4, 50) {
+		if p.Pitch < PitchMin || p.Pitch > PitchMax {
+			t.Errorf("pitch %g outside sweep", p.Pitch)
+		}
+		if p.DieWidth < DieSideMin || p.DieWidth > DieSideMax {
+			t.Errorf("die side %g outside sweep", p.DieWidth)
+		}
+		if p.DieWidth != p.DieHeight {
+			t.Error("sampled die not square")
+		}
+		if p.DefectDensity < DensityMin || p.DefectDensity > DensityMax {
+			t.Errorf("density %g outside sweep", p.DefectDensity)
+		}
+		if p.Warpage < WarpageMin || p.Warpage > WarpageMax {
+			t.Errorf("warpage %g outside sweep", p.Warpage)
+		}
+		if p.RandomMisalignmentSigma < Sigma1Min || p.RandomMisalignmentSigma > Sigma1Max {
+			t.Errorf("sigma1 %g outside sweep", p.RandomMisalignmentSigma)
+		}
+		if p.DefectShape < ShapeMin || p.DefectShape > ShapeMax {
+			t.Errorf("z %g outside sweep", p.DefectShape)
+		}
+		// The pad sizing rule must hold after WithPitch.
+		if math.Abs(p.BottomPadDiameter-p.Pitch/2) > 1e-15 {
+			t.Errorf("bottom pad %g not p/2", p.BottomPadDiameter)
+		}
+	}
+}
+
+func TestSampleParamsSpreadsYield(t *testing.T) {
+	// The sweep ranges exist to spread the yield terms over (0, 1]; with
+	// 40 sets the totals must not all collapse to one value.
+	sets := SampleParams(core.Baseline(), 5, 40)
+	var lo, hi = 2.0, -1.0
+	for _, p := range sets {
+		b, err := p.EvaluateW2W()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo = math.Min(lo, b.Total)
+		hi = math.Max(hi, b.Total)
+	}
+	if hi-lo < 0.2 {
+		t.Errorf("yield spread [%g, %g] too narrow for a correlation study", lo, hi)
+	}
+}
+
+func TestCorrelationStats(t *testing.T) {
+	c := Correlation{Name: "x"}
+	c.Append(0.5, 0.52)
+	c.Append(0.8, 0.81)
+	c.Append(0.2, 0.18)
+	if mse := c.MSE(); math.Abs(mse-(0.0004+0.0001+0.0004)/3) > 1e-12 {
+		t.Errorf("MSE = %g", mse)
+	}
+	if r := c.Pearson(); r < 0.99 {
+		t.Errorf("Pearson = %g", r)
+	}
+	if s := c.String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestRunW2WSmallStudy(t *testing.T) {
+	var progress int
+	cfg := Config{
+		Sets:   6,
+		Wafers: 25,
+		Dies:   500,
+		Seed:   11,
+		Progress: func(done, total int) {
+			progress = done
+			if total != 6 {
+				t.Errorf("total = %d", total)
+			}
+		},
+	}
+	s, err := RunW2W(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progress != 6 {
+		t.Errorf("progress reached %d", progress)
+	}
+	if s.Mode != "W2W" || len(s.Params) != 6 {
+		t.Errorf("study mode %s, %d params", s.Mode, len(s.Params))
+	}
+	for _, c := range s.Correlations() {
+		if len(c.Sim) != 6 || len(c.Model) != 6 {
+			t.Fatalf("%s: %d/%d points", c.Name, len(c.Sim), len(c.Model))
+		}
+		// The model is validated: correlations must be tight even at this
+		// tiny scale.
+		if mse := c.MSE(); mse > 0.01 {
+			t.Errorf("%s MSE = %g, implausibly large", c.Name, mse)
+		}
+		for i := range c.Sim {
+			if c.Sim[i] < 0 || c.Sim[i] > 1 || c.Model[i] < 0 || c.Model[i] > 1 {
+				t.Fatalf("%s: yield outside [0,1]: sim=%g model=%g", c.Name, c.Sim[i], c.Model[i])
+			}
+		}
+	}
+}
+
+func TestRunD2WSmallStudy(t *testing.T) {
+	cfg := Config{Sets: 6, Wafers: 10, Dies: 1500, Seed: 12}
+	s, err := RunD2W(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mode != "D2W" {
+		t.Errorf("mode = %s", s.Mode)
+	}
+	for _, c := range s.Correlations() {
+		if mse := c.MSE(); mse > 0.01 {
+			t.Errorf("%s MSE = %g", c.Name, mse)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}
+	cfg.fill()
+	if cfg.Sets != 300 || cfg.Wafers != 200 || cfg.Dies != 5000 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if cfg.Base.Pitch == 0 {
+		t.Error("base not defaulted to Table I")
+	}
+}
+
+func TestMeasureRuntime(t *testing.T) {
+	// Tiny sample counts AND a coarse pad grid: the explicit per-pad
+	// reference wafer at full Table I scale takes ~30 s, which belongs in
+	// cmd/yapvalidate, not the unit suite. 60 µm pitch cuts the pad count
+	// 100× while exercising exactly the same code paths.
+	base := core.Baseline().WithPitch(60 * 1e-6)
+	w, err := MeasureRuntimeW2W(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.ModelTime <= 0 || w.SimTime <= 0 || w.Speedup <= 0 {
+		t.Errorf("W2W runtime fields: %+v", w)
+	}
+	if w.ExplicitSimTime <= w.SimTime {
+		t.Errorf("per-pad sim (%v) should dwarf optimized sim (%v)", w.ExplicitSimTime, w.SimTime)
+	}
+	d, err := MeasureRuntimeD2W(base, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ModelTime <= 0 || d.SimTime <= 0 {
+		t.Errorf("D2W runtime fields: %+v", d)
+	}
+	if d.String() == "" || w.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestMeasureRuntimeRejectsInvalid(t *testing.T) {
+	p := core.Baseline()
+	p.DefectShape = 1
+	if _, err := MeasureRuntimeW2W(p, 1); err == nil {
+		t.Error("accepted invalid params")
+	}
+	if _, err := MeasureRuntimeD2W(p, 1); err == nil {
+		t.Error("accepted invalid params")
+	}
+}

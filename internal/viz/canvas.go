@@ -1,0 +1,191 @@
+// Package viz renders the paper's figures as PNG images using only the
+// standard library: model-vs-simulation correlation scatter plots (Figs. 5,
+// 8b, 9, 10), distribution overlays (Figs. 8a, 9a), case-study bar charts
+// (Figs. 11, 12) and the wafer void map (Fig. 6).
+package viz
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"math"
+	"os"
+)
+
+// Canvas is a drawable RGBA image with plotting primitives.
+type Canvas struct {
+	Img *image.RGBA
+}
+
+// Standard plot colors.
+var (
+	White     = color.RGBA{255, 255, 255, 255}
+	Black     = color.RGBA{0, 0, 0, 255}
+	Gray      = color.RGBA{180, 180, 180, 255}
+	LightGray = color.RGBA{230, 230, 230, 255}
+	Purple    = color.RGBA{120, 60, 170, 255}
+	Blue      = color.RGBA{50, 90, 200, 255}
+	Red       = color.RGBA{200, 50, 50, 255}
+	Green     = color.RGBA{40, 140, 70, 255}
+	Orange    = color.RGBA{235, 140, 30, 255}
+)
+
+// NewCanvas returns a white canvas of the given pixel size.
+func NewCanvas(w, h int) *Canvas {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	c := &Canvas{Img: img}
+	c.FillRect(0, 0, w, h, White)
+	return c
+}
+
+// W returns the canvas width in pixels.
+func (c *Canvas) W() int { return c.Img.Bounds().Dx() }
+
+// H returns the canvas height in pixels.
+func (c *Canvas) H() int { return c.Img.Bounds().Dy() }
+
+// Set colors one pixel, ignoring out-of-bounds coordinates.
+func (c *Canvas) Set(x, y int, col color.Color) {
+	if x < 0 || y < 0 || x >= c.W() || y >= c.H() {
+		return
+	}
+	c.Img.Set(x, y, col)
+}
+
+// FillRect fills the axis-aligned pixel rectangle [x, x+w) × [y, y+h).
+func (c *Canvas) FillRect(x, y, w, h int, col color.Color) {
+	for dy := 0; dy < h; dy++ {
+		for dx := 0; dx < w; dx++ {
+			c.Set(x+dx, y+dy, col)
+		}
+	}
+}
+
+// StrokeRect outlines a pixel rectangle.
+func (c *Canvas) StrokeRect(x, y, w, h int, col color.Color) {
+	c.Line(x, y, x+w-1, y, col)
+	c.Line(x, y+h-1, x+w-1, y+h-1, col)
+	c.Line(x, y, x, y+h-1, col)
+	c.Line(x+w-1, y, x+w-1, y+h-1, col)
+}
+
+// Line draws a one-pixel line with Bresenham's algorithm.
+func (c *Canvas) Line(x0, y0, x1, y1 int, col color.Color) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		c.Set(x0, y0, col)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+// Disk fills a disk of the given pixel radius.
+func (c *Canvas) Disk(cx, cy, r int, col color.Color) {
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if dx*dx+dy*dy <= r*r {
+				c.Set(cx+dx, cy+dy, col)
+			}
+		}
+	}
+}
+
+// Circle strokes a circle outline (midpoint algorithm).
+func (c *Canvas) Circle(cx, cy, r int, col color.Color) {
+	x, y := r, 0
+	err := 1 - r
+	for x >= y {
+		for _, p := range [8][2]int{
+			{x, y}, {y, x}, {-y, x}, {-x, y},
+			{-x, -y}, {-y, -x}, {y, -x}, {x, -y},
+		} {
+			c.Set(cx+p[0], cy+p[1], col)
+		}
+		y++
+		if err < 0 {
+			err += 2*y + 1
+		} else {
+			x--
+			err += 2*(y-x) + 1
+		}
+	}
+}
+
+// Text renders s at (x, y) (top-left corner) in the embedded 5×7 font.
+// Unknown glyphs render as blanks.
+func (c *Canvas) Text(x, y int, s string, col color.Color) {
+	cx := x
+	for _, r := range s {
+		if glyph, ok := font5x7[r]; ok {
+			for row := 0; row < 7; row++ {
+				bits := glyph[row]
+				for colBit := 0; colBit < 5; colBit++ {
+					if bits&(1<<(4-colBit)) != 0 {
+						c.Set(cx+colBit, y+row, col)
+					}
+				}
+			}
+		}
+		cx += glyphWidth
+	}
+}
+
+// TextWidth returns the pixel width of s in the embedded font.
+func TextWidth(s string) int { return len([]rune(s)) * glyphWidth }
+
+// SavePNG writes the canvas to path.
+func (c *Canvas) SavePNG(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("viz: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := png.Encode(f, c.Img); err != nil {
+		return fmt.Errorf("viz: encode %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// FormatTick renders an axis tick value compactly.
+func FormatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e4 || av < 1e-3:
+		return fmt.Sprintf("%.1e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

@@ -1,0 +1,84 @@
+package viz
+
+import (
+	"image/color"
+	"math"
+)
+
+// Heatmap renders a matrix of values (rows × cols) as a colored grid with
+// axis tick labels — used for process-window maps (yield over pitch ×
+// defect density). values[j][i] maps to cell (col i, row j) with row 0 at
+// the bottom. A contour at the threshold is marked by outlining cells that
+// meet it.
+func Heatmap(values [][]float64, xTicks, yTicks []string, title, xlabel, ylabel string, threshold float64) *Canvas {
+	rows := len(values)
+	if rows == 0 {
+		return NewCanvas(300, 200)
+	}
+	cols := len(values[0])
+	cell := 36
+	const left, right, top, bottom = 90, 30, 30, 50
+	c := NewCanvas(left+right+cols*cell, top+bottom+rows*cell)
+	c.Text((c.W()-TextWidth(title))/2, 10, title, Black)
+	c.Text((c.W()-TextWidth(xlabel))/2, c.H()-14, xlabel, Black)
+	c.Text(6, top-14, ylabel, Black)
+
+	for j := 0; j < rows; j++ {
+		for i := 0; i < cols && i < len(values[j]); i++ {
+			v := values[j][i]
+			x := left + i*cell
+			y := top + (rows-1-j)*cell
+			c.FillRect(x, y, cell-1, cell-1, yieldColor(v))
+			// Label each cell with its yield percentage.
+			label := FormatTick(math.Round(v*100) / 100)
+			c.Text(x+(cell-TextWidth(label))/2, y+cell/2-3, label, Black)
+			if v >= threshold {
+				c.StrokeRect(x, y, cell-1, cell-1, Black)
+			}
+		}
+	}
+	// Tick labels.
+	for i, s := range xTicks {
+		if i >= cols {
+			break
+		}
+		c.Text(left+i*cell+(cell-TextWidth(s))/2, top+rows*cell+6, s, Black)
+	}
+	for j, s := range yTicks {
+		if j >= rows {
+			break
+		}
+		c.Text(left-6-TextWidth(s), top+(rows-1-j)*cell+cell/2-3, s, Black)
+	}
+	return c
+}
+
+// yieldColor maps a yield in [0,1] onto a red→yellow→green ramp.
+func yieldColor(v float64) color.RGBA {
+	if math.IsNaN(v) {
+		return Gray
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	// 0 → red (220,60,60), 0.5 → yellow (240,220,120), 1 → green (110,200,120).
+	if v < 0.5 {
+		f := v / 0.5
+		return color.RGBA{
+			R: uint8(220 + f*(240-220)),
+			G: uint8(60 + f*(220-60)),
+			B: uint8(60 + f*(120-60)),
+			A: 255,
+		}
+	}
+	f := (v - 0.5) / 0.5
+	return color.RGBA{
+		R: uint8(240 + f*(110-240)),
+		G: uint8(220 + f*(200-220)),
+		B: 120,
+		A: 255,
+	}
+}

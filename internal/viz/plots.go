@@ -1,0 +1,245 @@
+package viz
+
+import (
+	"fmt"
+	"image/color"
+	"math"
+
+	"yap/internal/num"
+)
+
+// Axes maps data coordinates to the pixel frame of a plot and draws the
+// frame, ticks and labels.
+type Axes struct {
+	c                      *Canvas
+	x0, y0, x1, y1         int // pixel frame (y grows downward)
+	xmin, xmax, ymin, ymax float64
+}
+
+// NewAxes lays out a plot frame with margins for the title and labels.
+func NewAxes(c *Canvas, title, xlabel, ylabel string, xmin, xmax, ymin, ymax float64) *Axes {
+	const left, right, top, bottom = 70, 20, 30, 45
+	if xmax <= xmin {
+		xmax = xmin + 1
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	a := &Axes{
+		c:  c,
+		x0: left, y0: top,
+		x1: c.W() - right, y1: c.H() - bottom,
+		xmin: xmin, xmax: xmax, ymin: ymin, ymax: ymax,
+	}
+	// Frame.
+	c.StrokeRect(a.x0, a.y0, a.x1-a.x0+1, a.y1-a.y0+1, Black)
+	// Title centered.
+	c.Text((c.W()-TextWidth(title))/2, 10, title, Black)
+	// Axis labels.
+	c.Text((a.x0+a.x1-TextWidth(xlabel))/2, c.H()-14, xlabel, Black)
+	c.Text(6, a.y0-14, ylabel, Black)
+	a.drawTicks()
+	return a
+}
+
+func (a *Axes) drawTicks() {
+	for _, t := range niceTicks(a.xmin, a.xmax, 5) {
+		px := a.PX(t)
+		a.c.Line(px, a.y1, px, a.y1+4, Black)
+		label := FormatTick(t)
+		a.c.Text(px-TextWidth(label)/2, a.y1+8, label, Black)
+		// Light gridline.
+		a.c.Line(px, a.y0+1, px, a.y1-1, LightGray)
+	}
+	for _, t := range niceTicks(a.ymin, a.ymax, 5) {
+		py := a.PY(t)
+		a.c.Line(a.x0-4, py, a.x0, py, Black)
+		label := FormatTick(t)
+		a.c.Text(a.x0-6-TextWidth(label), py-3, label, Black)
+		a.c.Line(a.x0+1, py, a.x1-1, py, LightGray)
+	}
+	// Redraw the frame over gridlines.
+	a.c.StrokeRect(a.x0, a.y0, a.x1-a.x0+1, a.y1-a.y0+1, Black)
+}
+
+// PX maps a data x to a pixel column.
+func (a *Axes) PX(x float64) int {
+	return a.x0 + int(math.Round((x-a.xmin)/(a.xmax-a.xmin)*float64(a.x1-a.x0)))
+}
+
+// PY maps a data y to a pixel row (inverted axis).
+func (a *Axes) PY(y float64) int {
+	return a.y1 - int(math.Round((y-a.ymin)/(a.ymax-a.ymin)*float64(a.y1-a.y0)))
+}
+
+// Scatter draws points as filled disks.
+func (a *Axes) Scatter(xs, ys []float64, r int, col color.Color) {
+	for i := range xs {
+		a.c.Disk(a.PX(xs[i]), a.PY(ys[i]), r, col)
+	}
+}
+
+// Polyline draws a connected data path.
+func (a *Axes) Polyline(xs, ys []float64, col color.Color) {
+	for i := 1; i < len(xs); i++ {
+		a.c.Line(a.PX(xs[i-1]), a.PY(ys[i-1]), a.PX(xs[i]), a.PY(ys[i]), col)
+	}
+}
+
+// IdentityLine draws y = x across the frame.
+func (a *Axes) IdentityLine(col color.Color) {
+	lo := math.Max(a.xmin, a.ymin)
+	hi := math.Min(a.xmax, a.ymax)
+	a.c.Line(a.PX(lo), a.PY(lo), a.PX(hi), a.PY(hi), col)
+}
+
+// Annotate writes a text line inside the frame at the given offset from the
+// top-left corner.
+func (a *Axes) Annotate(dx, dy int, s string, col color.Color) {
+	a.c.Text(a.x0+dx, a.y0+dy, s, col)
+}
+
+// niceTicks returns ~n round tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo || n < 2 {
+		return nil
+	}
+	raw := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch r := raw / mag; {
+	case r < 1.5:
+		step = mag
+	case r < 3.5:
+		step = 2 * mag
+	case r < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var ticks []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+step*1e-9; t += step {
+		ticks = append(ticks, t)
+	}
+	return ticks
+}
+
+// CorrelationPlot renders a model-vs-simulation scatter (the layout of the
+// paper's Figs. 5, 8b, 9b–d, 10): simulation on x, model on y, identity
+// line, and the MSE annotated.
+func CorrelationPlot(simVals, modelVals []float64, title string) *Canvas {
+	c := NewCanvas(520, 460)
+	lo, hi := dataRange(append(append([]float64{}, simVals...), modelVals...))
+	pad := (hi - lo) * 0.05
+	if pad == 0 {
+		pad = 0.05
+	}
+	a := NewAxes(c, title, "simulation yield", "model", lo-pad, hi+pad, lo-pad, hi+pad)
+	a.IdentityLine(Gray)
+	a.Scatter(simVals, modelVals, 2, Purple)
+	mse := num.MSE(simVals, modelVals)
+	a.Annotate(8, 8, fmt.Sprintf("MSE=%.2e", mse), Black)
+	if r := num.Pearson(simVals, modelVals); !math.IsNaN(r) {
+		a.Annotate(8, 20, fmt.Sprintf("r=%.4f", r), Black)
+	}
+	a.Annotate(8, 32, fmt.Sprintf("n=%d", len(simVals)), Black)
+	return c
+}
+
+// DistributionPlot overlays an empirical histogram (bars) with an analytic
+// density curve (the layout of Figs. 8a and 9a). Scale factors convert the
+// x-axis into display units.
+func DistributionPlot(h *num.Histogram, pdf func(float64) float64, title, xlabel string, xscale float64) *Canvas {
+	c := NewCanvas(520, 400)
+	centers := h.Centers()
+	dens := h.Densities()
+	ymax := 0.0
+	for i, d := range dens {
+		if d > ymax {
+			ymax = d
+		}
+		if v := pdf(centers[i]); v > ymax {
+			ymax = v
+		}
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	// The x-axis runs in display units; densities stay in SI units (the
+	// comparison is shape-for-shape, shared by histogram and curve).
+	a := NewAxes(c, title, xlabel, "density", h.Min*xscale, h.Max*xscale, 0, ymax*1.1)
+	barW := a.PX(centers[0]*xscale+h.BinWidth()*xscale/2) - a.PX(centers[0]*xscale-h.BinWidth()*xscale/2)
+	for i := range centers {
+		px := a.PX(centers[i] * xscale)
+		py := a.PY(dens[i])
+		c.FillRect(px-barW/2, py, barW, a.y1-py, color.RGBA{150, 180, 230, 255})
+	}
+	// Analytic curve sampled densely.
+	const samples = 300
+	xs := make([]float64, samples)
+	ys := make([]float64, samples)
+	for i := 0; i < samples; i++ {
+		x := h.Min + (h.Max-h.Min)*float64(i)/(samples-1)
+		xs[i] = x * xscale
+		ys[i] = pdf(x)
+	}
+	a.Polyline(xs, ys, Red)
+	a.Annotate(8, 8, fmt.Sprintf("samples=%d", h.N), Black)
+	return c
+}
+
+// BarGroup is one labeled cluster of bars in a grouped bar chart.
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// GroupedBarChart renders the case-study yield breakdowns (Figs. 11–12):
+// one cluster per configuration, one bar per series (Y_ovl, Y_cr, Y_df, Y).
+func GroupedBarChart(groups []BarGroup, series []string, title string) *Canvas {
+	c := NewCanvas(200+110*len(groups), 420)
+	a := NewAxes(c, title, "", "yield", 0, float64(len(groups)), 0, 1.05)
+	colors := []color.Color{Blue, Green, Orange, Purple, Red, Gray}
+	if len(groups) == 0 {
+		return c
+	}
+	nSeries := len(series)
+	for gi, g := range groups {
+		span := a.PX(float64(gi)+1) - a.PX(float64(gi))
+		barW := span / (nSeries + 1)
+		for si, v := range g.Values {
+			if si >= nSeries {
+				break
+			}
+			px := a.PX(float64(gi)) + barW/2 + si*barW
+			py := a.PY(v)
+			col := colors[si%len(colors)]
+			c.FillRect(px, py, barW-2, a.y1-py, col)
+		}
+		c.Text(a.PX(float64(gi))+4, a.y1+20, g.Label, Black)
+	}
+	// Legend.
+	lx := a.x0 + 8
+	for si, s := range series {
+		col := colors[si%len(colors)]
+		c.FillRect(lx, a.y0+6, 8, 8, col)
+		c.Text(lx+11, a.y0+6, s, Black)
+		lx += 11 + TextWidth(s) + 14
+	}
+	return c
+}
+
+func dataRange(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 1
+	}
+	return lo, hi
+}

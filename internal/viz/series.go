@@ -1,0 +1,81 @@
+package viz
+
+import (
+	"image/color"
+	"math"
+)
+
+// Series is one named curve of a line chart.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Color  color.Color
+	Dashed bool
+}
+
+// LineChart renders one or more x-y series with shared axes — used for
+// sweep outputs (yield vs pitch, yield vs defect density, ...). A nil
+// series color picks from the standard palette. logX plots x on a log₁₀
+// axis.
+func LineChart(series []Series, title, xlabel, ylabel string, logX bool) *Canvas {
+	c := NewCanvas(640, 440)
+	if len(series) == 0 {
+		return c
+	}
+	palette := []color.Color{Blue, Red, Green, Orange, Purple, Gray}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tx := func(x float64) float64 {
+		if logX {
+			return math.Log10(x)
+		}
+		return x
+	}
+	for _, s := range series {
+		for i := range s.X {
+			x := tx(s.X[i])
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if !(xmax > xmin) {
+		xmax = xmin + 1
+	}
+	pad := (ymax - ymin) * 0.08
+	if pad == 0 {
+		pad = 0.05
+	}
+	a := NewAxes(c, title, xlabel, ylabel, xmin, xmax, ymin-pad, ymax+pad)
+
+	for si, s := range series {
+		col := s.Color
+		if col == nil {
+			col = palette[si%len(palette)]
+		}
+		for i := 1; i < len(s.X); i++ {
+			if s.Dashed && i%2 == 0 {
+				continue
+			}
+			a.c.Line(a.PX(tx(s.X[i-1])), a.PY(s.Y[i-1]), a.PX(tx(s.X[i])), a.PY(s.Y[i]), col)
+		}
+		for i := range s.X {
+			a.c.Disk(a.PX(tx(s.X[i])), a.PY(s.Y[i]), 2, col)
+		}
+	}
+
+	// Legend along the top of the frame.
+	lx := a.x0 + 8
+	for si, s := range series {
+		col := s.Color
+		if col == nil {
+			col = palette[si%len(palette)]
+		}
+		c.FillRect(lx, a.y0+6, 10, 3, col)
+		c.Text(lx+13, a.y0+2, s.Name, Black)
+		lx += 13 + TextWidth(s.Name) + 16
+	}
+	return c
+}

@@ -1,0 +1,50 @@
+package viz
+
+import (
+	"fmt"
+
+	"yap/internal/core"
+)
+
+// YieldMap renders the per-die resolved W2W yield prediction as a wafer
+// map: each die site colored by its model yield (red→green ramp), the
+// spatial view of the paper's center-vs-edge survival observation.
+func YieldMap(dies []core.DieYield, waferRadius float64, title string) *Canvas {
+	const size = 700
+	c := NewCanvas(size, size+30)
+	c.Text((size-TextWidth(title))/2, 8, title, Black)
+	if len(dies) == 0 {
+		return c
+	}
+
+	cx, cy := size/2, 30+(size-30)/2
+	scale := float64(size-60) / (2 * waferRadius)
+	px := func(x float64) int { return cx + int(x*scale) }
+	py := func(y float64) int { return cy - int(y*scale) }
+
+	c.Circle(cx, cy, int(waferRadius*scale), Black)
+
+	var minY, maxY = 2.0, -1.0
+	var sum float64
+	for _, d := range dies {
+		if d.Total < minY {
+			minY = d.Total
+		}
+		if d.Total > maxY {
+			maxY = d.Total
+		}
+		sum += d.Total
+	}
+	for _, d := range dies {
+		rect := d.Die.Rect
+		x0, y0 := px(rect.X0), py(rect.Y1)
+		w := px(rect.X1) - px(rect.X0)
+		h := py(rect.Y0) - py(rect.Y1)
+		c.FillRect(x0, y0, w, h, yieldColor(d.Total))
+		c.StrokeRect(x0, y0, w, h, Gray)
+	}
+
+	c.Text(10, size+10, fmt.Sprintf("dies=%d mean=%s min=%s max=%s",
+		len(dies), FormatTick(sum/float64(len(dies))), FormatTick(minY), FormatTick(maxY)), Black)
+	return c
+}

@@ -1,0 +1,186 @@
+package yap
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPublicAPIBaseline exercises the package-level façade end to end: the
+// analytic model, the simulator and the system yield must agree with each
+// other and with the paper's baseline regime.
+func TestPublicAPIBaseline(t *testing.T) {
+	p := Baseline()
+
+	w2w, err := EvaluateW2W(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2w, err := EvaluateD2W(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w2w.Total-0.81) > 0.02 {
+		t.Errorf("baseline W2W yield = %g, want ≈ 0.81", w2w.Total)
+	}
+	if math.Abs(d2w.Total-0.89) > 0.02 {
+		t.Errorf("baseline D2W yield = %g, want ≈ 0.89", d2w.Total)
+	}
+
+	res, err := SimulateW2W(SimOptions{Params: p, Wafers: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Yield-w2w.Total) > 0.05 {
+		t.Errorf("sim %g vs model %g", res.Yield, w2w.Total)
+	}
+	if res.YieldLo > w2w.Total+0.05 || res.YieldHi < w2w.Total-0.05 {
+		t.Errorf("model %g far outside sim CI [%g, %g]", w2w.Total, res.YieldLo, res.YieldHi)
+	}
+
+	resd, err := SimulateD2W(SimOptions{Params: p, Dies: 10000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resd.Yield-d2w.Total) > 0.03 {
+		t.Errorf("D2W sim %g vs model %g", resd.Yield, d2w.Total)
+	}
+
+	ySys, n, err := SystemYield(p, 1000e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("chiplets = %d, want 10", n)
+	}
+	if want := math.Pow(d2w.Total, 10); math.Abs(ySys-want) > 1e-12 {
+		t.Errorf("Y_sys = %g, want %g", ySys, want)
+	}
+}
+
+func TestPublicAPIWithHelpers(t *testing.T) {
+	p := WithPitch(Baseline(), 1e-6)
+	if p.Pitch != 1e-6 || p.BottomPadDiameter != 0.5e-6 {
+		t.Errorf("WithPitch sizing rule broken: %g, %g", p.Pitch, p.BottomPadDiameter)
+	}
+	p = WithDieArea(p, 50e-6)
+	if math.Abs(p.DieWidth*p.DieHeight-50e-6) > 1e-12 {
+		t.Errorf("WithDieArea = %g", p.DieWidth*p.DieHeight)
+	}
+	p = WithDefectDensity(p, 100)
+	if p.DefectDensity != 100 {
+		t.Errorf("WithDefectDensity = %g", p.DefectDensity)
+	}
+}
+
+func TestPublicAPIVoidMap(t *testing.T) {
+	m, err := GenerateVoidMap(Baseline(), 3, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Voids) != 25 {
+		t.Errorf("voids = %d", len(m.Voids))
+	}
+	if len(m.Dies) == 0 {
+		t.Error("void map carries no dies")
+	}
+}
+
+// TestPaperHeadlineShapes asserts the qualitative results the paper's
+// evaluation section reports, all through the public API.
+func TestPaperHeadlineShapes(t *testing.T) {
+	// 1. At relaxed pitch (6 µm) bonding yield is defect-limited (§IV-A).
+	w, err := EvaluateW2W(Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Limiter() != "defect" {
+		t.Errorf("6 µm W2W limiter = %s, want defect", w.Limiter())
+	}
+
+	// 2. W2W is more particle-sensitive than D2W (void tails, §IV-A).
+	d, err := EvaluateD2W(Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Defect <= w.Defect {
+		t.Errorf("defect: D2W %g should beat W2W %g", d.Defect, w.Defect)
+	}
+
+	// 3. A 10× defect-density improvement gives near-perfect defect yield
+	// for both styles at all chiplet sizes (§IV-A).
+	for _, mm2 := range []float64{10, 50, 100} {
+		clean := WithDefectDensity(WithDieArea(Baseline(), mm2*1e-6), 100) // 0.01 cm⁻²
+		cw, err := EvaluateW2W(clean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cd, err := EvaluateD2W(clean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cw.Defect < 0.97 || cd.Defect < 0.97 {
+			t.Errorf("10x cleaner at %g mm²: Y_df W2W=%g D2W=%g, want ≥0.97",
+				mm2, cw.Defect, cd.Defect)
+		}
+	}
+
+	// 4. Pitch 6 → 1 µm: yield decreases for both, more for D2W (§IV-B).
+	fine := WithPitch(Baseline(), 1e-6)
+	fw, err := EvaluateW2W(fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := EvaluateD2W(fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.Total >= w.Total || fd.Total >= d.Total {
+		t.Error("fine pitch should reduce both yields")
+	}
+	if (d.Total - fd.Total) <= (w.Total - fw.Total) {
+		t.Errorf("pitch reduction should hit D2W (%g drop) harder than W2W (%g drop)",
+			d.Total-fd.Total, w.Total-fw.Total)
+	}
+	// ...and W2W fares far better than D2W at fine pitch.
+	if fw.Total <= fd.Total {
+		t.Errorf("1 µm: W2W %g should beat D2W %g", fw.Total, fd.Total)
+	}
+
+	// 5. The W2W–D2W gap at fine pitch is even larger at low defect
+	// density (§IV-B).
+	fineClean := WithDefectDensity(fine, 100)
+	cw, err := EvaluateW2W(fineClean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := EvaluateD2W(fineClean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (cw.Total - cd.Total) <= (fw.Total-fd.Total)*0.99 {
+		t.Errorf("gap at 0.01 cm⁻² (%g) should be at least the 0.1 cm⁻² gap (%g)",
+			cw.Total-cd.Total, fw.Total-fd.Total)
+	}
+
+	// 6. Y_sys rises with chiplet size even though Y_D2W falls (§IV-C).
+	var prevSys float64 = -1
+	var prevDie float64 = 2
+	for _, mm2 := range []float64{10, 50, 100} {
+		p := WithDieArea(Baseline(), mm2*1e-6)
+		b, err := EvaluateD2W(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ySys, _, err := SystemYield(p, 1000e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Total >= prevDie {
+			t.Errorf("Y_D2W should fall with chiplet size at %g mm²", mm2)
+		}
+		if ySys <= prevSys {
+			t.Errorf("Y_sys should rise with chiplet size at %g mm²", mm2)
+		}
+		prevDie, prevSys = b.Total, ySys
+	}
+}
