@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench cover figures report clean
+.PHONY: all build vet test test-race bench cover figures report serve clean
 
 all: build vet test
 
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/sim/ ./internal/validate/ .
+	$(GO) test -race ./internal/sim/ ./internal/service/ ./internal/validate/ .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -36,6 +36,10 @@ figures:
 # Quick self-contained markdown report (reduced validation scale).
 report:
 	$(GO) run ./cmd/yapreport -out report
+
+# Run the yield-as-a-service HTTP daemon on :8080.
+serve:
+	$(GO) run ./cmd/yapserve
 
 clean:
 	rm -rf results report test_output.txt bench_output.txt

@@ -37,7 +37,10 @@ func main() {
 	if *config != "" {
 		loaded, err := core.LoadParams(*config)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "yapmodel:", err)
+			// Unknown fields and out-of-range values are rejected at load
+			// time (strict decode + Validate), so a typo'd field name fails
+			// here instead of silently evaluating the Table I baseline.
+			fmt.Fprintln(os.Stderr, "yapmodel: invalid -config:", err)
 			os.Exit(1)
 		}
 		p = loaded

@@ -1,0 +1,110 @@
+// Command yapserve runs the YAP yield model as a resident HTTP service:
+// analytic evaluations (cached, microseconds), Monte-Carlo simulations
+// (bounded worker pool, per-request deadlines, cooperative cancellation)
+// and concurrent parameter sweeps, with Prometheus-format metrics.
+//
+// Usage:
+//
+//	yapserve [-addr :8080] [-config process.json] [-cache 1024]
+//	         [-max-sims n] [-sim-workers n] [-timeout 2m]
+//	         [-max-body bytes] [-max-sweep-points n]
+//
+// Endpoints:
+//
+//	POST /v1/evaluate  analytic W2W/D2W breakdown (Eq. 22 / Eq. 28)
+//	POST /v1/simulate  Monte-Carlo yield simulation
+//	POST /v1/sweep     batch evaluation with partial-failure reporting
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus text format
+//
+// SIGINT/SIGTERM drain in-flight requests (up to -drain, default 30s)
+// before exiting; a second signal aborts immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"yap/internal/core"
+	"yap/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		config    = flag.String("config", "", "JSON process file used as the default parameter set (missing fields default to Table I)")
+		cacheSize = flag.Int("cache", 1024, "evaluate-cache capacity in entries (negative disables)")
+		maxSims   = flag.Int("max-sims", 0, "max concurrently executing simulations (0 = GOMAXPROCS)")
+		workers   = flag.Int("sim-workers", 0, "default per-simulation parallelism (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request deadline for simulate/sweep (negative disables)")
+		maxBody   = flag.Int64("max-body", 1<<20, "request body limit in bytes")
+		maxPoints = flag.Int("max-sweep-points", 10000, "max points per sweep request")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "yapserve: ", log.LstdFlags)
+
+	defaults := core.Baseline()
+	if *config != "" {
+		loaded, err := core.LoadParams(*config)
+		if err != nil {
+			logger.Fatalf("invalid -config: %v", err)
+		}
+		defaults = loaded
+	}
+
+	srv := service.New(service.Config{
+		Defaults:          &defaults,
+		CacheSize:         *cacheSize,
+		MaxConcurrentSims: *maxSims,
+		SimWorkers:        *workers,
+		RequestTimeout:    *timeout,
+		MaxBodyBytes:      *maxBody,
+		MaxSweepPoints:    *maxPoints,
+		Logger:            logger,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until the first SIGINT/SIGTERM, then drain gracefully; a
+	// second signal (stop() restores default handling) kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (params %s)", *addr, defaults.HashString())
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Printf("shutting down, draining in-flight requests (budget %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			logger.Print("drain budget exhausted; closing remaining connections")
+			httpSrv.Close()
+		} else {
+			fmt.Fprintln(os.Stderr, "yapserve: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+	logger.Print("bye")
+}

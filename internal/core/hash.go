@@ -1,0 +1,48 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"reflect"
+)
+
+// CanonicalHash returns a stable 64-bit FNV-1a digest of the parameter
+// set. Two parameter sets hash equal iff they are numerically equal
+// (negative zero is folded into positive zero), which makes the hash a
+// sound cache key for the analytic model: every model output is a pure
+// function of Params.
+//
+// The digest walks the struct fields in declaration order and feeds each
+// float64's IEEE-754 bit pattern into the hash, so the value is stable
+// within a process and across processes of the same build. It is NOT
+// guaranteed stable across releases that add, remove or reorder fields —
+// callers must not persist it.
+func (p Params) CanonicalHash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	v := reflect.ValueOf(p)
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if f.Kind() != reflect.Float64 {
+			// Params is all-float64 today; a future non-float field must
+			// extend this switch rather than be silently skipped.
+			panic(fmt.Sprintf("core: CanonicalHash: unhashed field %s of kind %s",
+				v.Type().Field(i).Name, f.Kind()))
+		}
+		x := f.Float()
+		if x == 0 {
+			x = 0 // fold -0.0 into +0.0
+		}
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// HashString returns CanonicalHash formatted as a fixed-width hex string,
+// the form the service layer reports in API responses.
+func (p Params) HashString() string {
+	return fmt.Sprintf("%016x", p.CanonicalHash())
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCanonicalHashEqualParamsEqualHash(t *testing.T) {
+	a, b := Baseline(), Baseline()
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Error("identical params hash differently")
+	}
+	if a.HashString() != b.HashString() {
+		t.Error("identical params format differently")
+	}
+	if len(a.HashString()) != 16 {
+		t.Errorf("hash string %q is not 16 hex chars", a.HashString())
+	}
+}
+
+func TestCanonicalHashSensitivity(t *testing.T) {
+	base := Baseline()
+	seen := map[uint64]string{base.CanonicalHash(): "baseline"}
+	variants := map[string]Params{
+		"pitch":   base.WithPitch(2e-6),
+		"density": base.WithDefectDensity(2 * base.DefectDensity),
+		"warpage": func() Params { p := base; p.Warpage *= 1.000001; return p }(),
+		"seedish": func() Params { p := base; p.RecessSigma += 1e-12; return p }(),
+	}
+	for name, p := range variants {
+		h := p.CanonicalHash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("variant %q collides with %q", name, prev)
+		}
+		seen[h] = name
+	}
+}
+
+func TestCanonicalHashNegativeZero(t *testing.T) {
+	a, b := Baseline(), Baseline()
+	a.EdgeExclusion = 0
+	b.EdgeExclusion = math.Copysign(0, -1)
+	if a.CanonicalHash() != b.CanonicalHash() {
+		t.Error("-0.0 and +0.0 hash differently")
+	}
+}
+
+func TestCanonicalHashFieldOrderMatters(t *testing.T) {
+	// Swapping two equal-by-chance values across different fields must
+	// change the digest: position is part of the key.
+	a := Baseline()
+	b := a
+	a.TranslationX, a.TranslationY = 1e-9, 2e-9
+	b.TranslationX, b.TranslationY = 2e-9, 1e-9
+	if a.CanonicalHash() == b.CanonicalHash() {
+		t.Error("field positions not distinguished")
+	}
+}

@@ -16,7 +16,17 @@ import (
 // default to the Table I baseline, and the result is validated before
 // being returned.
 func ReadParams(r io.Reader) (Params, error) {
-	p := Baseline()
+	return DecodeParams(Baseline(), r)
+}
+
+// DecodeParams decodes a partial parameter set from JSON over the given
+// defaults: named fields override, unnamed fields keep the default value,
+// unknown fields are rejected, and the merged result is validated. This
+// is the decode path shared by the CLI config loaders (defaults =
+// Baseline) and the service layer (defaults = the daemon's configured
+// process).
+func DecodeParams(defaults Params, r io.Reader) (Params, error) {
+	p := defaults
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&p); err != nil {
@@ -28,14 +38,20 @@ func ReadParams(r io.Reader) (Params, error) {
 	return p, nil
 }
 
-// LoadParams reads a parameter set from a JSON file.
+// LoadParams reads a parameter set from a JSON file. Decode and
+// validation failures carry the file path so CLI and service error text
+// names the offending config.
 func LoadParams(path string) (Params, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return Params{}, fmt.Errorf("core: %w", err)
 	}
 	defer f.Close()
-	return ReadParams(f)
+	p, err := ReadParams(f)
+	if err != nil {
+		return Params{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
 }
 
 // WriteParams encodes the parameter set as indented JSON.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -57,5 +58,20 @@ func TestReadParamsRejectsInvalid(t *testing.T) {
 func TestLoadParamsMissingFile(t *testing.T) {
 	if _, err := LoadParams("/nonexistent/process.json"); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadParamsErrorNamesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "typo.json")
+	if err := os.WriteFile(path, []byte(`{"Pich": 3e-6}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadParams(path)
+	if err == nil {
+		t.Fatal("typo field accepted")
+	}
+	if !strings.Contains(err.Error(), "typo.json") {
+		t.Errorf("error %q does not name the config file", err)
 	}
 }

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"yap/internal/core"
+)
+
+// resultCache is an LRU cache for analytic model evaluations, keyed on
+// the canonical hash of the parameter set plus the bonding mode. Analytic
+// results are pure functions of Params, so a hit can skip evaluation
+// entirely; simulation results are NOT cached (they are seed- and
+// sample-count-dependent and the client may want fresh CIs).
+//
+// The map key is the 64-bit canonical hash; each entry also stores the
+// full Params and a hash collision is treated as a miss (the entry is
+// evicted and replaced), so a collision can cost a recomputation but
+// never serves a wrong result.
+//
+// All methods are safe for concurrent use. Hit/miss accounting is the
+// caller's job (the server owns the metrics).
+type resultCache struct {
+	capacity int
+
+	// guarded by mu
+	mu sync.Mutex
+	ll *list.List // front = most recently used
+	m  map[cacheKey]*list.Element
+}
+
+type cacheKey struct {
+	mode string // "w2w" or "d2w"
+	hash uint64
+}
+
+type cacheEntry struct {
+	key    cacheKey
+	params core.Params
+	value  core.Breakdown
+}
+
+// newResultCache returns an LRU cache holding up to capacity entries;
+// capacity < 1 disables caching (every Get misses, Put is a no-op).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		m:        make(map[cacheKey]*list.Element),
+	}
+}
+
+// Get returns the cached breakdown for (mode, p), if present.
+func (c *resultCache) Get(mode string, hash uint64, p core.Params) (core.Breakdown, bool) {
+	if c.capacity < 1 {
+		return core.Breakdown{}, false
+	}
+	key := cacheKey{mode: mode, hash: hash}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return core.Breakdown{}, false
+	}
+	entry := el.Value.(*cacheEntry)
+	if entry.params != p {
+		// Hash collision: drop the stale entry rather than serve a wrong
+		// result; the caller recomputes and Put replaces it.
+		c.ll.Remove(el)
+		delete(c.m, key)
+		return core.Breakdown{}, false
+	}
+	c.ll.MoveToFront(el)
+	return entry.value, true
+}
+
+// Put stores the breakdown for (mode, p), evicting the least recently
+// used entry when full.
+func (c *resultCache) Put(mode string, hash uint64, p core.Params, v core.Breakdown) {
+	if c.capacity < 1 {
+		return
+	}
+	key := cacheKey{mode: mode, hash: hash}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		entry := el.Value.(*cacheEntry)
+		entry.params = p
+		entry.value = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, params: p, value: v})
+}
+
+// Len returns the number of cached entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

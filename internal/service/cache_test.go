@@ -1,0 +1,101 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"yap/internal/core"
+)
+
+func TestResultCacheHitAndEvict(t *testing.T) {
+	c := newResultCache(2)
+	mk := func(pitch float64) (core.Params, uint64) {
+		p := core.Baseline().WithPitch(pitch)
+		return p, p.CanonicalHash()
+	}
+	pA, hA := mk(2e-6)
+	pB, hB := mk(4e-6)
+	pC, hC := mk(6e-6)
+
+	if _, ok := c.Get("w2w", hA, pA); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("w2w", hA, pA, core.Breakdown{Total: 0.1})
+	c.Put("w2w", hB, pB, core.Breakdown{Total: 0.2})
+	if b, ok := c.Get("w2w", hA, pA); !ok || b.Total != 0.1 {
+		t.Fatalf("A: %v %v", b, ok)
+	}
+	// A was just touched; adding C must evict B (the LRU entry).
+	c.Put("w2w", hC, pC, core.Breakdown{Total: 0.3})
+	if _, ok := c.Get("w2w", hB, pB); ok {
+		t.Error("LRU entry B survived eviction")
+	}
+	if _, ok := c.Get("w2w", hA, pA); !ok {
+		t.Error("recently used entry A evicted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestResultCacheModeIsPartOfKey(t *testing.T) {
+	c := newResultCache(4)
+	p := core.Baseline()
+	h := p.CanonicalHash()
+	c.Put("w2w", h, p, core.Breakdown{Total: 0.5})
+	if _, ok := c.Get("d2w", h, p); ok {
+		t.Error("w2w entry served for d2w")
+	}
+}
+
+func TestResultCacheCollisionIsMissNotWrongAnswer(t *testing.T) {
+	c := newResultCache(4)
+	pA := core.Baseline()
+	pB := core.Baseline().WithPitch(3e-6)
+	// Force a "collision": store under pA's hash, look up pB with the
+	// same hash. The params comparison must reject the entry.
+	h := pA.CanonicalHash()
+	c.Put("w2w", h, pA, core.Breakdown{Total: 0.9})
+	if _, ok := c.Get("w2w", h, pB); ok {
+		t.Fatal("collision served a wrong result")
+	}
+	// The poisoned entry is dropped; the original key misses too now.
+	if _, ok := c.Get("w2w", h, pA); ok {
+		t.Error("collided entry not evicted")
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	p := core.Baseline()
+	h := p.CanonicalHash()
+	c.Put("w2w", h, p, core.Breakdown{Total: 0.5})
+	if _, ok := c.Get("w2w", h, p); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestResultCacheConcurrent(t *testing.T) {
+	c := newResultCache(8)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				p := core.Baseline().WithPitch(float64(2+i%16) * 1e-6)
+				h := p.CanonicalHash()
+				if i%2 == 0 {
+					c.Put("w2w", h, p, core.Breakdown{Total: float64(i)})
+				} else if b, ok := c.Get("w2w", h, p); ok && b.Total < 0 {
+					panic(fmt.Sprintf("impossible value %v", b))
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

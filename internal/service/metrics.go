@@ -1,0 +1,167 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the daemon's instrumentation, built on stdlib sync/atomic
+// counters and exposed in Prometheus text format on GET /metrics. The
+// fixed endpoint set keeps label cardinality bounded; per-endpoint
+// histograms share one bucket layout spanning sub-millisecond analytic
+// evaluations to multi-second Monte-Carlo runs.
+type metrics struct {
+	requests    counterVec            // labels: endpoint, code
+	latency     map[string]*histogram // key: endpoint
+	inflight    atomic.Int64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	simSamples  counterVec // labels: mode — dies simulated to completion
+}
+
+func newMetrics(endpoints []string) *metrics {
+	m := &metrics{
+		requests:   counterVec{m: make(map[string]*atomic.Uint64)},
+		latency:    make(map[string]*histogram, len(endpoints)),
+		simSamples: counterVec{m: make(map[string]*atomic.Uint64)},
+	}
+	for _, e := range endpoints {
+		m.latency[e] = &histogram{}
+	}
+	return m
+}
+
+func (m *metrics) observeRequest(endpoint string, code int, d time.Duration) {
+	m.requests.get(endpoint + "," + strconv.Itoa(code)).Add(1)
+	if h, ok := m.latency[endpoint]; ok {
+		h.Observe(d)
+	}
+}
+
+// counterVec is a grow-only family of named atomic counters.
+type counterVec struct {
+	mu sync.RWMutex
+	m  map[string]*atomic.Uint64
+}
+
+func (v *counterVec) get(label string) *atomic.Uint64 {
+	v.mu.RLock()
+	c, ok := v.m[label]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok = v.m[label]; !ok {
+		c = new(atomic.Uint64)
+		v.m[label] = c
+	}
+	return c
+}
+
+// snapshot returns the label→value pairs sorted by label, so exposition
+// output is deterministic.
+func (v *counterVec) snapshot() []labeledValue {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]labeledValue, 0, len(v.m))
+	for label, c := range v.m {
+		out = append(out, labeledValue{label, c.Load()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}
+
+type labeledValue struct {
+	label string
+	value uint64
+}
+
+// latencyBuckets are the histogram upper bounds in seconds.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// histogram is a fixed-bucket latency histogram; counts are cumulative at
+// exposition time (Prometheus convention), per-bucket internally.
+type histogram struct {
+	buckets [16]atomic.Uint64 // len(latencyBuckets)+1, last = +Inf overflow
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+}
+
+func (h *histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, s)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(uint64(d.Nanoseconds()))
+}
+
+// writePrometheus renders every metric in Prometheus text exposition
+// format v0.0.4. gauges are point-in-time values the server owns
+// elsewhere (cache size, pool occupancy), passed in pre-read.
+func (m *metrics) writePrometheus(w io.Writer, gauges map[string]int64) {
+	fmt.Fprintln(w, "# HELP yapserve_requests_total Requests served, by endpoint and HTTP status code.")
+	fmt.Fprintln(w, "# TYPE yapserve_requests_total counter")
+	for _, lv := range m.requests.snapshot() {
+		endpoint, code, _ := strings.Cut(lv.label, ",")
+		fmt.Fprintf(w, "yapserve_requests_total{endpoint=%q,code=%q} %d\n", endpoint, code, lv.value)
+	}
+
+	fmt.Fprintln(w, "# HELP yapserve_request_duration_seconds Request latency, by endpoint.")
+	fmt.Fprintln(w, "# TYPE yapserve_request_duration_seconds histogram")
+	endpoints := make([]string, 0, len(m.latency))
+	for e := range m.latency {
+		endpoints = append(endpoints, e)
+	}
+	sort.Strings(endpoints)
+	for _, e := range endpoints {
+		h := m.latency[e]
+		var cum uint64
+		for i, le := range latencyBuckets {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(w, "yapserve_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				e, strconv.FormatFloat(le, 'g', -1, 64), cum)
+		}
+		cum += h.buckets[len(latencyBuckets)].Load()
+		fmt.Fprintf(w, "yapserve_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", e, cum)
+		fmt.Fprintf(w, "yapserve_request_duration_seconds_sum{endpoint=%q} %g\n",
+			e, float64(h.sumNs.Load())/1e9)
+		fmt.Fprintf(w, "yapserve_request_duration_seconds_count{endpoint=%q} %d\n", e, h.count.Load())
+	}
+
+	fmt.Fprintln(w, "# HELP yapserve_cache_hits_total Evaluate-cache hits.")
+	fmt.Fprintln(w, "# TYPE yapserve_cache_hits_total counter")
+	fmt.Fprintf(w, "yapserve_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintln(w, "# HELP yapserve_cache_misses_total Evaluate-cache misses.")
+	fmt.Fprintln(w, "# TYPE yapserve_cache_misses_total counter")
+	fmt.Fprintf(w, "yapserve_cache_misses_total %d\n", m.cacheMisses.Load())
+
+	fmt.Fprintln(w, "# HELP yapserve_sim_samples_total Simulated die samples completed, by bonding mode.")
+	fmt.Fprintln(w, "# TYPE yapserve_sim_samples_total counter")
+	for _, lv := range m.simSamples.snapshot() {
+		fmt.Fprintf(w, "yapserve_sim_samples_total{mode=%q} %d\n", lv.label, lv.value)
+	}
+
+	fmt.Fprintln(w, "# HELP yapserve_inflight_requests Requests currently being served.")
+	fmt.Fprintln(w, "# TYPE yapserve_inflight_requests gauge")
+	fmt.Fprintf(w, "yapserve_inflight_requests %d\n", m.inflight.Load())
+
+	names := make([]string, 0, len(gauges))
+	for name := range gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, gauges[name])
+	}
+}

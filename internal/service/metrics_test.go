@@ -1,0 +1,81 @@
+package service
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h histogram
+	h.Observe(300 * time.Microsecond) // bucket le=0.0005
+	h.Observe(2 * time.Millisecond)   // le=0.0025
+	h.Observe(40 * time.Second)       // +Inf overflow
+	if h.count.Load() != 3 {
+		t.Errorf("count %d", h.count.Load())
+	}
+	if h.buckets[0].Load() != 1 {
+		t.Errorf("le=0.0005 bucket %d", h.buckets[0].Load())
+	}
+	if h.buckets[len(latencyBuckets)].Load() != 1 {
+		t.Errorf("+Inf bucket %d", h.buckets[len(latencyBuckets)].Load())
+	}
+	wantSum := (300*time.Microsecond + 2*time.Millisecond + 40*time.Second).Nanoseconds()
+	if got := h.sumNs.Load(); got != uint64(wantSum) {
+		t.Errorf("sum %d != %d", got, wantSum)
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	m := newMetrics([]string{"evaluate"})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.requests.get("evaluate,200").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.requests.get("evaluate,200").Load(); got != 8000 {
+		t.Errorf("counter = %d", got)
+	}
+	snap := m.requests.snapshot()
+	if len(snap) != 1 || snap[0].value != 8000 {
+		t.Errorf("snapshot %+v", snap)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	m := newMetrics([]string{"evaluate", "simulate"})
+	m.observeRequest("simulate", 200, 12*time.Millisecond)
+	m.observeRequest("evaluate", 400, time.Millisecond)
+	m.observeRequest("evaluate", 200, time.Millisecond)
+	var a, b strings.Builder
+	gauges := map[string]int64{"yapserve_cache_entries": 5}
+	m.writePrometheus(&a, gauges)
+	m.writePrometheus(&b, gauges)
+	if a.String() != b.String() {
+		t.Error("exposition output is not deterministic")
+	}
+	out := a.String()
+	for _, want := range []string{
+		`yapserve_requests_total{endpoint="evaluate",code="200"} 1`,
+		`yapserve_requests_total{endpoint="evaluate",code="400"} 1`,
+		`yapserve_requests_total{endpoint="simulate",code="200"} 1`,
+		`yapserve_request_duration_seconds_bucket{endpoint="simulate",le="0.025"} 1`,
+		`yapserve_request_duration_seconds_count{endpoint="simulate"} 1`,
+		"yapserve_cache_entries 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Labels must sort: evaluate lines before simulate lines.
+	if strings.Index(out, `endpoint="evaluate",code="200"`) > strings.Index(out, `endpoint="simulate",code="200"`) {
+		t.Error("counter labels unsorted")
+	}
+}

@@ -1,0 +1,57 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// workerPool bounds the number of concurrently executing heavy jobs
+// (Monte-Carlo runs, sweep-point evaluations) across ALL requests, so a
+// burst of simulation traffic degrades into queueing instead of
+// oversubscribing the machine: each admitted simulation still fans its
+// wafer batches out across goroutines internally (sim.Options.Workers),
+// and the pool caps how many such runs execute at once.
+//
+// Admission is FIFO-ish (Go channel semantics) and context-aware: a
+// caller whose context fires while queued is never admitted.
+type workerPool struct {
+	slots  chan struct{}
+	queued atomic.Int64
+	active atomic.Int64
+}
+
+func newWorkerPool(capacity int) *workerPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &workerPool{slots: make(chan struct{}, capacity)}
+}
+
+// Capacity returns the maximum number of concurrently executing jobs.
+func (p *workerPool) Capacity() int { return cap(p.slots) }
+
+// Queued returns the number of callers waiting for a slot.
+func (p *workerPool) Queued() int64 { return p.queued.Load() }
+
+// Active returns the number of jobs currently executing.
+func (p *workerPool) Active() int64 { return p.active.Load() }
+
+// Run executes f once a pool slot is free, blocking until then. It
+// returns ctx's error without running f if the context fires first.
+func (p *workerPool) Run(ctx context.Context, f func()) error {
+	p.queued.Add(1)
+	select {
+	case p.slots <- struct{}{}:
+		p.queued.Add(-1)
+	case <-ctx.Done():
+		p.queued.Add(-1)
+		return ctx.Err()
+	}
+	p.active.Add(1)
+	defer func() {
+		p.active.Add(-1)
+		<-p.slots
+	}()
+	f()
+	return nil
+}

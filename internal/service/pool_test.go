@@ -1,0 +1,69 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkerPoolBoundsConcurrency(t *testing.T) {
+	p := newWorkerPool(3)
+	if p.Capacity() != 3 {
+		t.Fatalf("capacity %d", p.Capacity())
+	}
+	var inFlight, peak atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Run(context.Background(), func() {
+				n := inFlight.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				<-release
+				inFlight.Add(-1)
+			})
+		}()
+	}
+	// Let the pool saturate, then release everyone.
+	for p.Active() < 3 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if got := peak.Load(); got > 3 {
+		t.Errorf("peak concurrency %d exceeds capacity 3", got)
+	}
+	if p.Active() != 0 || p.Queued() != 0 {
+		t.Errorf("pool not drained: active=%d queued=%d", p.Active(), p.Queued())
+	}
+}
+
+func TestWorkerPoolCanceledWhileQueued(t *testing.T) {
+	p := newWorkerPool(1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Run(context.Background(), func() { close(started); <-block })
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := p.Run(ctx, func() { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+	if ran {
+		t.Error("canceled job ran")
+	}
+	close(block)
+}

@@ -1,0 +1,472 @@
+// Package service exposes the YAP analytic yield model and Monte-Carlo
+// simulator as a JSON-over-HTTP API — the resident, concurrent face of
+// the repository (cmd/yapserve is the daemon wrapper):
+//
+//	POST /v1/evaluate  analytic W2W/D2W breakdown (Eq. 22 / Eq. 28)
+//	POST /v1/simulate  Monte-Carlo run on a bounded worker pool
+//	POST /v1/sweep     batch of parameter points, concurrent, partial-failure
+//	GET  /healthz      liveness + uptime
+//	GET  /metrics      Prometheus text-format instrumentation
+//
+// Design notes. Analytic evaluations are pure functions of the parameter
+// set, so they are memoized in an LRU cache keyed on the canonical hash
+// of core.Params — a repeated evaluate answers without touching the
+// model. Simulations are admitted through a bounded pool (so a traffic
+// burst queues instead of oversubscribing the host) and run with the
+// request's context threaded into the wafer loop: a disconnecting client
+// or an expired per-request deadline aborts its wafers within one
+// sample's latency. Everything is stdlib-only.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"yap/internal/core"
+	"yap/internal/sim"
+)
+
+// Config tunes a Server. The zero value is usable: Table I defaults, a
+// 1024-entry cache, one simulation slot per CPU, a 2-minute request
+// deadline and a 1 MiB body limit.
+type Config struct {
+	// Defaults is the parameter set partial request params merge over;
+	// zero means core.Baseline() (Table I).
+	Defaults *core.Params
+	// CacheSize is the LRU capacity in entries; 0 means 1024, negative
+	// disables caching.
+	CacheSize int
+	// MaxConcurrentSims bounds simulations executing at once; 0 means
+	// GOMAXPROCS.
+	MaxConcurrentSims int
+	// SimWorkers is the default per-run parallelism when a request leaves
+	// Workers at 0; 0 means GOMAXPROCS.
+	SimWorkers int
+	// RequestTimeout is the per-request deadline for simulate and sweep;
+	// 0 means 2 minutes, negative disables the deadline.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies; 0 means 1 MiB.
+	MaxBodyBytes int64
+	// MaxSweepPoints caps the points of one sweep request; 0 means 10000.
+	MaxSweepPoints int
+	// Logger receives one line per failed request; nil disables logging.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Defaults == nil {
+		p := core.Baseline()
+		c.Defaults = &p
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.MaxConcurrentSims <= 0 {
+		c.MaxConcurrentSims = runtime.GOMAXPROCS(0)
+	}
+	if c.SimWorkers <= 0 {
+		c.SimWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 10000
+	}
+	return c
+}
+
+// endpoints are the instrumented routes (the label set of the request
+// metrics).
+var endpoints = []string{"evaluate", "simulate", "sweep", "healthz", "metrics"}
+
+// Server is the yield-as-a-service HTTP handler. Create with New; safe
+// for concurrent use; graceful shutdown is the embedding http.Server's
+// job (Server holds no background goroutines of its own).
+type Server struct {
+	cfg     Config
+	cache   *resultCache
+	pool    *workerPool
+	metrics *metrics
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheSize),
+		pool:    newWorkerPool(cfg.MaxConcurrentSims),
+		metrics: newMetrics(endpoints),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("/v1/evaluate", s.instrument("evaluate", http.MethodPost, s.handleEvaluate))
+	s.mux.HandleFunc("/v1/simulate", s.instrument("simulate", http.MethodPost, s.handleSimulate))
+	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", http.MethodPost, s.handleSweep))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with method enforcement, body limiting,
+// in-flight/latency/request accounting and error logging.
+func (s *Server) instrument(endpoint, method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		if r.Method != method {
+			sw.Header().Set("Allow", method)
+			writeError(sw, http.StatusMethodNotAllowed, "method_not_allowed",
+				fmt.Sprintf("%s requires %s", r.URL.Path, method))
+		} else {
+			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+			h(sw, r)
+		}
+		s.metrics.observeRequest(endpoint, sw.code, time.Since(start))
+		if sw.code >= 400 && s.cfg.Logger != nil {
+			s.cfg.Logger.Printf("%s %s -> %d", r.Method, r.URL.Path, sw.code)
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorDetail{Code: code, Message: msg}})
+}
+
+// decodeRequest strictly decodes the body into dst, mapping failure
+// classes to structured 4xx responses. Returns false after writing the
+// error response.
+func decodeRequest(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var maxBytes *http.MaxBytesError
+		if errors.As(err, &maxBytes) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", maxBytes.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid_json", "malformed request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// resolveParams merges a partial params override over the configured
+// defaults, validates, and reports the canonical hash.
+func (s *Server) resolveParams(raw json.RawMessage) (core.Params, uint64, error) {
+	p := *s.cfg.Defaults
+	if len(raw) > 0 {
+		var err error
+		p, err = core.DecodeParams(p, bytes.NewReader(raw))
+		if err != nil {
+			return core.Params{}, 0, err
+		}
+	} else if err := p.Validate(); err != nil {
+		return core.Params{}, 0, err
+	}
+	return p, p.CanonicalHash(), nil
+}
+
+// evalModes normalizes an evaluate/sweep mode string.
+func evalModes(mode string) (w2w, d2w bool, err error) {
+	switch strings.ToLower(mode) {
+	case "", "both":
+		return true, true, nil
+	case "w2w":
+		return true, false, nil
+	case "d2w":
+		return false, true, nil
+	default:
+		return false, false, fmt.Errorf("unknown mode %q (want w2w, d2w or both)", mode)
+	}
+}
+
+// evaluateCached returns the analytic breakdown for (mode, p), consulting
+// the LRU first. mode is "w2w" or "d2w".
+func (s *Server) evaluateCached(mode string, hash uint64, p core.Params) (core.Breakdown, bool, error) {
+	if b, ok := s.cache.Get(mode, hash, p); ok {
+		s.metrics.cacheHits.Add(1)
+		return b, true, nil
+	}
+	s.metrics.cacheMisses.Add(1)
+	var b core.Breakdown
+	var err error
+	if mode == "w2w" {
+		b, err = p.EvaluateW2W()
+	} else {
+		b, err = p.EvaluateD2W()
+	}
+	if err != nil {
+		return core.Breakdown{}, false, err
+	}
+	s.cache.Put(mode, hash, p, b)
+	return b, false, nil
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	wantW2W, wantD2W, err := evalModes(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_mode", err.Error())
+		return
+	}
+	p, hash, err := s.resolveParams(req.Params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_params", err.Error())
+		return
+	}
+	resp := EvaluateResponse{ParamsHash: p.HashString(), Cached: true}
+	if wantW2W {
+		b, cached, err := s.evaluateCached("w2w", hash, p)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "invalid_params", err.Error())
+			return
+		}
+		resp.W2W = breakdownFrom(b)
+		resp.Cached = resp.Cached && cached
+	}
+	if wantD2W {
+		b, cached, err := s.evaluateCached("d2w", hash, p)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "invalid_params", err.Error())
+			return
+		}
+		resp.D2W = breakdownFrom(b)
+		resp.Cached = resp.Cached && cached
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	mode := strings.ToLower(req.Mode)
+	if mode == "" {
+		mode = "w2w"
+	}
+	if mode != "w2w" && mode != "d2w" {
+		writeError(w, http.StatusBadRequest, "invalid_mode",
+			fmt.Sprintf("unknown mode %q (want w2w or d2w)", req.Mode))
+		return
+	}
+	p, _, err := s.resolveParams(req.Params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_params", err.Error())
+		return
+	}
+	if req.Wafers < 0 || req.Dies < 0 || req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, "invalid_params",
+			"wafers, dies and workers must be non-negative")
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.SimWorkers
+	}
+	opts := sim.Options{
+		Params:  p,
+		Seed:    req.Seed,
+		Wafers:  req.Wafers,
+		Dies:    req.Dies,
+		Workers: workers,
+	}
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	var res sim.Result
+	runErr := s.pool.Run(ctx, func() {
+		if mode == "w2w" {
+			res, err = sim.RunW2WContext(ctx, opts)
+		} else {
+			res, err = sim.RunD2WContext(ctx, opts)
+		}
+	})
+	if runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		s.writeSimError(w, runErr)
+		return
+	}
+	s.metrics.simSamples.get(mode).Add(uint64(res.Counts.Dies))
+	writeJSON(w, http.StatusOK, simulateResponseFrom(res, p.HashString(), req.Seed, workers))
+}
+
+// statusClientClosedRequest is nginx's non-standard 499: the client went
+// away and the run was aborted. Nothing useful reaches the client; the
+// code exists for the request metrics.
+const statusClientClosedRequest = 499
+
+func (s *Server) writeSimError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, "deadline_exceeded",
+			"simulation exceeded the request deadline; reduce samples or raise the server timeout")
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosedRequest, "canceled", "client canceled the request")
+	case errors.Is(err, sim.ErrNoDies):
+		writeError(w, http.StatusBadRequest, "invalid_params", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	wantW2W, wantD2W, err := evalModes(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_mode", err.Error())
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, "invalid_params", "sweep needs at least one point")
+		return
+	}
+	if len(req.Points) > s.cfg.MaxSweepPoints {
+		writeError(w, http.StatusBadRequest, "too_many_points",
+			fmt.Sprintf("%d points exceed the %d-point limit", len(req.Points), s.cfg.MaxSweepPoints))
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	// Each point evaluates independently through the shared pool; an
+	// invalid point reports its error in place (partial failure) instead
+	// of failing the batch.
+	results := make([]SweepPoint, len(req.Points))
+	var wg sync.WaitGroup
+	for i, raw := range req.Points {
+		wg.Add(1)
+		go func(i int, raw json.RawMessage) {
+			defer wg.Done()
+			results[i] = SweepPoint{Index: i}
+			err := s.pool.Run(ctx, func() {
+				results[i] = s.evaluatePoint(i, raw, wantW2W, wantD2W)
+			})
+			if err != nil {
+				results[i].Error = err.Error()
+			}
+		}(i, raw)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		s.writeSimError(w, err)
+		return
+	}
+
+	resp := SweepResponse{Points: results}
+	for i := range results {
+		if results[i].Error != "" {
+			resp.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// evaluatePoint resolves and evaluates one sweep point, folding any
+// failure into the point's Error field.
+func (s *Server) evaluatePoint(i int, raw json.RawMessage, wantW2W, wantD2W bool) SweepPoint {
+	pt := SweepPoint{Index: i}
+	p, hash, err := s.resolveParams(raw)
+	if err != nil {
+		pt.Error = err.Error()
+		return pt
+	}
+	pt.ParamsHash = p.HashString()
+	pt.Cached = true
+	if wantW2W {
+		b, cached, err := s.evaluateCached("w2w", hash, p)
+		if err != nil {
+			pt.Error = err.Error()
+			return pt
+		}
+		pt.W2W = breakdownFrom(b)
+		pt.Cached = pt.Cached && cached
+	}
+	if wantD2W {
+		b, cached, err := s.evaluateCached("d2w", hash, p)
+		if err != nil {
+			pt.Error = err.Error()
+			return pt
+		}
+		pt.D2W = breakdownFrom(b)
+		pt.Cached = pt.Cached && cached
+	}
+	return pt
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writePrometheus(w, map[string]int64{
+		"yapserve_cache_entries":  int64(s.cache.Len()),
+		"yapserve_pool_capacity":  int64(s.pool.Capacity()),
+		"yapserve_pool_active":    s.pool.Active(),
+		"yapserve_pool_queued":    s.pool.Queued(),
+		"yapserve_uptime_seconds": int64(time.Since(s.started).Seconds()),
+	})
+}

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"encoding/json"
+
+	"yap/internal/core"
+	"yap/internal/sim"
+)
+
+// This file defines the wire format of the yapserve JSON API. The shapes
+// are deliberately decoupled from the internal structs (core.Breakdown,
+// sim.Result) so the internals can evolve without breaking clients.
+
+// Breakdown is the per-mechanism analytic yield decomposition as it
+// appears on the wire (Eq. 22 for W2W, Eq. 28 for D2W).
+type Breakdown struct {
+	Overlay float64 `json:"overlay"`
+	Recess  float64 `json:"recess"`
+	Defect  float64 `json:"defect"`
+	Total   float64 `json:"total"`
+}
+
+func breakdownFrom(b core.Breakdown) *Breakdown {
+	return &Breakdown{Overlay: b.Overlay, Recess: b.Recess, Defect: b.Defect, Total: b.Total}
+}
+
+// EvaluateRequest is the body of POST /v1/evaluate. Params is a partial
+// override of the daemon's default process (unnamed fields keep their
+// defaults, unknown fields are rejected); an absent Params evaluates the
+// defaults themselves.
+type EvaluateRequest struct {
+	// Mode selects "w2w", "d2w" or "both" (the default).
+	Mode   string          `json:"mode,omitempty"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// EvaluateResponse is the body of a successful POST /v1/evaluate.
+type EvaluateResponse struct {
+	// ParamsHash is the canonical digest of the effective parameter set —
+	// the cache key, returned so clients can correlate and dedupe.
+	ParamsHash string `json:"params_hash"`
+	// Cached reports whether every requested mode was answered from the
+	// result cache without evaluating the model.
+	Cached bool       `json:"cached"`
+	W2W    *Breakdown `json:"w2w,omitempty"`
+	D2W    *Breakdown `json:"d2w,omitempty"`
+}
+
+// SimulateRequest is the body of POST /v1/simulate.
+type SimulateRequest struct {
+	// Mode selects "w2w" (the default) or "d2w".
+	Mode   string          `json:"mode,omitempty"`
+	Params json.RawMessage `json:"params,omitempty"`
+	// Seed fixes the RNG; equal seeds reproduce exactly at any Workers.
+	Seed uint64 `json:"seed,omitempty"`
+	// Wafers (W2W) and Dies (D2W) are the sample counts; zero uses the
+	// paper defaults (1000 wafers / 20000 dies).
+	Wafers int `json:"wafers,omitempty"`
+	Dies   int `json:"dies,omitempty"`
+	// Workers bounds this run's parallelism; zero uses the daemon default.
+	Workers int `json:"workers,omitempty"`
+}
+
+// SimulateResponse is the body of a successful POST /v1/simulate.
+type SimulateResponse struct {
+	ParamsHash string `json:"params_hash"`
+	Mode       string `json:"mode"`
+	Seed       uint64 `json:"seed"`
+	// Dies is the number of simulated dies (wafers × dies-per-wafer for
+	// W2W, the sample count for D2W).
+	Dies int `json:"dies"`
+	// Survived counts dies passing all three checks.
+	Survived     int     `json:"survived"`
+	OverlayYield float64 `json:"overlay_yield"`
+	DefectYield  float64 `json:"defect_yield"`
+	RecessYield  float64 `json:"recess_yield"`
+	Yield        float64 `json:"yield"`
+	// YieldLo and YieldHi bound Yield with a Wilson 95% interval.
+	YieldLo   float64 `json:"yield_lo"`
+	YieldHi   float64 `json:"yield_hi"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	Workers   int     `json:"workers"`
+}
+
+func simulateResponseFrom(r sim.Result, hash string, seed uint64, workers int) SimulateResponse {
+	return SimulateResponse{
+		ParamsHash:   hash,
+		Mode:         r.Mode,
+		Seed:         seed,
+		Dies:         r.Counts.Dies,
+		Survived:     r.Counts.Survived,
+		OverlayYield: r.OverlayYield,
+		DefectYield:  r.DefectYield,
+		RecessYield:  r.RecessYield,
+		Yield:        r.Yield,
+		YieldLo:      r.YieldLo,
+		YieldHi:      r.YieldHi,
+		ElapsedMs:    float64(r.Elapsed.Microseconds()) / 1e3,
+		Workers:      workers,
+	}
+}
+
+// SweepRequest is the body of POST /v1/sweep: a batch of parameter
+// points, each a partial override of the daemon defaults, evaluated
+// concurrently through the analytic model.
+type SweepRequest struct {
+	// Mode selects "w2w", "d2w" or "both" (the default) for every point.
+	Mode   string            `json:"mode,omitempty"`
+	Points []json.RawMessage `json:"points"`
+}
+
+// SweepPoint is one point's outcome. Exactly one of Error or the yield
+// fields is populated: an invalid point reports its error in place
+// without failing the batch.
+type SweepPoint struct {
+	Index      int        `json:"index"`
+	ParamsHash string     `json:"params_hash,omitempty"`
+	Cached     bool       `json:"cached,omitempty"`
+	W2W        *Breakdown `json:"w2w,omitempty"`
+	D2W        *Breakdown `json:"d2w,omitempty"`
+	Error      string     `json:"error,omitempty"`
+}
+
+// SweepResponse is the body of a successful POST /v1/sweep. Failed counts
+// the points that reported errors; the HTTP status is 200 as long as the
+// batch itself was well-formed (partial failure is per-point data).
+type SweepResponse struct {
+	Points []SweepPoint `json:"points"`
+	Failed int          `json:"failed"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries a machine-readable code alongside the human text.
+// Codes: method_not_allowed, invalid_json, invalid_params, invalid_mode,
+// too_many_points, body_too_large, deadline_exceeded, canceled, overloaded,
+// internal.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}

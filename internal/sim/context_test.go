@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"yap/internal/core"
+)
+
+func TestRunW2WContextBackgroundMatchesRunW2W(t *testing.T) {
+	p := core.Baseline()
+	opts := Options{Params: p, Seed: 7, Wafers: 15, Workers: 3}
+	a, err := RunW2W(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunW2WContext(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts != b.Counts {
+		t.Errorf("context entry point changed results: %+v vs %+v", a.Counts, b.Counts)
+	}
+}
+
+func TestRunW2WContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunW2WContext(ctx, Options{Params: core.Baseline(), Seed: 1, Wafers: 100})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestRunW2WContextAbortsMidFlight(t *testing.T) {
+	// A run sized for minutes must return within a small multiple of one
+	// wafer's simulation latency once the context fires.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := RunW2WContext(ctx, Options{Params: core.Baseline(), Seed: 1, Wafers: 1 << 20, Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Errorf("cancellation took %v", d)
+	}
+}
+
+func TestRunD2WContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunD2WContext(ctx, Options{Params: core.Baseline(), Seed: 1, Dies: 100000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestRunD2WContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := RunD2WContext(ctx, Options{Params: core.Baseline(), Seed: 1, Dies: 1 << 26, Workers: 2})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestRunD2WContextBackgroundMatchesRunD2W(t *testing.T) {
+	p := core.Baseline()
+	opts := Options{Params: p, Seed: 9, Dies: 4000, Workers: 5}
+	a, err := RunD2W(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunD2WContext(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts != b.Counts {
+		t.Errorf("context entry point changed results: %+v vs %+v", a.Counts, b.Counts)
+	}
+}

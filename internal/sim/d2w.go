@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sync"
 	"time"
@@ -61,6 +63,20 @@ func newD2WEnv(opts Options) (*d2wEnv, error) {
 // RunD2W simulates opts.Dies die-to-wafer bond events and returns the
 // per-mechanism and overall die yields.
 func RunD2W(opts Options) (Result, error) {
+	return RunD2WContext(context.Background(), opts)
+}
+
+// d2wCancelStride bounds how many die samples a worker simulates between
+// context checks; one die is orders of magnitude cheaper than a W2W wafer,
+// so checking every sample would spend a measurable fraction of the loop
+// on the select.
+const d2wCancelStride = 64
+
+// RunD2WContext is RunD2W with cooperative cancellation (see
+// RunW2WContext): workers poll ctx every d2wCancelStride die samples and a
+// canceled run returns ctx's error with a zero Result. Determinism is
+// unaffected — each die sample draws from its own seed-derived stream.
+func RunD2WContext(ctx context.Context, opts Options) (Result, error) {
 	env, err := newD2WEnv(opts)
 	if err != nil {
 		return Result{}, err
@@ -75,6 +91,7 @@ func RunD2W(opts Options) (Result, error) {
 	if workers > dies {
 		workers = dies
 	}
+	done := ctx.Done()
 	results := make(chan Counts, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -82,7 +99,17 @@ func RunD2W(opts Options) (Result, error) {
 		go func(worker int) {
 			defer wg.Done()
 			var local Counts
+			steps := 0
 			for i := worker; i < dies; i += workers {
+				if steps%d2wCancelStride == 0 {
+					select {
+					case <-done:
+						results <- local
+						return
+					default:
+					}
+				}
+				steps++
 				local.Add(env.simulateDie(randx.Derive(opts.Seed, uint64(i))))
 			}
 			results <- local
@@ -90,6 +117,9 @@ func RunD2W(opts Options) (Result, error) {
 	}
 	wg.Wait()
 	close(results)
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("sim: D2W run aborted: %w", err)
+	}
 
 	var total Counts
 	for c := range results {

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sync"
 	"time"
@@ -98,6 +100,17 @@ func (e *w2wEnv) prepareOverlay(dist overlay.Distortion) {
 // per-mechanism and overall die yields (the simulation half of Fig. 4's
 // workflow).
 func RunW2W(opts Options) (Result, error) {
+	return RunW2WContext(context.Background(), opts)
+}
+
+// RunW2WContext is RunW2W with cooperative cancellation: each worker
+// checks ctx between wafer samples, so a canceled context (client
+// disconnect, deadline) aborts the run within one wafer's latency. A
+// canceled run returns ctx's error (matchable with errors.Is) and a zero
+// Result. Cancellation does not perturb determinism — every wafer draws
+// from its own seed-derived RNG stream, so any run that completes returns
+// results identical to an uncanceled run at any worker count.
+func RunW2WContext(ctx context.Context, opts Options) (Result, error) {
 	env, err := newW2WEnv(opts)
 	if err != nil {
 		return Result{}, err
@@ -116,6 +129,7 @@ func RunW2W(opts Options) (Result, error) {
 		counts Counts
 		perDie []Counts
 	}
+	done := ctx.Done()
 	results := make(chan workerOut, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -127,6 +141,12 @@ func RunW2W(opts Options) (Result, error) {
 				out.perDie = make([]Counts, len(env.dies))
 			}
 			for i := worker; i < wafers; i += workers {
+				select {
+				case <-done:
+					results <- out
+					return
+				default:
+				}
 				out.counts.Add(env.simulateWafer(randx.Derive(opts.Seed, uint64(i)), out.perDie))
 			}
 			results <- out
@@ -134,6 +154,9 @@ func RunW2W(opts Options) (Result, error) {
 	}
 	wg.Wait()
 	close(results)
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("sim: W2W run aborted: %w", err)
+	}
 
 	var total Counts
 	var perDie []Counts

@@ -34,6 +34,8 @@
 package yap
 
 import (
+	"context"
+
 	"yap/internal/core"
 	"yap/internal/sim"
 )
@@ -79,6 +81,20 @@ func SimulateW2W(opts SimOptions) (SimResult, error) { return sim.RunW2W(opts) }
 // SimulateD2W runs the D2W Monte-Carlo simulator (default 20000 die
 // samples).
 func SimulateD2W(opts SimOptions) (SimResult, error) { return sim.RunD2W(opts) }
+
+// SimulateW2WContext is SimulateW2W with cooperative cancellation: a
+// canceled or expired context aborts the run within one wafer's latency
+// and returns the context's error. Completed runs are bit-identical to
+// SimulateW2W at any worker count.
+func SimulateW2WContext(ctx context.Context, opts SimOptions) (SimResult, error) {
+	return sim.RunW2WContext(ctx, opts)
+}
+
+// SimulateD2WContext is SimulateD2W with cooperative cancellation (see
+// SimulateW2WContext).
+func SimulateD2WContext(ctx context.Context, opts SimOptions) (SimResult, error) {
+	return sim.RunD2WContext(ctx, opts)
+}
 
 // GenerateVoidMap simulates one W2W wafer's particle defects and returns
 // the void geometry and die kill map (Fig. 6). particles = 0 draws the
