@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench cover figures report serve clean
+.PHONY: all build vet lint test test-race bench cover figures report serve clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -13,11 +13,17 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Repo-specific static analysis (see internal/lint): determinism,
+# unit-safety, ctx-propagation, err-wrap and no-naked-panic rules.
+# Suppress a legitimate site with `//yaplint:allow <rule> [reason]`.
+lint:
+	$(GO) run ./cmd/yaplint ./...
+
 test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/sim/ ./internal/service/ ./internal/validate/ .
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -158,7 +158,11 @@ func BenchmarkFig8aTailDistribution(b *testing.B) {
 	p := core.Baseline()
 	var d *experiments.Distribution
 	for i := 0; i < b.N; i++ {
-		d = experiments.Fig8aTailDistribution(p, uint64(i), 100000)
+		var err error
+		d, err = experiments.Fig8aTailDistribution(p, uint64(i), 100000)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(d.MaxBinError(2000), "maxBinErr")
 }
@@ -169,7 +173,11 @@ func BenchmarkFig9aMainVoidDistribution(b *testing.B) {
 	p := core.Baseline()
 	var d *experiments.Distribution
 	for i := 0; i < b.N; i++ {
-		d = experiments.Fig9aMainVoidDistribution(p, uint64(i), 100000)
+		var err error
+		d, err = experiments.Fig9aMainVoidDistribution(p, uint64(i), 100000)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(d.MaxBinError(2000), "maxBinErr")
 }

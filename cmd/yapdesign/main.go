@@ -54,22 +54,22 @@ func main() {
 	for _, m := range modes {
 		addRule(t, "finest pitch", m, func() (string, error) {
 			p, err := design.MinPitch(m, base, *target, 0.4*units.Micrometer, 12*units.Micrometer)
-			return units.Meters(p), err
+			return units.FormatMeters(p), err
 		})
 		addRule(t, "max defect density", m, func() (string, error) {
 			d, err := design.MaxDefectDensity(m, base, *target,
 				0.0005*units.PerSquareCentimeter, 2*units.PerSquareCentimeter)
-			return units.Density(d), err
+			return units.FormatDensity(d), err
 		})
 		addRule(t, "max mean recess", m, func() (string, error) {
 			r, err := design.MaxRecess(m, base.WithPitch(2*units.Micrometer).WithDefectDensity(0.01*units.PerSquareCentimeter),
 				*target, 6*units.Nanometer, 14*units.Nanometer)
-			return units.Meters(r) + " (at 2 um pitch, 0.01 cm^-2)", err
+			return units.FormatMeters(r) + " (at 2 um pitch, 0.01 cm^-2)", err
 		})
 		addRule(t, "max warpage", m, func() (string, error) {
 			b, err := design.MaxWarpage(m, base.WithPitch(1.5*units.Micrometer).WithDefectDensity(0.01*units.PerSquareCentimeter),
 				*target, 1*units.Micrometer, 100*units.Micrometer)
-			return units.Meters(b) + " (at 1.5 um pitch, 0.01 cm^-2)", err
+			return units.FormatMeters(b) + " (at 1.5 um pitch, 0.01 cm^-2)", err
 		})
 	}
 	fmt.Println(t.Text())

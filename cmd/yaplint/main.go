@@ -1,0 +1,62 @@
+// Command yaplint runs the repository's custom static-analysis suite (see
+// internal/lint) over the named packages and reports every violation as
+//
+//	file:line: [rule] message
+//
+// exiting non-zero when anything is found. It is stdlib-only and wired
+// into `make lint` and CI, so every PR is gated on the repo's determinism,
+// unit-safety, cancellation, error-wrapping and panic invariants.
+//
+// Usage:
+//
+//	yaplint [-rules] [packages...]   # default ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"yap/internal/lint"
+)
+
+func main() {
+	rules := flag.Bool("rules", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: yaplint [-rules] [packages...]\n\n"+
+			"Runs YAP's repo-specific analyzers (default patterns: ./...).\n"+
+			"Suppress a legitimate site with //yaplint:allow <rule> [reason].\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *rules {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yaplint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadPackages(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yaplint: %v\n", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, lint.All())
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "yaplint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

@@ -77,10 +77,10 @@ func main() {
 
 func run(p core.Params, mode string, systemArea float64) error {
 	fmt.Printf("pitch=%s  pads(d1/d2)=%s/%s  die=%s x %s  D_t=%s\n",
-		units.Meters(p.Pitch), units.Meters(p.TopPadDiameter), units.Meters(p.BottomPadDiameter),
-		units.Meters(p.DieWidth), units.Meters(p.DieHeight), units.Density(p.DefectDensity))
+		units.FormatMeters(p.Pitch), units.FormatMeters(p.TopPadDiameter), units.FormatMeters(p.BottomPadDiameter),
+		units.FormatMeters(p.DieWidth), units.FormatMeters(p.DieHeight), units.FormatDensity(p.DefectDensity))
 	fmt.Printf("pads/die=%d  dies/wafer=%d  delta=%s\n",
-		p.PadArray().Pads(), p.Layout().DieCount(), units.Meters(p.PadGeometry().MaxMisalignment()))
+		p.PadArray().Pads(), p.Layout().DieCount(), units.FormatMeters(p.PadGeometry().MaxMisalignment()))
 
 	if mode == "w2w" || mode == "both" {
 		b, err := p.EvaluateW2W()
@@ -99,7 +99,7 @@ func run(p core.Params, mode string, systemArea float64) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Y_sys(%s, %d chiplets) = %s\n", units.Area(systemArea), n, units.Percent(y))
+		fmt.Printf("Y_sys(%s, %d chiplets) = %s\n", units.FormatArea(systemArea), n, units.Percent(y))
 	}
 	if mode != "w2w" && mode != "d2w" && mode != "both" {
 		return fmt.Errorf("unknown mode %q", mode)

@@ -77,13 +77,19 @@ func main() {
 	})
 
 	run("fig8a", func() error {
-		d := experiments.Fig8aTailDistribution(core.Baseline(), *seed, 500000)
+		d, err := experiments.Fig8aTailDistribution(core.Baseline(), *seed, 500000)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("  max bin error: %.2f%%\n", d.MaxBinError(2000)*100)
 		return writeDistribution(d, filepath.Join(*out, "fig8a_tail_distribution"))
 	})
 
 	run("fig9a", func() error {
-		d := experiments.Fig9aMainVoidDistribution(core.Baseline(), *seed, 500000)
+		d, err := experiments.Fig9aMainVoidDistribution(core.Baseline(), *seed, 500000)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("  max bin error: %.2f%%\n", d.MaxBinError(2000)*100)
 		return writeDistribution(d, filepath.Join(*out, "fig9a_main_void_distribution"))
 	})

@@ -46,7 +46,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "yapviz:", err)
 		os.Exit(1)
 	}
-	title := fmt.Sprintf("Fig 6: void formation (%s)", units.Density(p.DefectDensity))
+	title := fmt.Sprintf("Fig 6: void formation (%s)", units.FormatDensity(p.DefectDensity))
 	if err := viz.WaferMap(m, title).SavePNG(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "yapviz:", err)
 		os.Exit(1)
@@ -64,7 +64,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "yapviz:", err)
 			os.Exit(1)
 		}
-		ymTitle := fmt.Sprintf("W2W per-die model yield (pitch %s)", units.Meters(q.Pitch))
+		ymTitle := fmt.Sprintf("W2W per-die model yield (pitch %s)", units.FormatMeters(q.Pitch))
 		if err := viz.YieldMap(dies, q.WaferRadius(), ymTitle).SavePNG(*yieldMap); err != nil {
 			fmt.Fprintln(os.Stderr, "yapviz:", err)
 			os.Exit(1)

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"encoding/json"
+	"errors"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -56,8 +59,31 @@ func TestReadParamsRejectsInvalid(t *testing.T) {
 }
 
 func TestLoadParamsMissingFile(t *testing.T) {
-	if _, err := LoadParams("/nonexistent/process.json"); err == nil {
-		t.Error("missing file accepted")
+	_, err := LoadParams("/nonexistent/process.json")
+	if err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// The os error must stay wrapped (%w) so callers can classify the
+	// failure without string matching.
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("errors.Is(err, fs.ErrNotExist) = false for %v", err)
+	}
+	var pathErr *fs.PathError
+	if !errors.As(err, &pathErr) {
+		t.Errorf("errors.As(err, *fs.PathError) = false for %v", err)
+	}
+}
+
+func TestDecodeParamsWrapsJSONError(t *testing.T) {
+	// A malformed body must surface the json error type through the wrap
+	// chain, not just its text.
+	_, err := ReadParams(strings.NewReader(`{"Pitch": "oops"}`))
+	if err == nil {
+		t.Fatal("malformed value accepted")
+	}
+	var typeErr *json.UnmarshalTypeError
+	if !errors.As(err, &typeErr) {
+		t.Errorf("errors.As(err, *json.UnmarshalTypeError) = false for %v", err)
 	}
 }
 

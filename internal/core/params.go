@@ -179,7 +179,7 @@ func (p Params) Validate() error {
 	}
 	if p.PadArray().Pads() == 0 {
 		return fmt.Errorf("core: no pads fit a %s x %s die at pitch %s",
-			units.Meters(p.DieWidth), units.Meters(p.DieHeight), units.Meters(p.Pitch))
+			units.FormatMeters(p.DieWidth), units.FormatMeters(p.DieHeight), units.FormatMeters(p.Pitch))
 	}
 	// Guard the W2W die enumeration: a die much smaller than the wafer
 	// explodes the floorplan (a 20 µm die on a 300 mm wafer would

@@ -48,15 +48,15 @@ func TestVoidSizeLaws(t *testing.T) {
 	t0 := p.MinThickness
 	// A center particle of minimum thickness: r_mv = k_r0·√t0 = 230 µm.
 	if got := p.MainVoidRadius(0, t0); math.Abs(got-230e-6) > 1e-9 {
-		t.Errorf("center main void = %v, want 230 µm", units.Meters(got))
+		t.Errorf("center main void = %v, want 230 µm", units.FormatMeters(got))
 	}
 	// At the wafer edge: + k_r·R·√t0 = +27 µm.
 	if got := p.MainVoidRadius(p.WaferRadius, t0); math.Abs(got-257e-6) > 1e-9 {
-		t.Errorf("edge main void = %v, want 257 µm", units.Meters(got))
+		t.Errorf("edge main void = %v, want 257 µm", units.FormatMeters(got))
 	}
 	// Tail at the edge: k_l·R·√t0 = 9.3 mm — "a few millimeters".
 	if got := p.TailLength(p.WaferRadius, t0); math.Abs(got-9.3e-3) > 1e-8 {
-		t.Errorf("edge tail = %v, want 9.3 mm", units.Meters(got))
+		t.Errorf("edge tail = %v, want 9.3 mm", units.FormatMeters(got))
 	}
 	// Center particles produce no tail.
 	if got := p.TailLength(0, t0); got != 0 {
@@ -109,7 +109,10 @@ func TestTailLengthPDFMatchesSampling(t *testing.T) {
 	rng := randx.NewSource(99)
 	const n = 300000
 	knee := p.TailKnee()
-	h := num.NewHistogram(0, 3*knee, 30)
+	h, err := num.NewHistogram(0, 3*knee, 30)
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
 	for i := 0; i < n; i++ {
 		x, y := rng.InDisk(p.WaferRadius)
 		t0 := rng.ParticleThickness(p.MinThickness, p.Shape)
@@ -125,7 +128,7 @@ func TestTailLengthPDFMatchesSampling(t *testing.T) {
 		tol := math.Max(0.03, 5/math.Sqrt(float64(h.Counts[i])))
 		if math.Abs(got-want) > tol*want {
 			t.Errorf("bin %d (l=%v): sampled %g, analytic %g",
-				i, units.Meters(h.BinCenter(i)), got, want)
+				i, units.FormatMeters(h.BinCenter(i)), got, want)
 		}
 	}
 }
@@ -282,7 +285,10 @@ func TestMainVoidPDFD2WMatchesSampling(t *testing.T) {
 	rng := randx.NewSource(77)
 	const n = 300000
 	rMin := p.KR0 * math.Sqrt(p.MinThickness)
-	h := num.NewHistogram(rMin, 2.2*rMin, 25)
+	h, err := num.NewHistogram(rMin, 2.2*rMin, 25)
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
 	for i := 0; i < n; i++ {
 		x, y := rng.InDisk(effR)
 		t0 := rng.ParticleThickness(p.MinThickness, p.Shape)
@@ -302,7 +308,7 @@ func TestMainVoidPDFD2WMatchesSampling(t *testing.T) {
 		tol := math.Max(0.03, 5/math.Sqrt(float64(h.Counts[i])))
 		if math.Abs(got-want) > tol*want {
 			t.Errorf("bin %d (r=%v): sampled %g, analytic %g",
-				i, units.Meters(h.BinCenter(i)), got, want)
+				i, units.FormatMeters(h.BinCenter(i)), got, want)
 		}
 	}
 }

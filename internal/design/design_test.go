@@ -107,7 +107,7 @@ func TestMaxDefectDensity(t *testing.T) {
 	}
 	// Sanity: the answer lives between the paper's two studied densities.
 	if d < 0.01*units.PerSquareCentimeter || d > 0.1*units.PerSquareCentimeter {
-		t.Errorf("MaxDefectDensity = %v, expected within (0.01, 0.1) cm⁻²", units.Density(d))
+		t.Errorf("MaxDefectDensity = %v, expected within (0.01, 0.1) cm⁻²", units.FormatDensity(d))
 	}
 }
 

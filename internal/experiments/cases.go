@@ -21,7 +21,7 @@ type CaseConfig struct {
 
 func (c CaseConfig) String() string {
 	return fmt.Sprintf("D=%s p=%s die=%s",
-		units.Density(c.DefectDensity), units.Meters(c.Pitch), units.Area(c.DieArea))
+		units.FormatDensity(c.DefectDensity), units.FormatMeters(c.Pitch), units.FormatArea(c.DieArea))
 }
 
 // Label is a compact identifier used as a chart group label.
@@ -102,9 +102,9 @@ func CaseTableW2W(results []CaseResult) *report.Table {
 	t := report.NewTable("Density", "Pitch", "Die", "Y_ovl", "Y_cr", "Y_df", "Y_W2W", "Limiter")
 	for _, r := range results {
 		t.AddRow(
-			units.Density(r.Config.DefectDensity),
-			units.Meters(r.Config.Pitch),
-			units.Area(r.Config.DieArea),
+			units.FormatDensity(r.Config.DefectDensity),
+			units.FormatMeters(r.Config.Pitch),
+			units.FormatArea(r.Config.DieArea),
 			r.W2W.Overlay, r.W2W.Recess, r.W2W.Defect, r.W2W.Total,
 			r.W2W.Limiter(),
 		)
@@ -117,9 +117,9 @@ func CaseTableD2W(results []CaseResult) *report.Table {
 	t := report.NewTable("Density", "Pitch", "Die", "Y_ovl", "Y_cr", "Y_df", "Y_D2W", "Chiplets", "Y_sys")
 	for _, r := range results {
 		t.AddRow(
-			units.Density(r.Config.DefectDensity),
-			units.Meters(r.Config.Pitch),
-			units.Area(r.Config.DieArea),
+			units.FormatDensity(r.Config.DefectDensity),
+			units.FormatMeters(r.Config.Pitch),
+			units.FormatArea(r.Config.DieArea),
 			r.D2W.Overlay, r.D2W.Recess, r.D2W.Defect, r.D2W.Total,
 			r.Chiplets, r.SystemYield,
 		)

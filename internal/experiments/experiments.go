@@ -23,29 +23,29 @@ import (
 func TableI(p core.Params) *report.Table {
 	t := report.NewTable("Parameter", "Value")
 	add := func(name, value string) { t.AddRow(name, value) }
-	add("Pad pitch", units.Meters(p.Pitch))
-	add("Bottom, Top pad size", fmt.Sprintf("%s, %s", units.Meters(p.BottomPadDiameter), units.Meters(p.TopPadDiameter)))
-	add("Die size", fmt.Sprintf("%s x %s", units.Meters(p.DieWidth), units.Meters(p.DieHeight)))
-	add("Wafer size", units.Meters(p.WaferDiameter))
-	add("Random misalignment (sigma1)", units.Meters(p.RandomMisalignmentSigma))
-	add("System x,y translation", fmt.Sprintf("%s, %s", units.Meters(p.TranslationX), units.Meters(p.TranslationY)))
+	add("Pad pitch", units.FormatMeters(p.Pitch))
+	add("Bottom, Top pad size", fmt.Sprintf("%s, %s", units.FormatMeters(p.BottomPadDiameter), units.FormatMeters(p.TopPadDiameter)))
+	add("Die size", fmt.Sprintf("%s x %s", units.FormatMeters(p.DieWidth), units.FormatMeters(p.DieHeight)))
+	add("Wafer size", units.FormatMeters(p.WaferDiameter))
+	add("Random misalignment (sigma1)", units.FormatMeters(p.RandomMisalignmentSigma))
+	add("System x,y translation", fmt.Sprintf("%s, %s", units.FormatMeters(p.TranslationX), units.FormatMeters(p.TranslationY)))
 	add("System rotation", fmt.Sprintf("%.3g urad", p.Rotation/units.Microradian))
-	add("Bonded wafer warpage", units.Meters(p.Warpage))
+	add("Bonded wafer warpage", units.FormatMeters(p.Warpage))
 	add("System magnification", fmt.Sprintf("%.3g ppm", p.Magnification()/units.PPM))
-	add("Particle defect density", units.Density(p.DefectDensity))
-	add("Minimum particle thickness", units.Meters(p.MinParticleThickness))
+	add("Particle defect density", units.FormatDensity(p.DefectDensity))
+	add("Minimum particle thickness", units.FormatMeters(p.MinParticleThickness))
 	add("Shaping factor z", fmt.Sprintf("%g", p.DefectShape))
-	add("Bottom/Top pad recess", fmt.Sprintf("%s / %s", units.Meters(p.RecessBottom), units.Meters(p.RecessTop)))
-	add("Recess sigma (per pad)", units.Meters(p.RecessSigma))
-	add("Roughness (sigma_z)", units.Meters(p.Roughness))
+	add("Bottom/Top pad recess", fmt.Sprintf("%s / %s", units.FormatMeters(p.RecessBottom), units.FormatMeters(p.RecessTop)))
+	add("Recess sigma (per pad)", units.FormatMeters(p.RecessSigma))
+	add("Roughness (sigma_z)", units.FormatMeters(p.Roughness))
 	add("Adhesion energy (SiO2-SiO2)", fmt.Sprintf("%g J/m^2", p.AdhesionEnergy))
 	add("Young's modulus (SiO2)", fmt.Sprintf("%g GPa", p.YoungModulus/units.Gigapascal))
-	add("Dielectric thickness", units.Meters(p.DielectricThickness))
+	add("Dielectric thickness", units.FormatMeters(p.DielectricThickness))
 	add("Contact area constraint k_ca", fmt.Sprintf("%g", p.ContactAreaFraction))
 	add("Critical distance constraint k_cd", fmt.Sprintf("%g", p.CriticalDistanceFraction))
 	add("k_mag", fmt.Sprintf("%g m^-1", p.KMag))
 	add("k_peel", fmt.Sprintf("%.3g N/m^3", p.KPeel))
-	add("h_0", units.Meters(p.H0))
+	add("h_0", units.FormatMeters(p.H0))
 	add("k_r", fmt.Sprintf("%.3g um^-1/2", p.KRVoid/units.PerSquareRootUm))
 	add("k_r0", fmt.Sprintf("%.3g um^1/2", p.KR0Void/units.SquareRootUm))
 	add("k_l", fmt.Sprintf("%.3g um^-1/2", p.KLTail/units.PerSquareRootUm))
@@ -113,11 +113,14 @@ func (d *Distribution) MaxBinError(minCount int) float64 {
 
 // Fig8aTailDistribution builds the void-tail length comparison (E5):
 // empirical tail lengths from the simulator against the Eq. 18 density.
-func Fig8aTailDistribution(p core.Params, seed uint64, n int) *Distribution {
+func Fig8aTailDistribution(p core.Params, seed uint64, n int) (*Distribution, error) {
 	dp := p.DefectParams()
 	samples := sim.SampleTailLengths(p, seed, n)
 	knee := dp.TailKnee()
-	h := num.NewHistogram(0, 3*knee, 40)
+	h, err := num.NewHistogram(0, 3*knee, 40)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: Fig 8a histogram: %w", err)
+	}
 	for _, l := range samples {
 		h.Add(l)
 	}
@@ -127,17 +130,20 @@ func Fig8aTailDistribution(p core.Params, seed uint64, n int) *Distribution {
 		Title:  "Fig 8a: void tail length distribution",
 		XLabel: "tail length (mm)",
 		XScale: 1 / units.Millimeter,
-	}
+	}, nil
 }
 
 // Fig9aMainVoidDistribution builds the D2W main-void size comparison (E7):
 // empirical radii against the Eq. 24 density.
-func Fig9aMainVoidDistribution(p core.Params, seed uint64, n int) *Distribution {
+func Fig9aMainVoidDistribution(p core.Params, seed uint64, n int) (*Distribution, error) {
 	dp := p.DefectParams()
 	effR := wafer.EffectiveDieRadius(p.DieWidth, p.DieHeight)
 	samples := sim.SampleMainVoidSizes(p, seed, n)
 	rMin := p.KR0Void * math.Sqrt(p.MinParticleThickness)
-	h := num.NewHistogram(rMin, 2.5*rMin, 40)
+	h, err := num.NewHistogram(rMin, 2.5*rMin, 40)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: Fig 9a histogram: %w", err)
+	}
 	for _, r := range samples {
 		h.Add(r)
 	}
@@ -147,7 +153,7 @@ func Fig9aMainVoidDistribution(p core.Params, seed uint64, n int) *Distribution 
 		Title:  "Fig 9a: main void size distribution (D2W)",
 		XLabel: "main void radius (um)",
 		XScale: 1 / units.Micrometer,
-	}
+	}, nil
 }
 
 // Fig6VoidMap materializes one simulated wafer's defects (E4). particles=0

@@ -34,7 +34,10 @@ func TestTableIContainsAllParameters(t *testing.T) {
 }
 
 func TestFig8aDistribution(t *testing.T) {
-	d := Fig8aTailDistribution(core.Baseline(), 1, 200000)
+	d, err := Fig8aTailDistribution(core.Baseline(), 1, 200000)
+	if err != nil {
+		t.Fatalf("Fig8aTailDistribution: %v", err)
+	}
 	if d.Hist.N != 200000 {
 		t.Errorf("samples = %d", d.Hist.N)
 	}
@@ -48,7 +51,10 @@ func TestFig8aDistribution(t *testing.T) {
 }
 
 func TestFig9aDistribution(t *testing.T) {
-	d := Fig9aMainVoidDistribution(core.Baseline(), 2, 200000)
+	d, err := Fig9aMainVoidDistribution(core.Baseline(), 2, 200000)
+	if err != nil {
+		t.Fatalf("Fig9aMainVoidDistribution: %v", err)
+	}
 	if e := d.MaxBinError(5000); e > 0.10 {
 		t.Errorf("max bin error = %g", e)
 	}

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// servicePath is the HTTP layer whose handlers must live on the request's
+// context rather than minting fresh lifetimes.
+const servicePath = "yap/internal/service"
+
+// CtxPropagation enforces the repo's cancellation contract:
+//
+//  1. An exported function named ...Context that takes a context.Context
+//     and contains a loop must consult ctx (ctx.Err(), ctx.Done(), or pass
+//     ctx on to a callee) somewhere in its body — otherwise the "Context"
+//     suffix promises a cancelability the implementation does not deliver.
+//  2. internal/service must not call context.Background()/context.TODO():
+//     a handler that detaches from the request context outlives client
+//     disconnects and defeats the per-request deadline.
+var CtxPropagation = &Analyzer{
+	Name: "ctx-propagation",
+	Doc:  "...Context functions must poll ctx on loops; no context.Background in service handlers",
+	Run:  runCtxPropagation,
+}
+
+func runCtxPropagation(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok {
+				if f := checkContextFunc(pkg, fn); f != nil {
+					out = append(out, *f)
+				}
+			}
+		}
+		if inTree(pkg.ImportPath, servicePath) {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if path, name := calleePackageFunc(pkg, call); path == "context" &&
+					(name == "Background" || name == "TODO") {
+					out = append(out, pkg.finding(call, "ctx-propagation",
+						"context.%s() in internal/service detaches from the request lifetime; use the request's context", name))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkContextFunc applies rule 1 to one function declaration.
+func checkContextFunc(pkg *Package, fn *ast.FuncDecl) *Finding {
+	name := fn.Name.Name
+	if fn.Body == nil || !fn.Name.IsExported() || len(name) <= len("Context") ||
+		name[len(name)-len("Context"):] != "Context" {
+		return nil
+	}
+	ctxParam := contextParamName(pkg, fn)
+	if ctxParam == "" {
+		return nil
+	}
+	hasLoop := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			hasLoop = true
+		}
+		return !hasLoop
+	})
+	if !hasLoop {
+		return nil
+	}
+	if usesContext(pkg, fn.Body, ctxParam) {
+		return nil
+	}
+	f := pkg.finding(fn, "ctx-propagation",
+		"exported %s has a loop but never consults %s (ctx.Err/ctx.Done or passing it on); cancellation is dead", name, ctxParam)
+	return &f
+}
+
+// contextParamName returns the name of the function's context.Context
+// parameter, or "" when it has none (or it is anonymous).
+func contextParamName(pkg *Package, fn *ast.FuncDecl) string {
+	for _, field := range fn.Type.Params.List {
+		tv, ok := pkg.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		named, ok := tv.Type.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			continue
+		}
+		if named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context" {
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					return name.Name
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// usesContext reports whether the body references the named context
+// parameter at all — calling a method on it, passing it to a callee, or
+// reading a channel derived from it all count: each threads cancellation
+// onward.
+func usesContext(pkg *Package, body *ast.BlockStmt, ctxParam string) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if ok && id.Name == ctxParam {
+			if obj, isVar := pkg.Info.Uses[id].(*types.Var); isVar && obj != nil {
+				used = true
+			}
+		}
+		return !used
+	})
+	return used
+}

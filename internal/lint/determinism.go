@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// deterministicPaths root the package trees whose behaviour must be a
+// pure function of their seed/inputs: the Monte-Carlo simulator, its
+// random substrate, and the analytic core whose CanonicalHash backs the
+// service cache. (The paper's validation methodology depends on seeded
+// replays being bit-identical.) Subpackages inherit the constraint.
+var deterministicPaths = []string{
+	"yap/internal/sim",
+	"yap/internal/randx",
+	"yap/internal/core",
+}
+
+// inTree reports whether path is root itself or a subpackage of it.
+func inTree(path, root string) bool {
+	return path == root || strings.HasPrefix(path, root+"/")
+}
+
+func inAnyTree(path string, roots []string) bool {
+	for _, root := range roots {
+		if inTree(path, root) {
+			return true
+		}
+	}
+	return false
+}
+
+// randConstructors are the math/rand(/v2) top-level functions that build an
+// explicitly-seeded generator rather than sampling the shared global one.
+// Explicit sources are exactly how seeded determinism is implemented, so
+// they stay legal.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewSource":  true,
+	"NewZipf":    true,
+}
+
+// Determinism forbids ambient-entropy reads in the deterministic packages:
+// global math/rand sampling (the shared source is seeded from runtime
+// entropy), wall-clock reads (time.Now/Since), and accumulation inside a
+// map range (Go randomizes map iteration order, so order-dependent
+// accumulation — float sums are order-dependent — varies run to run).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid global rand, wall-clock reads and map-order-dependent accumulation in seeded packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pkg *Package) []Finding {
+	if !inAnyTree(pkg.ImportPath, deterministicPaths) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if f := checkDeterministicCall(pkg, n); f != nil {
+					out = append(out, *f)
+				}
+			case *ast.RangeStmt:
+				out = append(out, checkMapRangeAccumulation(pkg, n)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkDeterministicCall flags global math/rand sampling and wall-clock
+// reads.
+func checkDeterministicCall(pkg *Package, call *ast.CallExpr) *Finding {
+	path, name := calleePackageFunc(pkg, call)
+	switch path {
+	case "math/rand", "math/rand/v2":
+		if randConstructors[name] {
+			return nil
+		}
+		f := pkg.finding(call, "determinism",
+			"call to global %s.%s breaks seeded reproducibility; draw from an explicit *randx.Source", path, name)
+		return &f
+	case "time":
+		if name == "Now" || name == "Since" || name == "Until" {
+			f := pkg.finding(call, "determinism",
+				"wall-clock read time.%s in a deterministic package; inject the time or annotate telemetry with //yaplint:allow determinism", name)
+			return &f
+		}
+	}
+	return nil
+}
+
+// checkMapRangeAccumulation flags order-dependent accumulation (compound
+// assignment or append) inside a `range` over a map.
+func checkMapRangeAccumulation(pkg *Package, rng *ast.RangeStmt) []Finding {
+	tv, ok := pkg.Info.Types[rng.X]
+	if !ok {
+		return nil
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if isCompoundAssign(n) {
+				out = append(out, pkg.finding(n, "determinism",
+					"accumulation inside a map range depends on map iteration order; iterate sorted keys"))
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && isBuiltin(pkg, id) {
+				out = append(out, pkg.finding(n, "determinism",
+					"append inside a map range depends on map iteration order; iterate sorted keys"))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isCompoundAssign reports whether the assignment is `x op= y` (any op).
+func isCompoundAssign(a *ast.AssignStmt) bool {
+	switch a.Tok.String() {
+	case "=", ":=":
+		return false
+	}
+	return true
+}
+
+// isBuiltin reports whether the identifier resolves to a universe-scope
+// builtin (rather than a user function shadowing the name).
+func isBuiltin(pkg *Package, id *ast.Ident) bool {
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// calleePackageFunc resolves a call's callee to (package path, function
+// name) when it is a direct package-level function call; otherwise returns
+// empty strings.
+func calleePackageFunc(pkg *Package, call *ast.CallExpr) (path, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	// Methods (receiver present) are not package-level functions.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the comment directive that suppresses findings:
+//
+//	//yaplint:allow rule[,rule...] [free-form reason]
+//
+// The directive covers its own line (trailing comment) and the line
+// immediately below it (standalone comment above a statement).
+const allowPrefix = "//yaplint:allow"
+
+// buildAllow scans every comment in the package's files and records which
+// (file, line, rule) triples are suppressed.
+func buildAllow(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	allow := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rules, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := allow[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					allow[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := byLine[line]
+					if set == nil {
+						set = make(map[string]bool)
+						byLine[line] = set
+					}
+					for _, r := range rules {
+						set[r] = true
+					}
+				}
+			}
+		}
+	}
+	return allow
+}
+
+// parseAllow extracts the rule list from one comment, reporting whether the
+// comment is an allow directive at all.
+func parseAllow(text string) ([]string, bool) {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+	if rest == "" {
+		return nil, false
+	}
+	// The rule list is the first whitespace-delimited token; anything after
+	// it is a free-form reason.
+	ruleList := rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		ruleList = rest[:i]
+	}
+	var rules []string
+	for _, r := range strings.Split(ruleList, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			rules = append(rules, r)
+		}
+	}
+	return rules, len(rules) > 0
+}
+
+// allowed reports whether a finding of the given rule at pos is suppressed
+// by an allow directive.
+func (p *Package) allowed(pos token.Position, rule string) bool {
+	byLine := p.allow[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[pos.Line][rule]
+}

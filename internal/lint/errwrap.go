@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap enforces error-chain preservation: a fmt.Errorf call whose
+// arguments include an error must wrap it with %w (one %w per error
+// argument), and must not flatten the chain with err.Error(). Formatting an
+// error with %v/%s produces an unmatchable string — downstream
+// errors.Is/errors.As (the service layer's status-code mapping, the CLI's
+// sentinel checks) silently stop working.
+var ErrWrap = &Analyzer{
+	Name: "err-wrap",
+	Doc:  "fmt.Errorf with an error argument must use %w",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pkg *Package) []Finding {
+	errorType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, name := calleePackageFunc(pkg, call); path != "fmt" || name != "Errorf" {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			errArgs := 0
+			for _, arg := range call.Args[1:] {
+				tv, ok := pkg.Info.Types[arg]
+				if !ok {
+					continue
+				}
+				if types.Implements(tv.Type, errorType) {
+					errArgs++
+				}
+				if isErrorStringCall(pkg, arg) {
+					out = append(out, pkg.finding(arg, "err-wrap",
+						"err.Error() inside fmt.Errorf flattens the chain; pass the error itself with %%w"))
+				}
+			}
+			if errArgs == 0 {
+				return true
+			}
+			if wraps := countWrapVerbs(pkg, call.Args[0]); wraps < errArgs {
+				out = append(out, pkg.finding(call, "err-wrap",
+					"fmt.Errorf has %d error argument(s) but %d %%w verb(s); use %%w so errors.Is/As can match", errArgs, wraps))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// countWrapVerbs counts %w occurrences in the (constant) format string.
+// A non-constant format returns a large count — the analyzer cannot prove
+// a violation, so it stays silent.
+func countWrapVerbs(pkg *Package, format ast.Expr) int {
+	tv, ok := pkg.Info.Types[format]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return 1 << 20
+	}
+	return strings.Count(constant.StringVal(tv.Value), "%w")
+}
+
+// isErrorStringCall reports whether arg is a call of the error interface's
+// Error() method.
+func isErrorStringCall(pkg *Package, arg ast.Expr) bool {
+	call, ok := arg.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	recv, ok := pkg.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	errorType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(recv.Type, errorType)
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// goldenCases maps each analyzer to its testdata package and the import
+// path it is type-checked under (path-scoped analyzers key on the path).
+var goldenCases = []struct {
+	dir        string
+	importPath string
+	analyzer   *Analyzer
+}{
+	{"determinism", "yap/internal/sim", Determinism},
+	{"unitsafety", "yap/example/unitsafety", UnitSafety},
+	{"ctxprop", "yap/internal/service", CtxPropagation},
+	{"errwrap", "yap/example/errwrap", ErrWrap},
+	{"panicrule", "yap/example/panicrule", NoNakedPanic},
+}
+
+// TestGolden runs each analyzer over its testdata package and checks the
+// findings against the `// want` annotations: every want must be matched
+// by exactly one finding on its line, and no finding may lack a want.
+func TestGolden(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.dir, func(t *testing.T) {
+			pkg := loadGolden(t, tc.dir, tc.importPath)
+			findings := Run([]*Package{pkg}, []*Analyzer{tc.analyzer})
+			if len(findings) == 0 {
+				t.Fatalf("no findings; every golden package must have positive cases")
+			}
+			checkWants(t, pkg, findings)
+		})
+	}
+}
+
+// TestGoldenSuiteOutput runs the full suite the way cmd/yaplint does over
+// one golden package and asserts the canonical file:line: [rule] rendering.
+func TestGoldenSuiteOutput(t *testing.T) {
+	pkg := loadGolden(t, "determinism", "yap/internal/sim")
+	findings := Run([]*Package{pkg}, All())
+	if len(findings) == 0 {
+		t.Fatal("suite found nothing on the determinism golden package")
+	}
+	form := regexp.MustCompile(`^.+determinism\.go:\d+: \[[a-z-]+\] .+$`)
+	for _, f := range findings {
+		if !form.MatchString(f.String()) {
+			t.Errorf("finding %q does not match file:line: [rule] message", f)
+		}
+	}
+}
+
+// wantRe extracts the backtick-quoted regexps of one want comment.
+var wantRe = regexp.MustCompile("`([^`]+)`")
+
+// checkWants cross-checks findings against the package's want comments.
+func checkWants(t *testing.T, pkg *Package, findings []Finding) {
+	t.Helper()
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		text := fmt.Sprintf("[%s] %s", f.Rule, f.Msg)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(text) {
+				w.matched, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding %s", f)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected finding matching %q, got none", k, w.re)
+			}
+		}
+	}
+}
+
+// goldenExports caches one `go list -export` run covering every import the
+// golden packages use (transitively, via -deps).
+var goldenExports struct {
+	once    sync.Once
+	exports map[string]string
+	err     error
+}
+
+func testExports(t *testing.T) map[string]string {
+	t.Helper()
+	goldenExports.once.Do(func() {
+		listed, err := goList(moduleRoot(), []string{
+			"fmt", "errors", "context", "time", "math/rand", "math/rand/v2",
+			"yap/internal/units",
+		})
+		if err != nil {
+			goldenExports.err = err
+			return
+		}
+		goldenExports.exports = make(map[string]string, len(listed))
+		for _, lp := range listed {
+			if lp.Export != "" {
+				goldenExports.exports[lp.ImportPath] = lp.Export
+			}
+		}
+	})
+	if goldenExports.err != nil {
+		t.Fatalf("go list -export for golden deps: %v", goldenExports.err)
+	}
+	return goldenExports.exports
+}
+
+// moduleRoot returns the repository root (this package lives two levels
+// below it).
+func moduleRoot() string {
+	abs, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		panic(err) //yaplint:allow no-naked-panic test helper; cwd always resolves
+	}
+	return abs
+}
+
+// loadGolden parses and type-checks one testdata package under the given
+// pretend import path.
+func loadGolden(t *testing.T, dir, importPath string) *Package {
+	t.Helper()
+	full := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(full)
+	if err != nil {
+		t.Fatalf("read %s: %v", full, err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	sort.Strings(goFiles)
+	pkg, err := typecheck(importPath, full, goFiles, testExports(t))
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+	return pkg
+}

@@ -1,0 +1,117 @@
+// Package lint implements yaplint, the repository's custom static-analysis
+// suite. It enforces the invariants the YAP reproduction depends on but the
+// Go compiler cannot check:
+//
+//   - determinism — the Monte-Carlo simulator (internal/sim, internal/randx)
+//     and the cache-key hashing path (internal/core) must replay
+//     bit-identically from a seed, so ambient entropy (global math/rand,
+//     wall-clock reads) and map-iteration-order-dependent accumulation are
+//     forbidden there;
+//   - unit-safety — arithmetic must not mix internal/units quantity types
+//     with raw unitless literals outside the units package itself;
+//   - ctx-propagation — exported ...Context functions must actually poll
+//     their context on loops, and internal/service handlers must not mint
+//     fresh context.Background() lifetimes;
+//   - err-wrap — fmt.Errorf calls that carry an error argument must wrap it
+//     with %w so errors.Is/As keep working across package boundaries;
+//   - no-naked-panic — panic is reserved for provably-unreachable states
+//     and must carry an explicit allow directive.
+//
+// A finding can be suppressed at a legitimate site (e.g. runtime telemetry
+// that really does read the wall clock) with a trailing or preceding
+//
+//	//yaplint:allow <rule>[,<rule>...] [reason]
+//
+// comment. Everything here is stdlib-only: go/ast, go/parser, go/token and
+// go/types, with export data supplied by `go list -export`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding in the canonical "file:line: [rule] message"
+// form the driver prints and the golden tests match.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Analyzer is one lint rule: a name (the rule id used in findings and allow
+// directives), a one-line description, and the pass itself.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Package) []Finding
+}
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// ImportPath is the package's import path. Path-scoped analyzers
+	// (determinism, ctx-propagation's Background check) key on it.
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// allow maps file name -> line -> set of rule names suppressed there.
+	allow map[string]map[int]map[string]bool
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		UnitSafety,
+		CtxPropagation,
+		ErrWrap,
+		NoNakedPanic,
+	}
+}
+
+// Run applies every analyzer to every package, drops findings suppressed by
+// allow directives, and returns the rest sorted by file, line and rule.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			for _, f := range a.Run(pkg) {
+				if pkg.allowed(f.Pos, a.Name) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// position resolves a node's position within the package.
+func (p *Package) position(n ast.Node) token.Position {
+	return p.Fset.Position(n.Pos())
+}
+
+// finding constructs a Finding anchored at node n.
+func (p *Package) finding(n ast.Node, rule, format string, args ...any) Finding {
+	return Finding{Pos: p.position(n), Rule: rule, Msg: fmt.Sprintf(format, args...)}
+}

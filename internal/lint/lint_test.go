@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+// TestRepoIsClean runs the full suite against the real module — the same
+// invocation CI's `go run ./cmd/yaplint ./...` performs — and requires
+// zero findings. Every legitimate exception in the tree must carry its
+// //yaplint:allow directive for this to hold.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-module analysis in -short mode")
+	}
+	pkgs, err := LoadPackages(moduleRoot(), "./...")
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; pattern ./... should cover the whole module", len(pkgs))
+	}
+	for _, f := range Run(pkgs, All()) {
+		t.Errorf("repo violation: %s", f)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Pos:  token.Position{Filename: "internal/sim/w2w.go", Line: 122, Column: 11},
+		Rule: "determinism",
+		Msg:  "wall-clock read",
+	}
+	if got, want := f.String(), "internal/sim/w2w.go:122: [determinism] wall-clock read"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestAllAnalyzersHaveDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("suite has %d analyzers, want 5", len(seen))
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text  string
+		rules []string
+		ok    bool
+	}{
+		{"//yaplint:allow determinism", []string{"determinism"}, true},
+		{"//yaplint:allow determinism runtime telemetry only", []string{"determinism"}, true},
+		{"//yaplint:allow err-wrap,no-naked-panic reason here", []string{"err-wrap", "no-naked-panic"}, true},
+		{"//yaplint:allow", nil, false},
+		{"// yaplint:allow determinism", nil, false}, // directives are machine comments: no space
+		{"// plain comment", nil, false},
+	}
+	for _, c := range cases {
+		rules, ok := parseAllow(c.text)
+		if ok != c.ok || !reflect.DeepEqual(rules, c.rules) {
+			t.Errorf("parseAllow(%q) = (%v, %v), want (%v, %v)", c.text, rules, ok, c.rules, c.ok)
+		}
+	}
+}
+
+func TestAllowedCoversDirectiveAndNextLine(t *testing.T) {
+	pkg := &Package{allow: map[string]map[int]map[string]bool{
+		"f.go": {
+			10: {"determinism": true},
+			11: {"determinism": true},
+		},
+	}}
+	pos := func(line int) token.Position { return token.Position{Filename: "f.go", Line: line} }
+	if !pkg.allowed(pos(10), "determinism") || !pkg.allowed(pos(11), "determinism") {
+		t.Error("directive should cover its own line and the next")
+	}
+	if pkg.allowed(pos(12), "determinism") {
+		t.Error("directive must not leak past the following line")
+	}
+	if pkg.allowed(pos(10), "err-wrap") {
+		t.Error("directive must be rule-scoped")
+	}
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoNakedPanic reserves panic for provably-unreachable states. A library
+// panic crosses every API boundary above it — in this repo that includes
+// the resident HTTP service, where a panicking model call would kill a
+// request (or, on a worker goroutine, the whole daemon). Call sites that
+// are genuinely unreachable (guarded by validation, exhaustive switches)
+// keep their panic but must say so with
+//
+//	//yaplint:allow no-naked-panic <why it is unreachable>
+//
+// init functions are exempt: failing fast at startup is panic's job.
+var NoNakedPanic = &Analyzer{
+	Name: "no-naked-panic",
+	Doc:  "panic outside init/tests requires an allow directive",
+	Run:  runNoNakedPanic,
+}
+
+func runNoNakedPanic(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		if strings.HasSuffix(pkg.position(file).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Name.Name == "init" && fn.Recv == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				out = append(out, pkg.finding(call, "no-naked-panic",
+					"panic in library code; return an error, or annotate a provably-unreachable state with //yaplint:allow no-naked-panic"))
+				return true
+			})
+		}
+	}
+	return out
+}

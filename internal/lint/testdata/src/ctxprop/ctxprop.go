@@ -1,0 +1,72 @@
+// Package ctxprop is golden-test input for the ctx-propagation analyzer.
+// It is type-checked as if it lived at yap/internal/service, so the
+// context.Background()/TODO() handler check applies too.
+package ctxprop
+
+import "context"
+
+// DeadLoopContext promises cancelability in its name but never consults
+// ctx from its loop.
+func DeadLoopContext(ctx context.Context, n int) int { // want `\[ctx-propagation\] exported DeadLoopContext has a loop but never consults ctx`
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum
+}
+
+// PollingContext checks ctx.Err on its hot loop — legal.
+func PollingContext(ctx context.Context, n int) (int, error) {
+	sum := 0
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		sum += i
+	}
+	return sum, nil
+}
+
+// SelectingContext drains ctx.Done in a select — legal.
+func SelectingContext(ctx context.Context, work chan int) int {
+	done := ctx.Done()
+	total := 0
+	for {
+		select {
+		case <-done:
+			return total
+		case v, ok := <-work:
+			if !ok {
+				return total
+			}
+			total += v
+		}
+	}
+}
+
+// DelegatingContext has no loop of its own; it forwards ctx — legal.
+func DelegatingContext(ctx context.Context, n int) (int, error) {
+	return PollingContext(ctx, n)
+}
+
+// straightLineContext is unexported; the contract targets the public API.
+func straightLineContext(ctx context.Context, n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum
+}
+
+// DetachedLifetime mints fresh contexts inside the service package.
+func DetachedLifetime() context.Context {
+	bg := context.Background() // want `\[ctx-propagation\] context\.Background\(\) in internal/service`
+	_ = context.TODO()         // want `\[ctx-propagation\] context\.TODO\(\) in internal/service`
+	return bg
+}
+
+// AllowedDetachment carries the directive (e.g. a daemon-lifetime cache
+// warmer wired at construction, not per-request).
+func AllowedDetachment() context.Context {
+	return context.Background() //yaplint:allow ctx-propagation construction-time lifetime, not a request path
+}

@@ -1,0 +1,62 @@
+// Package determinism is golden-test input for the determinism analyzer.
+// It is type-checked as if it lived at yap/internal/sim, one of the
+// packages whose behaviour must be a pure function of its seed.
+package determinism
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// GlobalRandSampling draws from the shared global sources.
+func GlobalRandSampling() float64 {
+	a := rand.Float64()                  // want `\[determinism\] call to global math/rand\.Float64`
+	b := randv2.Float64()                // want `\[determinism\] call to global math/rand/v2\.Float64`
+	randv2.Shuffle(3, func(i, j int) {}) // want `\[determinism\] call to global math/rand/v2\.Shuffle`
+	return a + b
+}
+
+// ExplicitSources build seeded generators; that is how determinism is
+// implemented, so they stay legal.
+func ExplicitSources() float64 {
+	legacy := rand.New(rand.NewSource(1))
+	pcg := randv2.New(randv2.NewPCG(1, 2))
+	return legacy.Float64() + pcg.Float64()
+}
+
+// WallClock reads ambient time.
+func WallClock() time.Duration {
+	start := time.Now()      // want `\[determinism\] wall-clock read time\.Now`
+	return time.Since(start) // want `\[determinism\] wall-clock read time\.Since`
+}
+
+// AllowedTelemetry is a legitimate wall-clock site carrying the directive.
+func AllowedTelemetry() time.Time {
+	return time.Now() //yaplint:allow determinism runtime telemetry
+}
+
+// MapAccumulation accumulates inside a map range.
+func MapAccumulation(m map[string]float64) ([]float64, float64) {
+	var order []float64
+	var sum float64
+	for _, v := range m {
+		sum += v                 // want `\[determinism\] accumulation inside a map range`
+		order = append(order, v) // want `\[determinism\] append inside a map range`
+	}
+	return order, sum
+}
+
+// SliceAccumulation is order-stable: ranging a slice is deterministic.
+func SliceAccumulation(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// MapLookup reads a map without ranging it; lookups are deterministic.
+func MapLookup(m map[uint64]int, k uint64) int {
+	return m[k]
+}

@@ -1,0 +1,43 @@
+// Package errwrap is golden-test input for the err-wrap analyzer:
+// fmt.Errorf calls carrying an error must wrap it with %w.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+// Unwrapped formats errors with %v/%s, severing the chain.
+func Unwrapped(err error) error {
+	if err != nil {
+		return fmt.Errorf("load failed: %v", err) // want `\[err-wrap\] fmt\.Errorf has 1 error argument\(s\) but 0 %w verb\(s\)`
+	}
+	return fmt.Errorf("fallback: %s", errBase) // want `\[err-wrap\] fmt\.Errorf has 1 error argument\(s\) but 0 %w verb\(s\)`
+}
+
+// Flattened stringifies the error before formatting.
+func Flattened(err error) error {
+	return fmt.Errorf("load failed: %s", err.Error()) // want `\[err-wrap\] err\.Error\(\) inside fmt\.Errorf flattens the chain`
+}
+
+// PartialWrap wraps one of two errors.
+func PartialWrap(a, b error) error {
+	return fmt.Errorf("a: %w, b: %v", a, b) // want `\[err-wrap\] fmt\.Errorf has 2 error argument\(s\) but 1 %w verb\(s\)`
+}
+
+// Wrapped uses %w for every error — legal.
+func Wrapped(a, b error) error {
+	return fmt.Errorf("a: %w, b: %w", a, b)
+}
+
+// NoErrorArgs formats plain values — legal.
+func NoErrorArgs(path string, n int) error {
+	return fmt.Errorf("%s: invalid count %d", path, n)
+}
+
+// DynamicFormat cannot be proven wrong at analysis time — legal.
+func DynamicFormat(format string, err error) error {
+	return fmt.Errorf(format, err)
+}

@@ -1,0 +1,42 @@
+// Package panicrule is golden-test input for the no-naked-panic analyzer.
+package panicrule
+
+import "fmt"
+
+var table = map[string]int{"a": 1}
+
+func init() {
+	// Failing fast at startup is panic's job; init is exempt.
+	if len(table) == 0 {
+		panic("panicrule: empty table")
+	}
+}
+
+// NakedPanic crashes on a data condition the caller could have handled.
+func NakedPanic(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n)) // want `\[no-naked-panic\] panic in library code`
+	}
+	return n
+}
+
+// UnreachablePanic documents why the state cannot occur — legal.
+func UnreachablePanic(mode string) int {
+	switch mode {
+	case "w2w":
+		return 1
+	case "d2w":
+		return 2
+	default:
+		// Modes are validated at the API boundary before reaching here.
+		panic("panicrule: unvalidated mode") //yaplint:allow no-naked-panic modes validated at the API boundary
+	}
+}
+
+// ReturnsError is the preferred shape — legal.
+func ReturnsError(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("panicrule: negative %d", n)
+	}
+	return n, nil
+}

@@ -1,0 +1,39 @@
+// Package unitsafety is golden-test input for the unit-safety analyzer:
+// additive arithmetic must not mix internal/units quantity types with raw
+// unitless literals.
+package unitsafety
+
+import "yap/internal/units"
+
+// MixedAdd adds raw literals to typed quantities.
+func MixedAdd(l units.Length, a units.Area) (units.Length, units.Area) {
+	l = l + 0.5   // want `\[unit-safety\] raw numeric literal added to a units\.Length`
+	l -= l - 2    // want `\[unit-safety\] raw numeric literal subtracted from a units\.Length`
+	a = 1e-12 + a // want `\[unit-safety\] raw numeric literal added to a units\.Area`
+	return l, a
+}
+
+// MixedCompare compares typed quantities against raw literals.
+func MixedCompare(t units.Temperature) bool {
+	return t > 300 // want `\[unit-safety\] raw numeric literal compared against a units\.Temperature`
+}
+
+// DimensionlessScaling multiplies/divides by plain factors — legal.
+func DimensionlessScaling(l units.Length) units.Length {
+	return l * 2 / 4
+}
+
+// ExplicitConversion names the unit at the literal — legal.
+func ExplicitConversion(l units.Length) units.Length {
+	l += units.Length(5 * units.Nanometer)
+	if l > units.Length(1*units.Micrometer) {
+		return l - units.Length(0.5*units.Micrometer)
+	}
+	return l
+}
+
+// TypedPair keeps both operands unit-carrying — legal.
+func TypedPair(a, b units.Length) bool { return a+b > a-b }
+
+// RawFloats never touch a quantity type — legal.
+func RawFloats(x float64) float64 { return x + 0.5 }

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// unitsPath is the package defining the typed physical quantities.
+const unitsPath = "yap/internal/units"
+
+// UnitSafety flags additive arithmetic (+, -, and ordered comparisons) that
+// mixes a named quantity type from internal/units with a raw untyped
+// numeric literal. `l + 0.5` silently reads as "plus half a meter" at one
+// call site and "plus half a nanometer" at another — the classic mixed-unit
+// EDA bug the units package exists to prevent. Dimensionless scaling
+// (`l * 2`, `l / 3`) stays legal, as does an explicit conversion
+// (`l + units.Length(0.5*units.Micrometer)`).
+//
+// The units package itself is exempt: it is the one place raw conversion
+// factors are defined.
+var UnitSafety = &Analyzer{
+	Name: "unit-safety",
+	Doc:  "forbid mixing internal/units quantity types with raw unitless literals",
+	Run:  runUnitSafety,
+}
+
+// additiveUnitOps are the operators where a raw literal operand means a
+// dimensional error rather than a scale factor.
+var additiveUnitOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+}
+
+func runUnitSafety(pkg *Package) []Finding {
+	if inTree(pkg.ImportPath, unitsPath) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || !additiveUnitOps[bin.Op] {
+				return true
+			}
+			xq, yq := unitsQuantity(pkg, bin.X), unitsQuantity(pkg, bin.Y)
+			if xq != "" && isRawNumericLiteral(pkg, bin.Y) {
+				out = append(out, pkg.finding(bin, "unit-safety",
+					"raw numeric literal %s a units.%s; convert explicitly (e.g. units.%s(...))",
+					opPhrase(bin.Op), xq, xq))
+			} else if yq != "" && isRawNumericLiteral(pkg, bin.X) {
+				out = append(out, pkg.finding(bin, "unit-safety",
+					"raw numeric literal %s a units.%s; convert explicitly (e.g. units.%s(...))",
+					opPhrase(bin.Op), yq, yq))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// unitsQuantity returns the quantity type name when expr's type is a named
+// type declared in internal/units and expr is not itself a raw literal
+// (untyped constants adopt the other operand's type, so a literal's
+// recorded type can be a units type without the source carrying any unit).
+func unitsQuantity(pkg *Package, expr ast.Expr) string {
+	if literalOnly(expr) {
+		return ""
+	}
+	tv, ok := pkg.Info.Types[expr]
+	if !ok {
+		return ""
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != unitsPath {
+		return ""
+	}
+	return obj.Name()
+}
+
+// isRawNumericLiteral reports whether expr is a constant written purely
+// from numeric literals — no explicit conversion (a CallExpr) and no named
+// constant (units.Micrometer carries its unit in its name), either of
+// which marks a deliberate unit choice.
+func isRawNumericLiteral(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return literalOnly(expr)
+}
+
+// literalOnly reports whether expr is built exclusively from numeric
+// literals, parentheses and operators.
+func literalOnly(expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.INT || e.Kind == token.FLOAT
+	case *ast.ParenExpr:
+		return literalOnly(e.X)
+	case *ast.UnaryExpr:
+		return literalOnly(e.X)
+	case *ast.BinaryExpr:
+		return literalOnly(e.X) && literalOnly(e.Y)
+	}
+	return false
+}
+
+// opPhrase renders the operator for the finding message.
+func opPhrase(op token.Token) string {
+	switch op {
+	case token.ADD:
+		return "added to"
+	case token.SUB:
+		return "subtracted from"
+	default:
+		return "compared against"
+	}
+}

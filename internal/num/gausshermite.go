@@ -48,7 +48,10 @@ func ExpectNormal1(g func(float64) float64, mu, sigma float64) float64 {
 // the model's >10⁴× speed advantage over simulation.
 func ExpectNormal(g func(x []float64) float64, mu, sigma []float64) float64 {
 	if len(mu) != len(sigma) {
-		panic("num: ExpectNormal mu/sigma length mismatch")
+		// Unreachable from the model: every caller builds mu and sigma
+		// side by side with identical lengths; a mismatch is a programming
+		// error in new code, best caught loudly.
+		panic("num: ExpectNormal mu/sigma length mismatch") //yaplint:allow no-naked-panic caller-constructed slices, lengths fixed at the call site
 	}
 	x := make([]float64, len(mu))
 	return expectNormalRec(g, mu, sigma, x, 0)

@@ -1,6 +1,7 @@
 package num
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -17,17 +18,23 @@ type Histogram struct {
 	N        int
 }
 
+// ErrBadHistogram reports an invalid histogram specification (bins < 1 or
+// an empty range). Callers match it with errors.Is.
+var ErrBadHistogram = errors.New("num: invalid histogram specification")
+
 // NewHistogram creates a histogram with the given number of bins spanning
-// [min, max). It panics if bins < 1 or max ≤ min — both are programmer
-// errors, not data conditions.
-func NewHistogram(min, max float64, bins int) *Histogram {
+// [min, max). It returns an error wrapping ErrBadHistogram if bins < 1 or
+// max ≤ min: figure ranges are often derived from model parameters (tail
+// knees, minimum void radii), so a degenerate range is a data condition the
+// caller can report, not a programmer error worth crashing for.
+func NewHistogram(min, max float64, bins int) (*Histogram, error) {
 	if bins < 1 {
-		panic("num: histogram needs at least one bin")
+		return nil, fmt.Errorf("%w: needs at least one bin, got %d", ErrBadHistogram, bins)
 	}
 	if !(max > min) {
-		panic(fmt.Sprintf("num: invalid histogram range [%g, %g)", min, max))
+		return nil, fmt.Errorf("%w: empty range [%g, %g)", ErrBadHistogram, min, max)
 	}
-	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}, nil
 }
 
 // Add records one sample.

@@ -1,12 +1,13 @@
 package num
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
 
 func TestHistogramBinning(t *testing.T) {
-	h := NewHistogram(0, 10, 10)
+	h := mustHistogram(t, 0, 10, 10)
 	for _, x := range []float64{0, 0.5, 1, 5.5, 9.9999} {
 		h.Add(x)
 	}
@@ -22,7 +23,7 @@ func TestHistogramBinning(t *testing.T) {
 }
 
 func TestHistogramOutOfRange(t *testing.T) {
-	h := NewHistogram(0, 1, 4)
+	h := mustHistogram(t, 0, 1, 4)
 	h.Add(-0.1)
 	h.Add(1.0) // max is exclusive
 	h.Add(2)
@@ -40,7 +41,7 @@ func TestHistogramOutOfRange(t *testing.T) {
 }
 
 func TestHistogramDensityNormalization(t *testing.T) {
-	h := NewHistogram(0, 1, 20)
+	h := mustHistogram(t, 0, 1, 20)
 	n := 10000
 	for i := 0; i < n; i++ {
 		h.Add(float64(i) / float64(n))
@@ -55,7 +56,7 @@ func TestHistogramDensityNormalization(t *testing.T) {
 }
 
 func TestHistogramCentersAndWidth(t *testing.T) {
-	h := NewHistogram(2, 4, 4)
+	h := mustHistogram(t, 2, 4, 4)
 	if !almostEqual(h.BinWidth(), 0.5, 1e-15) {
 		t.Errorf("bin width = %g", h.BinWidth())
 	}
@@ -70,23 +71,37 @@ func TestHistogramCentersAndWidth(t *testing.T) {
 	}
 }
 
-func TestHistogramPanicsOnBadConstruction(t *testing.T) {
-	assertPanics := func(name string, f func()) {
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s: expected panic", name)
-			}
-		}()
-		f()
+func TestHistogramErrorsOnBadConstruction(t *testing.T) {
+	for name, build := range map[string]func() (*Histogram, error){
+		"zero bins":      func() (*Histogram, error) { return NewHistogram(0, 1, 0) },
+		"inverted range": func() (*Histogram, error) { return NewHistogram(1, 0, 5) },
+	} {
+		h, err := build()
+		if h != nil || err == nil {
+			t.Errorf("%s: got (%v, %v), want nil + error", name, h, err)
+			continue
+		}
+		if !errors.Is(err, ErrBadHistogram) {
+			t.Errorf("%s: errors.Is(err, ErrBadHistogram) = false for %v", name, err)
+		}
 	}
-	assertPanics("zero bins", func() { NewHistogram(0, 1, 0) })
-	assertPanics("inverted range", func() { NewHistogram(1, 0, 5) })
+}
+
+// mustHistogram builds a histogram whose specification the test knows to be
+// valid.
+func mustHistogram(t *testing.T, min, max float64, bins int) *Histogram {
+	t.Helper()
+	h, err := NewHistogram(min, max, bins)
+	if err != nil {
+		t.Fatalf("NewHistogram(%g, %g, %d): %v", min, max, bins, err)
+	}
+	return h
 }
 
 func TestHistogramEdgeRoundingGuard(t *testing.T) {
 	// A value that floats to exactly Max after the division must land in
 	// the last bin, not out of range.
-	h := NewHistogram(0, 0.3, 3)
+	h := mustHistogram(t, 0, 0.3, 3)
 	h.Add(math.Nextafter(0.3, 0)) // just below max
 	if h.Counts[2] != 1 || h.Over != 0 {
 		t.Errorf("near-max sample mishandled: counts=%v over=%d", h.Counts, h.Over)

@@ -105,7 +105,7 @@ func TestFinePitchDeltaRegime(t *testing.T) {
 	}
 	delta := g.MaxMisalignment()
 	if delta < 120*units.Nanometer || delta > 220*units.Nanometer {
-		t.Errorf("fine-pitch δ = %v, want ~165 nm", units.Meters(delta))
+		t.Errorf("fine-pitch δ = %v, want ~165 nm", units.FormatMeters(delta))
 	}
 }
 
@@ -350,7 +350,7 @@ func TestPadPOS2DVsScalarConvention(t *testing.T) {
 		scalar := PadPOS(s, delta, sigma)
 		twoD := PadPOS2D(s, delta, sigma)
 		if twoD > scalar+1e-9 {
-			t.Errorf("s=%v: 2-D POS %g exceeds scalar %g", units.Meters(s), twoD, scalar)
+			t.Errorf("s=%v: 2-D POS %g exceeds scalar %g", units.FormatMeters(s), twoD, scalar)
 		}
 	}
 	// At s = δ exactly, scalar gives ~0.5 while the Rice magnitude can

@@ -8,6 +8,8 @@
 package randx
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand/v2"
 )
@@ -62,21 +64,27 @@ func (s *Source) Normal(mu, sigma float64) float64 {
 	return mu + sigma*s.rng.NormFloat64()
 }
 
+// ErrNonPositiveMean reports a PositiveNormal draw requested around a
+// non-positive mean. Callers match it with errors.Is.
+var ErrNonPositiveMean = errors.New("randx: PositiveNormal requires a positive mean")
+
 // PositiveNormal returns a variate from N(mu, sigma²) conditioned on being
 // strictly positive, by resampling. It is used to draw inherently-positive
 // process parameters (standard deviations, warpage) for validation
-// parameter sets. mu must be positive.
-func (s *Source) PositiveNormal(mu, sigma float64) float64 {
+// parameter sets. A non-positive mu — typically an unvalidated spread
+// configuration — returns ErrNonPositiveMean rather than crashing the
+// caller.
+func (s *Source) PositiveNormal(mu, sigma float64) (float64, error) {
 	if mu <= 0 {
-		panic("randx: PositiveNormal requires a positive mean")
+		return 0, fmt.Errorf("%w: got mu=%g", ErrNonPositiveMean, mu)
 	}
 	for i := 0; i < 1000; i++ {
 		if v := s.Normal(mu, sigma); v > 0 {
-			return v
+			return v, nil
 		}
 	}
 	// Pathological sigma/mu ratio: fall back to the mean rather than spin.
-	return mu
+	return mu, nil
 }
 
 // Poisson returns a Poisson(lambda) count. For small lambda it uses Knuth's
@@ -136,7 +144,12 @@ func (s *Source) poissonPTRS(lambda float64) int {
 // z must exceed 1 for the law to be normalizable; the paper uses z ∈ [2,3].
 func (s *Source) ParticleThickness(t0, z float64) float64 {
 	if z <= 1 {
-		panic("randx: particle size law requires z > 1")
+		// Unreachable from the simulator: every entry path validates the
+		// shape factor first (core.Params.Validate requires z > 1.5,
+		// tcb/defect Validate require z > 1). The guard documents the
+		// law's domain for direct library users; erroring here would put a
+		// branch on every draw of the hot sampling loop.
+		panic("randx: particle size law requires z > 1") //yaplint:allow no-naked-panic validated upstream; hot path
 	}
 	u := s.rng.Float64()
 	return t0 * math.Pow(1-u, -1/(z-1))

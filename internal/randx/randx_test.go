@@ -1,6 +1,7 @@
 package randx
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -101,19 +102,26 @@ func TestNormalMoments(t *testing.T) {
 func TestPositiveNormal(t *testing.T) {
 	s := NewSource(13)
 	for i := 0; i < 10000; i++ {
-		if v := s.PositiveNormal(1, 5); v <= 0 {
+		v, err := s.PositiveNormal(1, 5)
+		if err != nil {
+			t.Fatalf("PositiveNormal: %v", err)
+		}
+		if v <= 0 {
 			t.Fatalf("PositiveNormal returned %g", v)
 		}
 	}
 }
 
-func TestPositiveNormalPanicsOnNonPositiveMean(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
+func TestPositiveNormalErrorsOnNonPositiveMean(t *testing.T) {
+	for _, mu := range []float64{0, -1} {
+		_, err := NewSource(1).PositiveNormal(mu, 1)
+		if err == nil {
+			t.Fatalf("PositiveNormal(%g, 1): expected error", mu)
 		}
-	}()
-	NewSource(1).PositiveNormal(0, 1)
+		if !errors.Is(err, ErrNonPositiveMean) {
+			t.Errorf("errors.Is(err, ErrNonPositiveMean) = false for %v", err)
+		}
+	}
 }
 
 func TestPoissonMoments(t *testing.T) {

@@ -119,7 +119,7 @@ func RunW2WContext(ctx context.Context, opts Options) (Result, error) {
 	if wafers <= 0 {
 		wafers = 1000
 	}
-	start := time.Now()
+	start := time.Now() //yaplint:allow determinism runtime telemetry only; never feeds the sampled streams
 
 	workers := opts.workers()
 	if workers > wafers {
@@ -169,7 +169,7 @@ func RunW2WContext(ctx context.Context, opts Options) (Result, error) {
 			perDie[i].Add(out.perDie[i])
 		}
 	}
-	res := resultFrom("W2W", total, time.Since(start))
+	res := resultFrom("W2W", total, time.Since(start)) //yaplint:allow determinism runtime telemetry only; never feeds the sampled streams
 	res.PerDie = perDie
 	return res, nil
 }

@@ -72,8 +72,49 @@ const (
 // FromCelsius converts a temperature in degrees Celsius to kelvins.
 func FromCelsius(c float64) float64 { return c + ZeroCelsiusInK }
 
-// Meters formats a length in meters using an auto-selected engineering unit.
-func Meters(m float64) string {
+// Typed physical quantities. The bulk of the codebase stores quantities as
+// plain float64 in SI units (see the package comment); these named types
+// are the opt-in stronger layer for code that wants the compiler — and the
+// yaplint unit-safety analyzer — to catch mixed-unit arithmetic. A raw
+// unitless literal added to (or subtracted from / compared against) one of
+// these types is flagged by `yaplint` outside this package; write the
+// intent explicitly instead:
+//
+//	d += units.Length(5 * units.Nanometer)   // ok: unit named
+//	d += 5e-9                                // flagged: which unit?
+//
+// Scaling by a dimensionless factor (d * 2) stays legal.
+type (
+	// Length is a length in meters.
+	Length float64
+	// Area is an area in square meters.
+	Area float64
+	// Density is an areal density in m⁻².
+	Density float64
+	// Temperature is an absolute temperature in kelvins.
+	Temperature float64
+	// Pressure is a pressure in pascals.
+	Pressure float64
+)
+
+// String formats the length with an auto-selected engineering unit.
+func (l Length) String() string { return FormatMeters(float64(l)) }
+
+// String formats the area with an auto-selected engineering unit.
+func (a Area) String() string { return FormatArea(float64(a)) }
+
+// String formats the density in cm⁻² (the paper's Table I unit).
+func (d Density) String() string { return FormatDensity(float64(d)) }
+
+// String formats the temperature in kelvins.
+func (t Temperature) String() string { return fmt.Sprintf("%.4g K", float64(t)) }
+
+// String formats the pressure in megapascals.
+func (p Pressure) String() string { return fmt.Sprintf("%.4g MPa", float64(p)/Megapascal) }
+
+// FormatMeters formats a length in meters using an auto-selected
+// engineering unit.
+func FormatMeters(m float64) string {
 	abs := m
 	if abs < 0 {
 		abs = -abs
@@ -90,8 +131,8 @@ func Meters(m float64) string {
 	}
 }
 
-// Area formats an area in square meters using an auto-selected unit.
-func Area(a float64) string {
+// FormatArea formats an area in square meters using an auto-selected unit.
+func FormatArea(a float64) string {
 	abs := a
 	if abs < 0 {
 		abs = -abs
@@ -106,9 +147,9 @@ func Area(a float64) string {
 	}
 }
 
-// Density formats an areal density in m⁻² as cm⁻² (the unit used in the
-// paper's Table I).
-func Density(d float64) string {
+// FormatDensity formats an areal density in m⁻² as cm⁻² (the unit used in
+// the paper's Table I).
+func FormatDensity(d float64) string {
 	return fmt.Sprintf("%.4g cm^-2", d/PerSquareCentimeter)
 }
 

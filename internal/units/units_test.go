@@ -67,29 +67,59 @@ func TestMetersFormatter(t *testing.T) {
 		{-3e-6, "-3 um"},
 	}
 	for _, c := range cases {
-		if got := Meters(c.in); got != c.want {
-			t.Errorf("Meters(%g) = %q, want %q", c.in, got, c.want)
+		if got := FormatMeters(c.in); got != c.want {
+			t.Errorf("FormatMeters(%g) = %q, want %q", c.in, got, c.want)
 		}
 	}
 }
 
 func TestAreaFormatter(t *testing.T) {
-	if got := Area(100e-6); got != "100 mm^2" {
+	if got := FormatArea(100e-6); got != "100 mm^2" {
 		t.Errorf("Area = %q", got)
 	}
-	if got := Area(36e-12); got != "36 um^2" {
+	if got := FormatArea(36e-12); got != "36 um^2" {
 		t.Errorf("Area = %q", got)
 	}
-	if got := Area(0); got != "0 m^2" {
+	if got := FormatArea(0); got != "0 m^2" {
 		t.Errorf("Area = %q", got)
 	}
 }
 
 func TestDensityAndPercentFormatters(t *testing.T) {
-	if got := Density(1000); got != "0.1 cm^-2" {
+	if got := FormatDensity(1000); got != "0.1 cm^-2" {
 		t.Errorf("Density = %q", got)
 	}
 	if got := Percent(0.8145); !strings.HasPrefix(got, "81.45") || !strings.HasSuffix(got, "%") {
 		t.Errorf("Percent = %q", got)
+	}
+}
+
+func TestTypedQuantityStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Length(5 * Micrometer).String(), "5 um"},
+		{Length(3 * Nanometer).String(), "3 nm"},
+		{Area(36 * SquareMicrometer).String(), "36 um^2"},
+		{Density(0.1 * PerSquareCentimeter).String(), "0.1 cm^-2"},
+		{Temperature(FromCelsius(25)).String(), "298.1 K"},
+		{Pressure(2 * Megapascal).String(), "2 MPa"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("quantity String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestTypedQuantityArithmetic(t *testing.T) {
+	// The typed layer's intended idiom: raw factors scale, unit-carrying
+	// terms add. (yaplint's unit-safety rule rejects `d + 0.5` outside
+	// this package.)
+	d := Length(100 * Nanometer)
+	d += Length(5 * Nanometer)
+	d *= 2
+	if math.Abs(float64(d)-210e-9) > 1e-21 {
+		t.Errorf("typed length arithmetic = %v", float64(d))
 	}
 }

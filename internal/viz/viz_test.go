@@ -209,7 +209,10 @@ func TestCorrelationPlot(t *testing.T) {
 }
 
 func TestDistributionPlot(t *testing.T) {
-	h := num.NewHistogram(0, 10, 10)
+	h, err := num.NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
 	for i := 0; i < 1000; i++ {
 		h.Add(float64(i%10) + 0.5)
 	}
