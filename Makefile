@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race bench cover figures report serve clean
+.PHONY: all build vet lint test test-race chaos bench cover figures report serve clean
 
 all: build vet lint test
 
@@ -24,6 +24,14 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Chaos drill: the fault-injection and resilience tests under the race
+# detector, with an aggressive YAP_FAULTS plan steering the chaos suite
+# (tests that build their own injectors are unaffected). See
+# internal/faultinject for the spec grammar.
+CHAOS_FAULTS ?= seed=7,service.cache.get=0.15:error,service.cache.put=0.15:error,service.pool.admit=0.05:error,sim.w2w.wafer=0.03:error,sim.w2w.wafer=0.03:delay:200us,sim.d2w.die=0.02:error,sim.d2w.die=0.01:panic
+chaos:
+	YAP_FAULTS='$(CHAOS_FAULTS)' $(GO) test -race -run 'Chaos|Fault' ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -8,6 +8,15 @@
 //	yapserve [-addr :8080] [-config process.json] [-cache 1024]
 //	         [-max-sims n] [-sim-workers n] [-timeout 2m]
 //	         [-max-body bytes] [-max-sweep-points n]
+//	         [-max-queued n] [-retry-after 1s]
+//	         [-breaker-threshold n] [-breaker-cooldown 5s]
+//
+// Resilience: simulate admission beyond -max-queued waiting requests is
+// shed with 503 "overloaded" plus a Retry-After hint; a deadline that
+// fires mid-simulation returns the completed samples as a 200 with
+// "partial": true; repeated internal simulation failures trip a circuit
+// breaker. Setting YAP_FAULTS (see internal/faultinject) arms
+// deterministic fault injection for chaos drills.
 //
 // Endpoints:
 //
@@ -34,6 +43,7 @@ import (
 	"time"
 
 	"yap/internal/core"
+	"yap/internal/faultinject"
 	"yap/internal/service"
 )
 
@@ -45,9 +55,13 @@ func main() {
 		maxSims   = flag.Int("max-sims", 0, "max concurrently executing simulations (0 = GOMAXPROCS)")
 		workers   = flag.Int("sim-workers", 0, "default per-simulation parallelism (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request deadline for simulate/sweep (negative disables)")
-		maxBody   = flag.Int64("max-body", 1<<20, "request body limit in bytes")
-		maxPoints = flag.Int("max-sweep-points", 10000, "max points per sweep request")
-		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		maxBody     = flag.Int64("max-body", 1<<20, "request body limit in bytes")
+		maxPoints   = flag.Int("max-sweep-points", 10000, "max points per sweep request")
+		maxQueued   = flag.Int("max-queued", 0, "max simulate requests waiting for a pool slot before shedding 503 (0 = 4×max-sims, negative = no queue)")
+		retryAfter  = flag.Duration("retry-after", time.Second, "back-off hint on overloaded responses")
+		brkThresh   = flag.Int("breaker-threshold", 0, "consecutive internal simulation failures that trip the circuit breaker (0 = 8, negative disables)")
+		brkCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker sheds before probing")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "yapserve: ", log.LstdFlags)
@@ -61,6 +75,14 @@ func main() {
 		defaults = loaded
 	}
 
+	faults, err := faultinject.FromEnv()
+	if err != nil {
+		logger.Fatalf("invalid %s: %v", faultinject.EnvVar, err)
+	}
+	if faults != nil {
+		logger.Printf("fault injection ACTIVE: %s", faults)
+	}
+
 	srv := service.New(service.Config{
 		Defaults:          &defaults,
 		CacheSize:         *cacheSize,
@@ -69,8 +91,14 @@ func main() {
 		RequestTimeout:    *timeout,
 		MaxBodyBytes:      *maxBody,
 		MaxSweepPoints:    *maxPoints,
+		MaxQueuedSims:     *maxQueued,
+		RetryAfter:        *retryAfter,
+		BreakerThreshold:  *brkThresh,
+		BreakerCooldown:   *brkCooldown,
+		Faults:            faults,
 		Logger:            logger,
 	})
+	logger.Printf("resilience: %s", srv.ResilienceSummary())
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -97,6 +125,11 @@ func main() {
 	logger.Printf("shutting down, draining in-flight requests (budget %v)", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	// Stop simulation admission first (stragglers get 503 + Retry-After),
+	// then let the HTTP server wait out connections that hold responses.
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("pool drain: %v", err)
+	}
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			logger.Print("drain budget exhausted; closing remaining connections")

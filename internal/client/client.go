@@ -1,0 +1,276 @@
+// Package client is the resilient Go client for the yapserve HTTP API:
+// typed wrappers over /v1/evaluate, /v1/simulate, /v1/sweep and /healthz
+// that retry transient failures with capped exponential backoff and
+// deterministic jitter, honor the server's Retry-After hints (both the
+// whole-second header and the sub-second retry_after_ms body field), and
+// optionally stop hammering a struggling server through a client-side
+// circuit breaker. Permanent failures (4xx) surface immediately as typed
+// *APIError values carrying the machine-readable error code.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"yap/internal/resilience"
+	"yap/internal/service"
+)
+
+// Config tunes a Client. Only BaseURL is required.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient (for timeouts, transports,
+	// httptest servers).
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per call (first try included); 0 means 4.
+	MaxAttempts int
+	// Backoff paces retries; the zero value is usable (100ms base, 10s
+	// cap, factor 2, ±10% jitter). Give concurrent clients distinct Seeds
+	// so their retries decorrelate.
+	Backoff resilience.Backoff
+	// Breaker optionally sheds calls client-side after repeated transport
+	// or server failures; nil disables.
+	Breaker *resilience.Breaker
+	// MaxBodyBytes caps response bodies read into memory; 0 means 8 MiB.
+	MaxBodyBytes int64
+}
+
+// Client calls the yapserve API. Safe for concurrent use.
+type Client struct {
+	cfg Config
+}
+
+// New validates cfg and returns a ready Client.
+func New(cfg Config) (*Client, error) {
+	base := strings.TrimRight(cfg.BaseURL, "/")
+	if base == "" {
+		return nil, errors.New("client: BaseURL is required")
+	}
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		return nil, fmt.Errorf("client: BaseURL %q is not an http(s) URL", cfg.BaseURL)
+	}
+	cfg.BaseURL = base
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// APIError is a non-2xx response decoded into the server's error shape.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the machine-readable error code ("overloaded",
+	// "invalid_params", ...); "unknown" when the body was not the
+	// structured error shape.
+	Code string
+	// Message is the human-readable text.
+	Message string
+	// RetryAfter is the server's back-off hint (retry_after_ms body field
+	// preferred, Retry-After header otherwise), zero when absent.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Temporary reports whether retrying the identical request can succeed:
+// 429 and every 5xx qualify, other 4xx are permanent.
+func (e *APIError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
+
+// ErrAttemptsExhausted wraps the final failure after MaxAttempts tries.
+var ErrAttemptsExhausted = errors.New("client: retry attempts exhausted")
+
+// Evaluate calls POST /v1/evaluate.
+func (c *Client) Evaluate(ctx context.Context, req service.EvaluateRequest) (*service.EvaluateResponse, error) {
+	var resp service.EvaluateResponse
+	if err := c.do(ctx, "/v1/evaluate", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Simulate calls POST /v1/simulate. A deadline-limited run comes back
+// with Partial set rather than an error — inspect it when completeness
+// matters.
+func (c *Client) Simulate(ctx context.Context, req service.SimulateRequest) (*service.SimulateResponse, error) {
+	var resp service.SimulateResponse
+	if err := c.do(ctx, "/v1/simulate", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Sweep calls POST /v1/sweep.
+func (c *Client) Sweep(ctx context.Context, req service.SweepRequest) (*service.SweepResponse, error) {
+	var resp service.SweepResponse
+	if err := c.do(ctx, "/v1/sweep", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health calls GET /healthz.
+func (c *Client) Health(ctx context.Context) (*service.HealthResponse, error) {
+	var resp service.HealthResponse
+	if err := c.do(ctx, "/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// do runs the retry loop around one logical call: permanent failures and
+// context expiry return immediately, transient ones (connection errors,
+// 429, 5xx, an open client breaker) back off — honoring the larger of the
+// backoff schedule and the server's Retry-After hint — and try again.
+func (c *Client) do(ctx context.Context, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			delay := c.cfg.Backoff.Delay(attempt - 1)
+			if hint := retryAfterOf(lastErr); hint > delay {
+				delay = hint
+			}
+			if err := resilience.Sleep(ctx, delay); err != nil {
+				return fmt.Errorf("client: giving up while backing off: %w", errors.Join(err, lastErr))
+			}
+		}
+		err := c.once(ctx, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("client: request context done: %w", errors.Join(ctx.Err(), err))
+		}
+		if !temporary(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("client: %d attempts failed: %w", c.cfg.MaxAttempts, errors.Join(ErrAttemptsExhausted, lastErr))
+}
+
+// once performs a single HTTP exchange, consulting the client-side
+// breaker. Outcome recording: transport errors and 5xx count as failures;
+// any parseable HTTP response below 500 counts as success (the server is
+// reachable and judging requests, which is what the breaker protects).
+func (c *Client) once(ctx context.Context, path string, payload []byte, out any) error {
+	if err := c.cfg.Breaker.Allow(); err != nil {
+		return err
+	}
+	method := http.MethodPost
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	} else {
+		method = http.MethodGet
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, body)
+	if err != nil {
+		c.cfg.Breaker.Record(true) // construction failure says nothing about the server
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			// A transport-level failure with a live context indicts the
+			// server side; a context-killed exchange is neutral.
+			c.cfg.Breaker.Record(false)
+		}
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	data, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		c.cfg.Breaker.Record(false)
+		return fmt.Errorf("client: reading %s response: %w", path, err)
+	}
+	if resp.StatusCode >= 300 {
+		apiErr := decodeAPIError(resp, data)
+		c.cfg.Breaker.Record(resp.StatusCode < 500)
+		return apiErr
+	}
+	c.cfg.Breaker.Record(true)
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError, extracting
+// the back-off hint from the body (millisecond precision) or the
+// Retry-After header.
+func decodeAPIError(resp *http.Response, data []byte) *APIError {
+	apiErr := &APIError{Status: resp.StatusCode, Code: "unknown", Message: strings.TrimSpace(string(data))}
+	var wire service.ErrorResponse
+	if err := json.Unmarshal(data, &wire); err == nil && wire.Error.Code != "" {
+		apiErr.Code = wire.Error.Code
+		apiErr.Message = wire.Error.Message
+		if wire.Error.RetryAfterMs > 0 {
+			apiErr.RetryAfter = time.Duration(wire.Error.RetryAfterMs) * time.Millisecond
+		}
+	}
+	if apiErr.RetryAfter == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
+}
+
+// temporary reports whether err is worth retrying.
+func temporary(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Temporary()
+	}
+	if errors.Is(err, resilience.ErrBreakerOpen) {
+		return true // the cooldown may elapse within the backoff schedule
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	// Transport-level errors (connection refused, reset) are transient.
+	return true
+}
+
+// retryAfterOf extracts a server or breaker back-off hint from err.
+func retryAfterOf(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter
+	}
+	var open *resilience.BreakerOpenError
+	if errors.As(err, &open) {
+		return open.RetryAfter
+	}
+	return 0
+}

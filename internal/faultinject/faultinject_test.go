@@ -1,0 +1,186 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsDisabled(t *testing.T) {
+	var inj *Injector
+	if err := inj.Fire(context.Background(), HookSimW2WWafer); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if s := inj.Stats(); len(s) != 0 {
+		t.Errorf("nil injector has stats: %v", s)
+	}
+}
+
+func TestUnmatchedHookIsFree(t *testing.T) {
+	inj := New(1, Rule{Hook: HookCacheGet, Mode: ModeError, Probability: 1})
+	if err := inj.Fire(context.Background(), HookSimW2WWafer); err != nil {
+		t.Fatalf("unmatched hook fired: %v", err)
+	}
+}
+
+func TestErrorRuleWrapsSentinel(t *testing.T) {
+	inj := New(1, Rule{Hook: HookSimW2WWafer, Mode: ModeError, Probability: 1})
+	err := inj.Fire(context.Background(), HookSimW2WWafer)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if !strings.Contains(err.Error(), HookSimW2WWafer) {
+		t.Errorf("error %q does not name the hook", err)
+	}
+}
+
+func TestPanicRuleFires(t *testing.T) {
+	inj := New(1, Rule{Hook: "h", Mode: ModePanic, Probability: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic rule did not panic")
+		}
+	}()
+	_ = inj.Fire(context.Background(), "h")
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	inj := New(1, Rule{Hook: "h", Mode: ModeDelay, Probability: 1, Delay: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := inj.Fire(ctx, "h")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("delay ignored the context: slept %v", d)
+	}
+}
+
+func TestProbabilityIsDeterministicPerHook(t *testing.T) {
+	draws := func() []bool {
+		inj := New(42, Rule{Hook: "h", Mode: ModeError, Probability: 0.5})
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, inj.Fire(context.Background(), "h") != nil)
+		}
+		return out
+	}
+	a, b := draws(), draws()
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between identical injectors", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Errorf("p=0.5 rule hit %d/%d times; stream looks degenerate", hits, len(a))
+	}
+}
+
+func TestDistinctHooksUseDistinctStreams(t *testing.T) {
+	inj := New(42, Rule{Hook: "*", Mode: ModeError, Probability: 0.5})
+	same := true
+	for i := 0; i < 64 && same; i++ {
+		a := inj.Fire(context.Background(), "hook-a") != nil
+		b := inj.Fire(context.Background(), "hook-b") != nil
+		same = a == b
+	}
+	if same {
+		t.Error("two hooks drew identical 64-draw sequences; streams are not hook-separated")
+	}
+}
+
+func TestWildcardMatching(t *testing.T) {
+	cases := []struct {
+		rule, hook string
+		want       bool
+	}{
+		{"*", "anything", true},
+		{"sim.*", "sim.w2w.wafer", true},
+		{"sim.*", "service.cache.get", false},
+		{"sim.w2w.wafer", "sim.w2w.wafer", true},
+		{"sim.w2w.wafer", "sim.d2w.die", false},
+	}
+	for _, c := range cases {
+		if got := (Rule{Hook: c.rule}).matches(c.hook); got != c.want {
+			t.Errorf("rule %q matches %q = %v, want %v", c.rule, c.hook, got, c.want)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	inj, err := ParseSpec("seed=7,sim.w2w.wafer=0.05:error,sim.*=0.2:delay:2ms,service.pool.admit=0.01:panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.seed != 7 {
+		t.Errorf("seed = %d, want 7", inj.seed)
+	}
+	if len(inj.rules) != 3 {
+		t.Fatalf("got %d rules, want 3", len(inj.rules))
+	}
+	if r := inj.rules[1]; r.Mode != ModeDelay || r.Delay != 2*time.Millisecond {
+		t.Errorf("delay rule parsed as %+v", r)
+	}
+	if !strings.Contains(inj.String(), "sim.w2w.wafer=0.05:error") {
+		t.Errorf("String() = %q misses the error rule", inj.String())
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"",                          // no rules
+		"justahook",                 // not key=value
+		"h=2:error",                 // probability out of range
+		"h=0.5:detonate",            // unknown mode
+		"h=0.5:error:2ms",           // duration on a non-delay rule
+		"h=0.5:delay:soon",          // bad duration
+		"seed=notanumber,h=1:error", // bad seed
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted garbage", spec)
+		}
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv(EnvVar, "")
+	if inj, err := FromEnv(); inj != nil || err != nil {
+		t.Fatalf("empty env: got (%v, %v), want (nil, nil)", inj, err)
+	}
+	t.Setenv(EnvVar, "sim.*=1:error")
+	inj, err := FromEnv()
+	if err != nil || inj == nil {
+		t.Fatalf("valid env: got (%v, %v)", inj, err)
+	}
+	t.Setenv(EnvVar, "bogus")
+	if _, err := FromEnv(); err == nil {
+		t.Fatal("bogus env accepted")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	inj := New(3,
+		Rule{Hook: "h", Mode: ModeError, Probability: 1},
+		Rule{Hook: "h", Mode: ModeDelay, Probability: 1, Delay: time.Microsecond},
+	)
+	for i := 0; i < 5; i++ {
+		_ = inj.Fire(context.Background(), "h")
+	}
+	st := inj.Stats()["h"]
+	// The delay rule draws first only if it precedes the error rule;
+	// order in New is preserved, so errors fire and short-circuit delays.
+	if st.Rolls == 0 || st.Errors != 5 {
+		t.Errorf("stats = %+v, want 5 errors", st)
+	}
+	if !strings.Contains(inj.StatsString(), "h:") {
+		t.Errorf("StatsString() = %q misses hook h", inj.StatsString())
+	}
+}

@@ -8,13 +8,17 @@ import (
 
 // deterministicPaths root the package trees whose behaviour must be a
 // pure function of their seed/inputs: the Monte-Carlo simulator, its
-// random substrate, and the analytic core whose CanonicalHash backs the
-// service cache. (The paper's validation methodology depends on seeded
-// replays being bit-identical.) Subpackages inherit the constraint.
+// random substrate, the analytic core whose CanonicalHash backs the
+// service cache, and the fault injector whose whole point is replayable
+// chaos — an injected fault schedule that drifted between runs would
+// make failures unreproducible. (The paper's validation methodology
+// depends on seeded replays being bit-identical.) Subpackages inherit
+// the constraint.
 var deterministicPaths = []string{
 	"yap/internal/sim",
 	"yap/internal/randx",
 	"yap/internal/core",
+	"yap/internal/faultinject",
 }
 
 // inTree reports whether path is root itself or a subpackage of it.

@@ -19,6 +19,9 @@ var goldenCases = []struct {
 	analyzer   *Analyzer
 }{
 	{"determinism", "yap/internal/sim", Determinism},
+	// The same golden findings must fire when the package sits in the
+	// faultinject tree — injection schedules are seeded streams too.
+	{"determinism", "yap/internal/faultinject", Determinism},
 	{"unitsafety", "yap/example/unitsafety", UnitSafety},
 	{"ctxprop", "yap/internal/service", CtxPropagation},
 	{"errwrap", "yap/example/errwrap", ErrWrap},

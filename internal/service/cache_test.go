@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"yap/internal/core"
@@ -97,5 +98,35 @@ func TestResultCacheConcurrent(t *testing.T) {
 	}
 	for g := 0; g < 8; g++ {
 		<-done
+	}
+}
+
+func TestResultCacheConcurrentEvictionChurn(t *testing.T) {
+	// Heavy churn with a keyset far larger than capacity forces constant
+	// eviction from every goroutine at once; the invariant under churn is
+	// that Len never exceeds capacity and hits only return stored values.
+	const capacity = 4
+	c := newResultCache(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p := core.Baseline().WithPitch(float64(2+(g*500+i)%64) * 1e-6)
+				h := p.CanonicalHash()
+				c.Put("w2w", h, p, core.Breakdown{Total: 1})
+				if b, ok := c.Get("w2w", h, p); ok && b.Total != 1 {
+					t.Errorf("hit returned foreign value %+v", b)
+				}
+				if n := c.Len(); n > capacity {
+					t.Errorf("len %d exceeds capacity %d mid-churn", n, capacity)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > capacity {
+		t.Errorf("len %d exceeds capacity %d after churn", n, capacity)
 	}
 }

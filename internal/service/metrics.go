@@ -23,6 +23,13 @@ type metrics struct {
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
 	simSamples  counterVec // labels: mode — dies simulated to completion
+
+	// Resilience counters: requests refused by admission control, handler
+	// panics converted to 500s, and simulations answered partially after
+	// their deadline fired.
+	shedTotal       atomic.Uint64
+	panicsRecovered atomic.Uint64
+	partialResults  atomic.Uint64
 }
 
 func newMetrics(endpoints []string) *metrics {
@@ -151,6 +158,16 @@ func (m *metrics) writePrometheus(w io.Writer, gauges map[string]int64) {
 	for _, lv := range m.simSamples.snapshot() {
 		fmt.Fprintf(w, "yapserve_sim_samples_total{mode=%q} %d\n", lv.label, lv.value)
 	}
+
+	fmt.Fprintln(w, "# HELP yapserve_shed_total Requests refused by admission control (503 overloaded).")
+	fmt.Fprintln(w, "# TYPE yapserve_shed_total counter")
+	fmt.Fprintf(w, "yapserve_shed_total %d\n", m.shedTotal.Load())
+	fmt.Fprintln(w, "# HELP yapserve_panics_recovered_total Handler panics converted to 500 responses.")
+	fmt.Fprintln(w, "# TYPE yapserve_panics_recovered_total counter")
+	fmt.Fprintf(w, "yapserve_panics_recovered_total %d\n", m.panicsRecovered.Load())
+	fmt.Fprintln(w, "# HELP yapserve_partial_results_total Simulations answered partially after their deadline fired.")
+	fmt.Fprintln(w, "# TYPE yapserve_partial_results_total counter")
+	fmt.Fprintf(w, "yapserve_partial_results_total %d\n", m.partialResults.Load())
 
 	fmt.Fprintln(w, "# HELP yapserve_inflight_requests Requests currently being served.")
 	fmt.Fprintln(w, "# TYPE yapserve_inflight_requests gauge")

@@ -2,56 +2,80 @@ package service
 
 import (
 	"context"
-	"sync/atomic"
+
+	"yap/internal/faultinject"
+	"yap/internal/resilience"
 )
 
 // workerPool bounds the number of concurrently executing heavy jobs
 // (Monte-Carlo runs, sweep-point evaluations) across ALL requests, so a
-// burst of simulation traffic degrades into queueing instead of
-// oversubscribing the machine: each admitted simulation still fans its
-// wafer batches out across goroutines internally (sim.Options.Workers),
-// and the pool caps how many such runs execute at once.
+// burst of simulation traffic degrades into bounded queueing — and beyond
+// the queue bound into load shedding — instead of oversubscribing the
+// machine: each admitted simulation still fans its wafer batches out
+// across goroutines internally (sim.Options.Workers), and the pool caps
+// how many such runs execute at once.
 //
 // Admission is FIFO-ish (Go channel semantics) and context-aware: a
-// caller whose context fires while queued is never admitted.
+// caller whose context fires while queued is never admitted. A caller
+// arriving when every slot is busy AND the wait queue is at its bound is
+// refused immediately with resilience.ErrOverloaded, which the handlers
+// surface as 503 "overloaded" with a Retry-After hint.
 type workerPool struct {
-	slots  chan struct{}
-	queued atomic.Int64
-	active atomic.Int64
+	shed   *resilience.Shedder
+	faults *faultinject.Injector
 }
 
-func newWorkerPool(capacity int) *workerPool {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &workerPool{slots: make(chan struct{}, capacity)}
+func newWorkerPool(capacity, maxQueue int, faults *faultinject.Injector) *workerPool {
+	return &workerPool{shed: resilience.NewShedder(capacity, maxQueue), faults: faults}
 }
 
 // Capacity returns the maximum number of concurrently executing jobs.
-func (p *workerPool) Capacity() int { return cap(p.slots) }
+func (p *workerPool) Capacity() int { return p.shed.Capacity() }
+
+// QueueCapacity returns the maximum number of callers allowed to wait.
+func (p *workerPool) QueueCapacity() int { return p.shed.QueueCapacity() }
 
 // Queued returns the number of callers waiting for a slot.
-func (p *workerPool) Queued() int64 { return p.queued.Load() }
+func (p *workerPool) Queued() int64 { return p.shed.Queued() }
 
 // Active returns the number of jobs currently executing.
-func (p *workerPool) Active() int64 { return p.active.Load() }
+func (p *workerPool) Active() int64 { return p.shed.Active() }
 
-// Run executes f once a pool slot is free, blocking until then. It
-// returns ctx's error without running f if the context fires first.
+// Shed counts admissions refused with resilience.ErrOverloaded.
+func (p *workerPool) Shed() uint64 { return p.shed.Shed() }
+
+// Run executes f once a pool slot is free, waiting in the bounded queue.
+// It returns resilience.ErrOverloaded without running f when the queue is
+// full, resilience.ErrShutdown after Shutdown begins, or ctx's error if
+// the context fires while queued.
 func (p *workerPool) Run(ctx context.Context, f func()) error {
-	p.queued.Add(1)
-	select {
-	case p.slots <- struct{}{}:
-		p.queued.Add(-1)
-	case <-ctx.Done():
-		p.queued.Add(-1)
-		return ctx.Err()
+	if err := p.faults.Fire(ctx, faultinject.HookPoolAdmit); err != nil {
+		return err
 	}
-	p.active.Add(1)
-	defer func() {
-		p.active.Add(-1)
-		<-p.slots
-	}()
+	if err := p.shed.Acquire(ctx); err != nil {
+		return err
+	}
+	defer p.shed.Release()
 	f()
 	return nil
+}
+
+// RunQueued is Run without the queue bound: it blocks until a slot frees
+// or ctx fires. It exists for work already admitted at a coarser
+// granularity — the per-point fan-out of one accepted sweep request —
+// where shedding individual sub-jobs would tear half-finished batches.
+func (p *workerPool) RunQueued(ctx context.Context, f func()) error {
+	if err := p.shed.AcquireWait(ctx); err != nil {
+		return err
+	}
+	defer p.shed.Release()
+	f()
+	return nil
+}
+
+// Shutdown stops admitting new jobs and waits for in-flight ones to
+// drain, or until ctx fires.
+func (p *workerPool) Shutdown(ctx context.Context) error {
+	p.shed.Close()
+	return p.shed.Drain(ctx)
 }

@@ -7,10 +7,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"yap/internal/faultinject"
+	"yap/internal/resilience"
 )
 
 func TestWorkerPoolBoundsConcurrency(t *testing.T) {
-	p := newWorkerPool(3)
+	p := newWorkerPool(3, 10, nil)
 	if p.Capacity() != 3 {
 		t.Fatalf("capacity %d", p.Capacity())
 	}
@@ -49,7 +53,7 @@ func TestWorkerPoolBoundsConcurrency(t *testing.T) {
 }
 
 func TestWorkerPoolCanceledWhileQueued(t *testing.T) {
-	p := newWorkerPool(1)
+	p := newWorkerPool(1, 4, nil)
 	block := make(chan struct{})
 	started := make(chan struct{})
 	go p.Run(context.Background(), func() { close(started); <-block })
@@ -66,4 +70,107 @@ func TestWorkerPoolCanceledWhileQueued(t *testing.T) {
 		t.Error("canceled job ran")
 	}
 	close(block)
+}
+
+func TestWorkerPoolShedsBeyondQueueDepth(t *testing.T) {
+	p := newWorkerPool(1, 1, nil)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Run(context.Background(), func() { close(started); <-block }) //nolint:errcheck
+	<-started
+
+	// One caller fits in the queue...
+	queuedErr := make(chan error, 1)
+	go func() { queuedErr <- p.Run(context.Background(), func() {}) }()
+	for p.Queued() == 0 {
+		runtime.Gosched()
+	}
+
+	// ...the next is shed immediately instead of blocking.
+	ran := false
+	err := p.Run(context.Background(), func() { ran = true })
+	if !errors.Is(err, resilience.ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	if ran {
+		t.Error("shed job ran")
+	}
+	if p.Shed() != 1 {
+		t.Errorf("Shed() = %d, want 1", p.Shed())
+	}
+
+	// RunQueued still admits (it bypasses the queue bound by design).
+	bypassErr := make(chan error, 1)
+	go func() { bypassErr <- p.RunQueued(context.Background(), func() {}) }()
+	for p.Queued() < 2 {
+		runtime.Gosched()
+	}
+	close(block)
+	if err := <-queuedErr; err != nil {
+		t.Errorf("queued job: %v", err)
+	}
+	if err := <-bypassErr; err != nil {
+		t.Errorf("bypass job: %v", err)
+	}
+}
+
+func TestWorkerPoolShutdownDrains(t *testing.T) {
+	p := newWorkerPool(2, 4, nil)
+	block := make(chan struct{})
+	started := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go p.Run(context.Background(), func() { started <- struct{}{}; <-block }) //nolint:errcheck
+	}
+	<-started
+	<-started
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- p.Shutdown(ctx)
+	}()
+
+	// Admission is refused as soon as Close lands; poll with a dead
+	// context so a pre-Close probe returns Canceled instead of queueing.
+	probeCtx, cancelProbe := context.WithCancel(context.Background())
+	cancelProbe()
+	for {
+		err := p.Run(probeCtx, func() {})
+		if errors.Is(err, resilience.ErrShutdown) {
+			break
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("probe during shutdown: %v", err)
+		}
+		runtime.Gosched()
+	}
+
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned with jobs in flight: %v", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if p.Active() != 0 {
+		t.Errorf("active = %d after drain", p.Active())
+	}
+}
+
+func TestWorkerPoolAdmitFaultHook(t *testing.T) {
+	inj := faultinject.New(1, faultinject.Rule{
+		Hook: faultinject.HookPoolAdmit, Mode: faultinject.ModeError, Probability: 1,
+	})
+	p := newWorkerPool(2, 4, inj)
+	ran := false
+	err := p.Run(context.Background(), func() { ran = true })
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if ran || p.Active() != 0 {
+		t.Error("faulted admission ran the job or leaked a slot")
+	}
 }

@@ -11,11 +11,17 @@
 // Design notes. Analytic evaluations are pure functions of the parameter
 // set, so they are memoized in an LRU cache keyed on the canonical hash
 // of core.Params — a repeated evaluate answers without touching the
-// model. Simulations are admitted through a bounded pool (so a traffic
-// burst queues instead of oversubscribing the host) and run with the
-// request's context threaded into the wafer loop: a disconnecting client
-// or an expired per-request deadline aborts its wafers within one
-// sample's latency. Everything is stdlib-only.
+// model. Simulations are admitted through a bounded pool with a bounded
+// wait queue (so a traffic burst queues, and beyond the queue bound is
+// shed with 503 "overloaded" plus a Retry-After hint, instead of
+// oversubscribing the host) and run with the request's context threaded
+// into the wafer loop: a disconnecting client aborts its wafers within
+// one sample's latency, while an expired per-request deadline degrades
+// gracefully into a 200 response carrying the partial tallies ("partial":
+// true). Handler panics are recovered into 500s, repeated internal
+// simulation failures trip a circuit breaker, and every failure path is
+// reachable deterministically through internal/faultinject. Everything is
+// stdlib-only.
 package service
 
 import (
@@ -27,11 +33,15 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"yap/internal/core"
+	"yap/internal/faultinject"
+	"yap/internal/resilience"
 	"yap/internal/sim"
 )
 
@@ -58,6 +68,25 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxSweepPoints caps the points of one sweep request; 0 means 10000.
 	MaxSweepPoints int
+	// MaxQueuedSims bounds how many simulate requests may wait for a pool
+	// slot before admission control sheds with 503 "overloaded"; 0 means
+	// 4×MaxConcurrentSims, negative means no waiting (shed whenever every
+	// slot is busy).
+	MaxQueuedSims int
+	// RetryAfter is the back-off hint attached to "overloaded" responses
+	// (Retry-After header and retry_after_ms body field); 0 means 1s.
+	RetryAfter time.Duration
+	// BreakerThreshold is the consecutive-internal-failure count that trips
+	// the simulate circuit breaker; 0 means 8, negative disables the
+	// breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker sheds before probing;
+	// 0 means 5s.
+	BreakerCooldown time.Duration
+	// Faults optionally arms deterministic fault injection in the cache,
+	// pool-admission and simulation paths (see internal/faultinject); nil
+	// — the production default — disables injection.
+	Faults *faultinject.Injector
 	// Logger receives one line per failed request; nil disables logging.
 	Logger *log.Logger
 }
@@ -85,6 +114,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxSweepPoints <= 0 {
 		c.MaxSweepPoints = 10000
 	}
+	if c.MaxQueuedSims == 0 {
+		c.MaxQueuedSims = 4 * c.MaxConcurrentSims
+	}
+	if c.MaxQueuedSims < 0 {
+		c.MaxQueuedSims = 0
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 8
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 	return c
 }
 
@@ -99,6 +143,7 @@ type Server struct {
 	cfg     Config
 	cache   *resultCache
 	pool    *workerPool
+	breaker *resilience.Breaker // nil when disabled
 	metrics *metrics
 	mux     *http.ServeMux
 	started time.Time
@@ -110,10 +155,16 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		cache:   newResultCache(cfg.CacheSize),
-		pool:    newWorkerPool(cfg.MaxConcurrentSims),
+		pool:    newWorkerPool(cfg.MaxConcurrentSims, cfg.MaxQueuedSims, cfg.Faults),
 		metrics: newMetrics(endpoints),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
+	}
+	if cfg.BreakerThreshold > 0 {
+		s.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+			Threshold: cfg.BreakerThreshold,
+			Cooldown:  cfg.BreakerCooldown,
+		})
 	}
 	s.mux.HandleFunc("/v1/evaluate", s.instrument("evaluate", http.MethodPost, s.handleEvaluate))
 	s.mux.HandleFunc("/v1/simulate", s.instrument("simulate", http.MethodPost, s.handleSimulate))
@@ -127,37 +178,61 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// statusWriter captures the response code for instrumentation.
+// statusWriter captures the response code for instrumentation and whether
+// anything was written yet (so the panic-recovery middleware knows if a
+// 500 can still be sent).
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
 // instrument wraps a handler with method enforcement, body limiting,
-// in-flight/latency/request accounting and error logging.
+// panic recovery, in-flight/latency/request accounting and error logging.
+// A panicking handler becomes a 500 "internal" response (when no bytes
+// have been written yet) with the stack logged — one bad request must
+// never take the daemon down.
 func (s *Server) instrument(endpoint, method string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.panicsRecovered.Add(1)
+				if s.cfg.Logger != nil {
+					s.cfg.Logger.Printf("panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				}
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "internal",
+						fmt.Sprintf("internal error serving %s", r.URL.Path))
+				}
+			}
+			s.metrics.observeRequest(endpoint, sw.code, time.Since(start))
+			if sw.code >= 400 && s.cfg.Logger != nil {
+				s.cfg.Logger.Printf("%s %s -> %d", r.Method, r.URL.Path, sw.code)
+			}
+		}()
 		if r.Method != method {
 			sw.Header().Set("Allow", method)
 			writeError(sw, http.StatusMethodNotAllowed, "method_not_allowed",
 				fmt.Sprintf("%s requires %s", r.URL.Path, method))
-		} else {
-			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
-			h(sw, r)
+			return
 		}
-		s.metrics.observeRequest(endpoint, sw.code, time.Since(start))
-		if sw.code >= 400 && s.cfg.Logger != nil {
-			s.cfg.Logger.Printf("%s %s -> %d", r.Method, r.URL.Path, sw.code)
-		}
+		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		h(sw, r)
 	}
 }
 
@@ -171,6 +246,26 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, ErrorResponse{Error: ErrorDetail{Code: code, Message: msg}})
+}
+
+// writeOverloaded emits a 503 "overloaded" with the back-off hint both as
+// a Retry-After header (whole seconds, rounded up, per RFC 9110) and as
+// retry_after_ms in the body for sub-second precision.
+func (s *Server) writeOverloaded(w http.ResponseWriter, msg string, retryAfter time.Duration) {
+	if retryAfter <= 0 {
+		retryAfter = s.cfg.RetryAfter
+	}
+	s.metrics.shedTotal.Add(1)
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: ErrorDetail{
+		Code:         "overloaded",
+		Message:      msg,
+		RetryAfterMs: retryAfter.Milliseconds(),
+	}})
 }
 
 // decodeRequest strictly decodes the body into dst, mapping failure
@@ -223,11 +318,16 @@ func evalModes(mode string) (w2w, d2w bool, err error) {
 }
 
 // evaluateCached returns the analytic breakdown for (mode, p), consulting
-// the LRU first. mode is "w2w" or "d2w".
-func (s *Server) evaluateCached(mode string, hash uint64, p core.Params) (core.Breakdown, bool, error) {
-	if b, ok := s.cache.Get(mode, hash, p); ok {
-		s.metrics.cacheHits.Add(1)
-		return b, true, nil
+// the LRU first. mode is "w2w" or "d2w". The cache is a pure
+// optimization, so injected faults degrade it rather than the request: a
+// fault at the get hook turns the lookup into a miss, a fault at the put
+// hook skips the store.
+func (s *Server) evaluateCached(ctx context.Context, mode string, hash uint64, p core.Params) (core.Breakdown, bool, error) {
+	if err := s.cfg.Faults.Fire(ctx, faultinject.HookCacheGet); err == nil {
+		if b, ok := s.cache.Get(mode, hash, p); ok {
+			s.metrics.cacheHits.Add(1)
+			return b, true, nil
+		}
 	}
 	s.metrics.cacheMisses.Add(1)
 	var b core.Breakdown
@@ -240,7 +340,9 @@ func (s *Server) evaluateCached(mode string, hash uint64, p core.Params) (core.B
 	if err != nil {
 		return core.Breakdown{}, false, err
 	}
-	s.cache.Put(mode, hash, p, b)
+	if err := s.cfg.Faults.Fire(ctx, faultinject.HookCachePut); err == nil {
+		s.cache.Put(mode, hash, p, b)
+	}
 	return b, false, nil
 }
 
@@ -261,7 +363,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := EvaluateResponse{ParamsHash: p.HashString(), Cached: true}
 	if wantW2W {
-		b, cached, err := s.evaluateCached("w2w", hash, p)
+		b, cached, err := s.evaluateCached(r.Context(), "w2w", hash, p)
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, "invalid_params", err.Error())
 			return
@@ -270,7 +372,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		resp.Cached = resp.Cached && cached
 	}
 	if wantD2W {
-		b, cached, err := s.evaluateCached("d2w", hash, p)
+		b, cached, err := s.evaluateCached(r.Context(), "d2w", hash, p)
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, "invalid_params", err.Error())
 			return
@@ -315,6 +417,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		Wafers:  req.Wafers,
 		Dies:    req.Dies,
 		Workers: workers,
+		Faults:  s.cfg.Faults,
+	}
+
+	// The breaker guards the simulation engine, so it is consulted only
+	// after validation: malformed requests say nothing about its health.
+	if err := s.breaker.Allow(); err != nil {
+		var open *resilience.BreakerOpenError
+		retryAfter := s.cfg.RetryAfter
+		if errors.As(err, &open) && open.RetryAfter > 0 {
+			retryAfter = open.RetryAfter
+		}
+		s.writeOverloaded(w, "simulation circuit breaker open; retry later", retryAfter)
+		return
 	}
 
 	ctx := r.Context()
@@ -335,11 +450,42 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		runErr = err
 	}
 	if runErr != nil {
+		// Only internal engine failures count against the breaker;
+		// cancellations, overload sheds and bad parameters are neutral.
+		if isInternalSimError(runErr) {
+			s.breaker.Record(false)
+		}
 		s.writeSimError(w, runErr)
 		return
 	}
+	s.breaker.Record(true)
+	if res.Partial {
+		// The server-side deadline fired but wafers completed: degrade
+		// gracefully into a 200 carrying the partial tallies — unless the
+		// CLIENT is gone, in which case nothing useful can be delivered.
+		if r.Context().Err() != nil {
+			writeError(w, statusClientClosedRequest, "canceled", "client canceled the request")
+			return
+		}
+		s.metrics.partialResults.Add(1)
+	}
 	s.metrics.simSamples.get(mode).Add(uint64(res.Counts.Dies))
 	writeJSON(w, http.StatusOK, simulateResponseFrom(res, p.HashString(), req.Seed, workers))
+}
+
+// isInternalSimError reports whether a simulate failure indicts the
+// engine itself (and so should count against the circuit breaker) rather
+// than the client or the admission layer.
+func isInternalSimError(err error) bool {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, resilience.ErrOverloaded),
+		errors.Is(err, resilience.ErrShutdown),
+		errors.Is(err, sim.ErrNoDies):
+		return false
+	}
+	return true
 }
 
 // statusClientClosedRequest is nginx's non-standard 499: the client went
@@ -349,6 +495,10 @@ const statusClientClosedRequest = 499
 
 func (s *Server) writeSimError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, resilience.ErrOverloaded):
+		s.writeOverloaded(w, "simulation queue full; retry later", 0)
+	case errors.Is(err, resilience.ErrShutdown):
+		s.writeOverloaded(w, "server is shutting down", 0)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusServiceUnavailable, "deadline_exceeded",
 			"simulation exceeded the request deadline; reduce samples or raise the server timeout")
@@ -390,16 +540,27 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	// Each point evaluates independently through the shared pool; an
 	// invalid point reports its error in place (partial failure) instead
-	// of failing the batch.
+	// of failing the batch. Points use the unbounded-queue admission path
+	// — the batch was already admitted as one request and is bounded by
+	// MaxSweepPoints, so shedding individual points would tear it.
 	results := make([]SweepPoint, len(req.Points))
 	var wg sync.WaitGroup
 	for i, raw := range req.Points {
 		wg.Add(1)
 		go func(i int, raw json.RawMessage) {
 			defer wg.Done()
+			// The instrument middleware's recover sits on the request
+			// goroutine; a panic here (e.g. an injected cache fault) must
+			// be folded into the point's error instead.
+			defer func() {
+				if rec := recover(); rec != nil {
+					s.metrics.panicsRecovered.Add(1)
+					results[i].Error = fmt.Sprintf("internal: %v", rec)
+				}
+			}()
 			results[i] = SweepPoint{Index: i}
-			err := s.pool.Run(ctx, func() {
-				results[i] = s.evaluatePoint(i, raw, wantW2W, wantD2W)
+			err := s.pool.RunQueued(ctx, func() {
+				results[i] = s.evaluatePoint(ctx, i, raw, wantW2W, wantD2W)
 			})
 			if err != nil {
 				results[i].Error = err.Error()
@@ -423,7 +584,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 // evaluatePoint resolves and evaluates one sweep point, folding any
 // failure into the point's Error field.
-func (s *Server) evaluatePoint(i int, raw json.RawMessage, wantW2W, wantD2W bool) SweepPoint {
+func (s *Server) evaluatePoint(ctx context.Context, i int, raw json.RawMessage, wantW2W, wantD2W bool) SweepPoint {
 	pt := SweepPoint{Index: i}
 	p, hash, err := s.resolveParams(raw)
 	if err != nil {
@@ -433,7 +594,7 @@ func (s *Server) evaluatePoint(i int, raw json.RawMessage, wantW2W, wantD2W bool
 	pt.ParamsHash = p.HashString()
 	pt.Cached = true
 	if wantW2W {
-		b, cached, err := s.evaluateCached("w2w", hash, p)
+		b, cached, err := s.evaluateCached(ctx, "w2w", hash, p)
 		if err != nil {
 			pt.Error = err.Error()
 			return pt
@@ -442,7 +603,7 @@ func (s *Server) evaluatePoint(i int, raw json.RawMessage, wantW2W, wantD2W bool
 		pt.Cached = pt.Cached && cached
 	}
 	if wantD2W {
-		b, cached, err := s.evaluateCached("d2w", hash, p)
+		b, cached, err := s.evaluateCached(ctx, "d2w", hash, p)
 		if err != nil {
 			pt.Error = err.Error()
 			return pt
@@ -463,10 +624,37 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writePrometheus(w, map[string]int64{
-		"yapserve_cache_entries":  int64(s.cache.Len()),
-		"yapserve_pool_capacity":  int64(s.pool.Capacity()),
-		"yapserve_pool_active":    s.pool.Active(),
-		"yapserve_pool_queued":    s.pool.Queued(),
-		"yapserve_uptime_seconds": int64(time.Since(s.started).Seconds()),
+		"yapserve_cache_entries":       int64(s.cache.Len()),
+		"yapserve_pool_capacity":       int64(s.pool.Capacity()),
+		"yapserve_pool_queue_capacity": int64(s.pool.QueueCapacity()),
+		"yapserve_pool_active":         s.pool.Active(),
+		"yapserve_pool_queued":         s.pool.Queued(),
+		"yapserve_breaker_state":       int64(s.breaker.State()),
+		"yapserve_uptime_seconds":      int64(time.Since(s.started).Seconds()),
 	})
+}
+
+// Shutdown stops admitting simulation work and waits for in-flight jobs
+// to drain, or until ctx fires. New simulate/sweep admissions fail with
+// 503 "overloaded" while the drain runs; evaluate, healthz and metrics
+// keep answering (they hold no pool slots), so load balancers can watch
+// the drain. Call it after the embedding http.Server has stopped
+// accepting connections (or concurrently — the pool refuses stragglers).
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.pool.Shutdown(ctx)
+}
+
+// ResilienceSummary renders the admission-control and fault-tolerance
+// configuration in one line, for startup logs.
+func (s *Server) ResilienceSummary() string {
+	breaker := "off"
+	if s.breaker != nil {
+		breaker = fmt.Sprintf("threshold=%d cooldown=%v", s.cfg.BreakerThreshold, s.cfg.BreakerCooldown)
+	}
+	faults := "off"
+	if s.cfg.Faults != nil {
+		faults = s.cfg.Faults.String()
+	}
+	return fmt.Sprintf("pool=%d queue=%d retry-after=%v breaker[%s] faults[%s]",
+		s.pool.Capacity(), s.pool.QueueCapacity(), s.cfg.RetryAfter, breaker, faults)
 }

@@ -289,14 +289,34 @@ func TestSimulateClientCancellationAbortsRun(t *testing.T) {
 	}
 }
 
-func TestSimulateDeadlineExceeded(t *testing.T) {
+func TestSimulateDeadlineReturnsPartial(t *testing.T) {
+	// A server-side deadline that fires mid-run no longer throws the
+	// finished wafers away: the response is a 200 with "partial": true and
+	// the completed/requested accounting.
 	s := New(Config{RequestTimeout: 50 * time.Millisecond})
 	w := post(t, s, "/v1/simulate", `{"mode": "w2w", "seed": 1, "wafers": 1048576, "workers": 2}`)
-	if w.Code != http.StatusServiceUnavailable {
+	if w.Code == http.StatusServiceUnavailable {
+		// Legal only when zero wafers completed before the deadline.
+		if code := errorCode(t, w); code != "deadline_exceeded" {
+			t.Errorf("error code %q", code)
+		}
+		t.Skip("no wafer completed within the deadline on this machine")
+	}
+	if w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body)
 	}
-	if code := errorCode(t, w); code != "deadline_exceeded" {
-		t.Errorf("error code %q", code)
+	resp := decodeBody[SimulateResponse](t, w)
+	if !resp.Partial {
+		t.Fatalf("deadline-limited run not marked partial: %+v", resp)
+	}
+	if resp.Completed <= 0 || resp.Completed >= resp.Requested {
+		t.Errorf("completed %d of %d, want 0 < completed < requested", resp.Completed, resp.Requested)
+	}
+	if resp.Requested != 1048576 {
+		t.Errorf("requested = %d, want 1048576", resp.Requested)
+	}
+	if resp.Yield < 0 || resp.Yield > 1 || resp.Dies == 0 {
+		t.Errorf("partial response carries incoherent yields: %+v", resp)
 	}
 }
 

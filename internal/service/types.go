@@ -80,10 +80,19 @@ type SimulateResponse struct {
 	YieldHi   float64 `json:"yield_hi"`
 	ElapsedMs float64 `json:"elapsed_ms"`
 	Workers   int     `json:"workers"`
+	// Partial reports graceful degradation: the request's deadline fired
+	// before every sample completed, and the yields above cover the
+	// Completed samples only (still an unbiased estimate, with a wider
+	// CI). The HTTP status is 200 — a partial answer is an answer.
+	Partial bool `json:"partial,omitempty"`
+	// Completed and Requested count samples (bonded wafers for W2W,
+	// bonded dies for D2W); both are set whenever Partial is.
+	Completed int `json:"completed,omitempty"`
+	Requested int `json:"requested,omitempty"`
 }
 
 func simulateResponseFrom(r sim.Result, hash string, seed uint64, workers int) SimulateResponse {
-	return SimulateResponse{
+	resp := SimulateResponse{
 		ParamsHash:   hash,
 		Mode:         r.Mode,
 		Seed:         seed,
@@ -98,6 +107,12 @@ func simulateResponseFrom(r sim.Result, hash string, seed uint64, workers int) S
 		ElapsedMs:    float64(r.Elapsed.Microseconds()) / 1e3,
 		Workers:      workers,
 	}
+	if r.Partial {
+		resp.Partial = true
+		resp.Completed = r.Completed
+		resp.Requested = r.Requested
+	}
+	return resp
 }
 
 // SweepRequest is the body of POST /v1/sweep: a batch of parameter
@@ -147,4 +162,9 @@ type ErrorResponse struct {
 type ErrorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RetryAfterMs hints how long to back off before retrying, in
+	// milliseconds. Set on "overloaded" responses alongside the
+	// whole-second Retry-After header (which can't express sub-second
+	// hints); clients should prefer this field when present.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"yap/internal/faultinject"
 	"yap/internal/geom"
 	"yap/internal/overlay"
 	"yap/internal/randx"
@@ -72,9 +73,12 @@ func RunD2W(opts Options) (Result, error) {
 // on the select.
 const d2wCancelStride = 64
 
-// RunD2WContext is RunD2W with cooperative cancellation (see
-// RunW2WContext): workers poll ctx every d2wCancelStride die samples and a
-// canceled run returns ctx's error with a zero Result. Determinism is
+// RunD2WContext is RunD2W with cooperative cancellation and graceful
+// degradation (see RunW2WContext): workers poll ctx every d2wCancelStride
+// die samples and checkpoint their tallies, so a context that fires
+// mid-run returns the dies that DID complete as a partial Result with nil
+// error. Only a run aborted before any die completes, or one that hits an
+// injected fault (Options.Faults), returns an error. Determinism is
 // unaffected — each die sample draws from its own seed-derived stream.
 func RunD2WContext(ctx context.Context, opts Options) (Result, error) {
 	env, err := newD2WEnv(opts)
@@ -91,7 +95,12 @@ func RunD2WContext(ctx context.Context, opts Options) (Result, error) {
 	if workers > dies {
 		workers = dies
 	}
-	done := ctx.Done()
+	// Workers share a derived context so an injected fault in one aborts
+	// the siblings promptly; the parent ctx still decides partial-vs-full.
+	runCtx, stop := context.WithCancel(ctx)
+	defer stop()
+	done := runCtx.Done()
+	faultErrs := make(chan error, workers)
 	results := make(chan Counts, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -99,33 +108,62 @@ func RunD2WContext(ctx context.Context, opts Options) (Result, error) {
 		go func(worker int) {
 			defer wg.Done()
 			var local Counts
+			// A panicking die sample (fault injection, or a genuine bug)
+			// must cost this run an error, not the whole process; local is
+			// checkpointed per completed die, so it is always coherent.
+			defer func() {
+				if rec := recover(); rec != nil {
+					faultErrs <- fmt.Errorf("sim: D2W die worker panicked: %v", rec)
+					stop()
+				}
+				results <- local
+			}()
 			steps := 0
 			for i := worker; i < dies; i += workers {
 				if steps%d2wCancelStride == 0 {
 					select {
 					case <-done:
-						results <- local
 						return
 					default:
+					}
+					if err := opts.Faults.Fire(runCtx, faultinject.HookSimD2WDie); err != nil {
+						if runCtx.Err() == nil { // a real fault, not cancellation
+							faultErrs <- fmt.Errorf("sim: D2W die aborted: %w", err)
+							stop()
+						}
+						return
 					}
 				}
 				steps++
 				local.Add(env.simulateDie(randx.Derive(opts.Seed, uint64(i))))
 			}
-			results <- local
 		}(w)
 	}
 	wg.Wait()
 	close(results)
-	if err := ctx.Err(); err != nil {
-		return Result{}, fmt.Errorf("sim: D2W run aborted: %w", err)
-	}
 
 	var total Counts
 	for c := range results {
 		total.Add(c)
 	}
-	return resultFrom("D2W", total, time.Since(start)), nil //yaplint:allow determinism runtime telemetry only; never feeds the sampled streams
+	select {
+	case err := <-faultErrs:
+		return Result{}, err
+	default:
+	}
+	elapsed := time.Since(start) //yaplint:allow determinism runtime telemetry only; never feeds the sampled streams
+	completed := total.Dies
+	if err := ctx.Err(); err != nil && completed < dies {
+		if completed == 0 {
+			return Result{}, fmt.Errorf("sim: D2W run aborted before any die completed: %w", err)
+		}
+		res := resultFrom("D2W", total, elapsed)
+		res.Partial, res.Completed, res.Requested = true, completed, dies
+		return res, nil
+	}
+	res := resultFrom("D2W", total, elapsed)
+	res.Completed, res.Requested = completed, dies
+	return res, nil
 }
 
 // simulateDie runs one bonded-die sample through the three checks.

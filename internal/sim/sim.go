@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"yap/internal/core"
+	"yap/internal/faultinject"
 	"yap/internal/num"
 )
 
@@ -92,6 +93,13 @@ type Options struct {
 	// wafer layout's Dies() — the simulated counterpart of the model's
 	// W2WDieYields.
 	CollectPerDie bool
+	// Faults optionally arms deterministic fault injection
+	// (internal/faultinject) inside the sampling loops: hook
+	// "sim.w2w.wafer" fires once per bonded-wafer sample, "sim.d2w.die"
+	// once per D2W cancellation stride. Injected delays never perturb
+	// results; injected errors and panics abort the run with an error.
+	// nil — the production default — disables injection entirely.
+	Faults *faultinject.Injector
 }
 
 func (o Options) workers() int {
@@ -147,11 +155,26 @@ type Result struct {
 	// (W2W), index-aligned with the layout's Dies(); nil otherwise. Each
 	// entry's Dies field counts the simulated wafers.
 	PerDie []Counts
+	// Partial reports that the run's context fired before every requested
+	// sample completed: the tallies, yields and CI cover the Completed
+	// samples only. Because every sample draws from its own seed-derived
+	// stream, a partial tally is still an unbiased yield estimate — just
+	// one with a wider confidence interval — so a deadline-limited run
+	// returns it instead of throwing the finished wafers away.
+	Partial bool
+	// Completed and Requested count samples — bonded wafers for W2W,
+	// bonded dies for D2W. A run that finishes normally has
+	// Completed == Requested and Partial unset.
+	Completed, Requested int
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("%s sim: Y_ovl=%.6f Y_df=%.6f Y_cr=%.6f Y=%.6f (95%% CI [%.6f, %.6f], %d dies, %v)",
-		r.Mode, r.OverlayYield, r.DefectYield, r.RecessYield, r.Yield,
+	partial := ""
+	if r.Partial {
+		partial = fmt.Sprintf(" partial %d/%d samples,", r.Completed, r.Requested)
+	}
+	return fmt.Sprintf("%s sim:%s Y_ovl=%.6f Y_df=%.6f Y_cr=%.6f Y=%.6f (95%% CI [%.6f, %.6f], %d dies, %v)",
+		r.Mode, partial, r.OverlayYield, r.DefectYield, r.RecessYield, r.Yield,
 		r.YieldLo, r.YieldHi, r.Counts.Dies, r.Elapsed.Round(time.Millisecond))
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"yap/internal/faultinject"
 	"yap/internal/geom"
 	"yap/internal/overlay"
 	"yap/internal/randx"
@@ -103,13 +104,18 @@ func RunW2W(opts Options) (Result, error) {
 	return RunW2WContext(context.Background(), opts)
 }
 
-// RunW2WContext is RunW2W with cooperative cancellation: each worker
-// checks ctx between wafer samples, so a canceled context (client
-// disconnect, deadline) aborts the run within one wafer's latency. A
-// canceled run returns ctx's error (matchable with errors.Is) and a zero
-// Result. Cancellation does not perturb determinism — every wafer draws
-// from its own seed-derived RNG stream, so any run that completes returns
-// results identical to an uncanceled run at any worker count.
+// RunW2WContext is RunW2W with cooperative cancellation and graceful
+// degradation: each worker checks ctx between wafer samples and
+// checkpoints its per-wafer tallies, so a context that fires mid-run
+// (client disconnect, deadline) stops the run within one wafer's latency
+// and returns the wafers that DID complete as a partial Result
+// (Result.Partial set, Completed < Requested) with nil error — a valid
+// yield estimate with a wider confidence interval. Only a run that is
+// aborted before any wafer completes, or that hits an injected fault
+// (Options.Faults), returns an error. Cancellation does not perturb
+// determinism — every wafer draws from its own seed-derived RNG stream,
+// so any wafer that completes contributes exactly what it would have
+// contributed to an uncanceled run at any worker count.
 func RunW2WContext(ctx context.Context, opts Options) (Result, error) {
 	env, err := newW2WEnv(opts)
 	if err != nil {
@@ -126,10 +132,16 @@ func RunW2WContext(ctx context.Context, opts Options) (Result, error) {
 		workers = wafers
 	}
 	type workerOut struct {
-		counts Counts
-		perDie []Counts
+		counts    Counts
+		perDie    []Counts
+		completed int
 	}
-	done := ctx.Done()
+	// Workers share a derived context so an injected fault in one aborts
+	// the siblings promptly; the parent ctx still decides partial-vs-full.
+	runCtx, stop := context.WithCancel(ctx)
+	defer stop()
+	done := runCtx.Done()
+	faultErrs := make(chan error, workers)
 	results := make(chan workerOut, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -140,36 +152,67 @@ func RunW2WContext(ctx context.Context, opts Options) (Result, error) {
 			if opts.CollectPerDie {
 				out.perDie = make([]Counts, len(env.dies))
 			}
+			// A panicking wafer (fault injection, or a genuine bug) must
+			// cost this run an error, not the whole process: tallies are
+			// checkpointed per completed wafer, so out is always coherent.
+			defer func() {
+				if rec := recover(); rec != nil {
+					faultErrs <- fmt.Errorf("sim: W2W wafer worker panicked: %v", rec)
+					stop()
+				}
+				results <- out
+			}()
 			for i := worker; i < wafers; i += workers {
 				select {
 				case <-done:
-					results <- out
 					return
 				default:
 				}
+				if err := opts.Faults.Fire(runCtx, faultinject.HookSimW2WWafer); err != nil {
+					if runCtx.Err() == nil { // a real fault, not cancellation
+						faultErrs <- fmt.Errorf("sim: W2W wafer aborted: %w", err)
+						stop()
+					}
+					return
+				}
 				out.counts.Add(env.simulateWafer(randx.Derive(opts.Seed, uint64(i)), out.perDie))
+				out.completed++
 			}
-			results <- out
 		}(w)
 	}
 	wg.Wait()
 	close(results)
-	if err := ctx.Err(); err != nil {
-		return Result{}, fmt.Errorf("sim: W2W run aborted: %w", err)
-	}
 
 	var total Counts
 	var perDie []Counts
+	completed := 0
 	if opts.CollectPerDie {
 		perDie = make([]Counts, len(env.dies))
 	}
 	for out := range results {
 		total.Add(out.counts)
+		completed += out.completed
 		for i := range out.perDie {
 			perDie[i].Add(out.perDie[i])
 		}
 	}
-	res := resultFrom("W2W", total, time.Since(start)) //yaplint:allow determinism runtime telemetry only; never feeds the sampled streams
+	select {
+	case err := <-faultErrs:
+		return Result{}, err
+	default:
+	}
+	elapsed := time.Since(start) //yaplint:allow determinism runtime telemetry only; never feeds the sampled streams
+	if err := ctx.Err(); err != nil && completed < wafers {
+		if completed == 0 {
+			return Result{}, fmt.Errorf("sim: W2W run aborted before any wafer completed: %w", err)
+		}
+		res := resultFrom("W2W", total, elapsed)
+		res.Partial, res.Completed, res.Requested = true, completed, wafers
+		res.PerDie = perDie
+		return res, nil
+	}
+	res := resultFrom("W2W", total, elapsed)
+	res.Completed, res.Requested = completed, wafers
 	res.PerDie = perDie
 	return res, nil
 }
