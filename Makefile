@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race chaos bench cover figures report serve clean
+.PHONY: all build vet lint test test-race chaos dist bench cover figures report serve clean
 
 all: build vet lint test
 
@@ -32,6 +32,18 @@ test-race:
 CHAOS_FAULTS ?= seed=7,service.cache.get=0.15:error,service.cache.put=0.15:error,service.pool.admit=0.05:error,sim.w2w.wafer=0.03:error,sim.w2w.wafer=0.03:delay:200us,sim.d2w.die=0.02:error,sim.d2w.die=0.01:panic
 chaos:
 	YAP_FAULTS='$(CHAOS_FAULTS)' $(GO) test -race -run 'Chaos|Fault' ./...
+
+# Distributed-simulation drill: the shard-plan/merge determinism tests
+# under the race detector, then the true multi-process topology via
+# `yapload -dist` — three worker processes, one SIGKILLed mid-drill,
+# coordinator-side dispatch faults (DIST_FAULTS) and worker-side sim
+# faults (DIST_WORKER_FAULTS, inherited by the re-exec'd workers through
+# the environment) — asserting bit-identical merges throughout.
+DIST_FAULTS ?= seed=5,dist.dispatch=0.1:error
+DIST_WORKER_FAULTS ?= seed=11,sim.w2w.wafer=0.02:error,sim.d2w.die=0.01:error
+dist:
+	$(GO) test -race -run 'Merge|Plan|Coordinator|Registry|Shard|FirstSample|Distributor' ./internal/dist/ ./internal/sim/ ./internal/service/
+	YAP_FAULTS='$(DIST_WORKER_FAULTS)' $(GO) run -race ./cmd/yapload -dist -dist-workers 3 -dist-faults '$(DIST_FAULTS)'
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

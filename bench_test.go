@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"yap/internal/core"
+	"yap/internal/dist"
 	"yap/internal/experiments"
 	"yap/internal/sim"
 	"yap/internal/units"
@@ -334,6 +335,38 @@ func BenchmarkSystemYield(b *testing.B) {
 			if _, _, err := p.SystemYield(experiments.SystemArea); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// BenchmarkDistShardPlan times planning a paper-scale D2W run (20000
+// samples) across a 16-worker fleet at the default two shards per worker
+// — the coordinator-side cost paid once per distributed run.
+func BenchmarkDistShardPlan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := dist.Plan(20000, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistMerge times folding 32 shard Results into one — the other
+// coordinator-side cost per distributed run (integer sums plus one yield
+// recomputation; dispatch latency dwarfs both).
+func BenchmarkDistMerge(b *testing.B) {
+	parts := make([]sim.Result, 32)
+	for i := range parts {
+		parts[i] = sim.Result{
+			Mode: "D2W",
+			Counts: sim.Counts{Dies: 625, OverlayPass: 620, DefectPass: 600,
+				RecessPass: 615, Survived: 590},
+			Completed: 625, Requested: 625,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Merge(parts...); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -17,6 +17,14 @@
 //
 //	yapload -n 500 -c 16 -faults 'seed=7,sim.*=0.05:error,service.*=0.1:error'
 //
+// With -dist it instead drills the distributed-simulation subsystem:
+// it re-execs itself as -dist-workers worker processes, shards runs
+// across them through internal/dist, and asserts bit-identity against
+// single-node baselines plus recovery from a SIGKILLed worker (see
+// dist.go for the full invariant list):
+//
+//	yapload -dist -dist-workers 3 -dist-faults 'seed=5,dist.dispatch=0.1:error'
+//
 // Exits 1 when any invariant is violated.
 package main
 
@@ -81,6 +89,14 @@ func main() {
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "yapload: ", log.LstdFlags)
+
+	if *distWorkerX {
+		runDistWorker(logger)
+		return
+	}
+	if *distMode {
+		os.Exit(runDistDrill(logger, *seed, *wafers, *dies))
+	}
 
 	base := *target
 	var inj *faultinject.Injector

@@ -10,6 +10,8 @@
 //	         [-max-body bytes] [-max-sweep-points n]
 //	         [-max-queued n] [-retry-after 1s]
 //	         [-breaker-threshold n] [-breaker-cooldown 5s]
+//	         [-worker | -workers url1,url2,...]
+//	         [-shards-per-worker 2] [-heartbeat 2s] [-shard-timeout d]
 //
 // Resilience: simulate admission beyond -max-queued waiting requests is
 // shed with 503 "overloaded" plus a Retry-After hint; a deadline that
@@ -18,10 +20,20 @@
 // breaker. Setting YAP_FAULTS (see internal/faultinject) arms
 // deterministic fault injection for chaos drills.
 //
+// Distributed simulation (internal/dist): -workers turns the daemon into
+// a coordinator that shards each /v1/simulate run across the listed
+// worker daemons and merges their integer tallies into a result
+// bit-identical to the single-node run for the same seed. Workers are
+// plain yapserve processes — -worker is the same daemon with a label;
+// the shard protocol (/v1/shard) is always served. Shards from dead or
+// slow workers are reassigned automatically; reassignment and fleet
+// counters appear on /metrics.
+//
 // Endpoints:
 //
 //	POST /v1/evaluate  analytic W2W/D2W breakdown (Eq. 22 / Eq. 28)
-//	POST /v1/simulate  Monte-Carlo yield simulation
+//	POST /v1/simulate  Monte-Carlo yield simulation (sharded when -workers is set)
+//	POST /v1/shard     one slice of a distributed run (worker protocol)
 //	POST /v1/sweep     batch evaluation with partial-failure reporting
 //	GET  /healthz      liveness
 //	GET  /metrics      Prometheus text format
@@ -39,22 +51,24 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"yap/internal/core"
+	"yap/internal/dist"
 	"yap/internal/faultinject"
 	"yap/internal/service"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		config    = flag.String("config", "", "JSON process file used as the default parameter set (missing fields default to Table I)")
-		cacheSize = flag.Int("cache", 1024, "evaluate-cache capacity in entries (negative disables)")
-		maxSims   = flag.Int("max-sims", 0, "max concurrently executing simulations (0 = GOMAXPROCS)")
-		workers   = flag.Int("sim-workers", 0, "default per-simulation parallelism (0 = GOMAXPROCS)")
-		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request deadline for simulate/sweep (negative disables)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		config      = flag.String("config", "", "JSON process file used as the default parameter set (missing fields default to Table I)")
+		cacheSize   = flag.Int("cache", 1024, "evaluate-cache capacity in entries (negative disables)")
+		maxSims     = flag.Int("max-sims", 0, "max concurrently executing simulations (0 = GOMAXPROCS)")
+		workers     = flag.Int("sim-workers", 0, "default per-simulation parallelism (0 = GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 2*time.Minute, "per-request deadline for simulate/sweep (negative disables)")
 		maxBody     = flag.Int64("max-body", 1<<20, "request body limit in bytes")
 		maxPoints   = flag.Int("max-sweep-points", 10000, "max points per sweep request")
 		maxQueued   = flag.Int("max-queued", 0, "max simulate requests waiting for a pool slot before shedding 503 (0 = 4×max-sims, negative = no queue)")
@@ -62,9 +76,18 @@ func main() {
 		brkThresh   = flag.Int("breaker-threshold", 0, "consecutive internal simulation failures that trip the circuit breaker (0 = 8, negative disables)")
 		brkCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker sheds before probing")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+
+		workerMode   = flag.Bool("worker", false, "run as a distributed-simulation worker (a label: the shard protocol is always served)")
+		workerList   = flag.String("workers", "", "comma-separated worker base URLs; turns this daemon into a sharding coordinator")
+		shardsPerW   = flag.Int("shards-per-worker", 0, "shards planned per worker per run (0 = 2)")
+		heartbeat    = flag.Duration("heartbeat", 0, "worker liveness probe interval (0 = 2s, negative disables)")
+		shardTimeout = flag.Duration("shard-timeout", 0, "per-shard dispatch deadline; slower workers get their shard reassigned (0 = run deadline only)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "yapserve: ", log.LstdFlags)
+	if *workerMode && *workerList != "" {
+		logger.Fatal("-worker and -workers are mutually exclusive: a coordinator must not be its own worker")
+	}
 
 	defaults := core.Baseline()
 	if *config != "" {
@@ -83,7 +106,32 @@ func main() {
 		logger.Printf("fault injection ACTIVE: %s", faults)
 	}
 
-	srv := service.New(service.Config{
+	var coord *dist.Coordinator
+	if *workerList != "" {
+		urls := make([]string, 0, 4)
+		for _, u := range strings.Split(*workerList, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		coord, err = dist.New(dist.Config{
+			Workers:           urls,
+			ShardsPerWorker:   *shardsPerW,
+			ShardTimeout:      *shardTimeout,
+			HeartbeatInterval: *heartbeat,
+			Faults:            faults,
+			Logger:            logger,
+		})
+		if err != nil {
+			logger.Fatalf("invalid -workers: %v", err)
+		}
+		defer coord.Close()
+		logger.Printf("coordinator mode: sharding simulations across %d workers", len(urls))
+	} else if *workerMode {
+		logger.Print("worker mode: serving shards for a coordinator")
+	}
+
+	cfg := service.Config{
 		Defaults:          &defaults,
 		CacheSize:         *cacheSize,
 		MaxConcurrentSims: *maxSims,
@@ -97,7 +145,11 @@ func main() {
 		BreakerCooldown:   *brkCooldown,
 		Faults:            faults,
 		Logger:            logger,
-	})
+	}
+	if coord != nil {
+		cfg.Distributor = coord
+	}
+	srv := service.New(cfg)
 	logger.Printf("resilience: %s", srv.ResilienceSummary())
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -119,6 +119,19 @@ func (c *Client) Simulate(ctx context.Context, req service.SimulateRequest) (*se
 	return &resp, nil
 }
 
+// Shard calls POST /v1/shard — one slice of a distributed Monte-Carlo
+// run (the dispatch edge of internal/dist). The shard protocol is exactly
+// as retry-safe as simulate: a shard is a pure function of (params, seed,
+// start, count), so re-dispatching after a transient failure reproduces
+// the identical tallies.
+func (c *Client) Shard(ctx context.Context, req service.ShardRequest) (*service.ShardResponse, error) {
+	var resp service.ShardResponse
+	if err := c.do(ctx, "/v1/shard", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Sweep calls POST /v1/sweep.
 func (c *Client) Sweep(ctx context.Context, req service.SweepRequest) (*service.SweepResponse, error) {
 	var resp service.SweepResponse

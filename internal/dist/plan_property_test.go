@@ -1,0 +1,95 @@
+package dist
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"yap/internal/core"
+	"yap/internal/sim"
+)
+
+// runShard executes one planned shard locally — exactly what a worker
+// does behind /v1/shard.
+func runShard(t *testing.T, mode string, base sim.Options, sh Shard) sim.Result {
+	t.Helper()
+	o := base
+	o.FirstSample = sh.Start
+	var res sim.Result
+	var err error
+	if mode == "w2w" {
+		o.Wafers = sh.Count
+		res, err = sim.RunW2WContext(context.Background(), o)
+	} else {
+		o.Dies = sh.Count
+		res, err = sim.RunD2WContext(context.Background(), o)
+	}
+	if err != nil {
+		t.Fatalf("shard %d: %v", sh.Index, err)
+	}
+	return res
+}
+
+// The load-bearing property of the whole subsystem: for every plan shape,
+// executing the planned shards and merging reproduces the single-node
+// Result bit-identically (Elapsed excluded — telemetry).
+func TestAnyPlanReproducesSingleNode(t *testing.T) {
+	modes := []struct {
+		mode  string
+		total int
+		base  sim.Options
+	}{
+		{"w2w", 21, sim.Options{Params: core.Baseline(), Seed: 1234, Workers: 2}},
+		{"d2w", 333, sim.Options{Params: core.Baseline(), Seed: 987, Workers: 2}},
+	}
+	for _, m := range modes {
+		o := m.base
+		if m.mode == "w2w" {
+			o.Wafers = m.total
+		} else {
+			o.Dies = m.total
+		}
+		var single sim.Result
+		var err error
+		if m.mode == "w2w" {
+			single, err = sim.RunW2WContext(context.Background(), o)
+		} else {
+			single, err = sim.RunD2WContext(context.Background(), o)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		single.Elapsed = 0
+
+		for _, nShards := range []int{1, 2, 3, 5, 8, m.total} {
+			plan, err := Plan(m.total, nShards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts := make([]sim.Result, len(plan))
+			for i, sh := range plan {
+				parts[i] = runShard(t, m.mode, m.base, sh)
+			}
+			merged, err := sim.Merge(parts...)
+			if err != nil {
+				t.Fatalf("%s/%d shards: %v", m.mode, nShards, err)
+			}
+			merged.Elapsed = 0
+			if !reflect.DeepEqual(merged, single) {
+				t.Errorf("%s/%d shards: merged %+v != single %+v", m.mode, nShards, merged, single)
+			}
+			// Merge order must not matter: reverse.
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			rev, err := sim.Merge(parts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rev.Elapsed = 0
+			if !reflect.DeepEqual(rev, single) {
+				t.Errorf("%s/%d shards: reversed merge differs", m.mode, nShards)
+			}
+		}
+	}
+}

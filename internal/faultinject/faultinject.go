@@ -47,6 +47,14 @@ const (
 	HookCachePut = "service.cache.put"
 	// HookPoolAdmit fires at worker-pool admission.
 	HookPoolAdmit = "service.pool.admit"
+	// HookDistDispatch fires in the dist coordinator before each shard
+	// dispatch; an injected error or panic fails that dispatch attempt,
+	// so the shard is reassigned — the chaos path covering worker death
+	// mid-shard.
+	HookDistDispatch = "dist.dispatch"
+	// HookDistMerge fires in the dist coordinator before shard results
+	// are merged; an injected fault fails the distributed run.
+	HookDistMerge = "dist.merge"
 )
 
 // ErrInjected is the sentinel wrapped by every injected error; callers

@@ -9,16 +9,19 @@ import (
 // deterministicPaths root the package trees whose behaviour must be a
 // pure function of their seed/inputs: the Monte-Carlo simulator, its
 // random substrate, the analytic core whose CanonicalHash backs the
-// service cache, and the fault injector whose whole point is replayable
+// service cache, the fault injector whose whole point is replayable
 // chaos — an injected fault schedule that drifted between runs would
-// make failures unreproducible. (The paper's validation methodology
-// depends on seeded replays being bit-identical.) Subpackages inherit
-// the constraint.
+// make failures unreproducible — and the distributed sharding layer,
+// whose bit-identical-merge contract dies the moment a plan or merge
+// depends on wall clock or ambient randomness. (The paper's validation
+// methodology depends on seeded replays being bit-identical.)
+// Subpackages inherit the constraint.
 var deterministicPaths = []string{
 	"yap/internal/sim",
 	"yap/internal/randx",
 	"yap/internal/core",
 	"yap/internal/faultinject",
+	"yap/internal/dist",
 }
 
 // inTree reports whether path is root itself or a subpackage of it.

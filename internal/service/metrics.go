@@ -115,8 +115,10 @@ func (h *histogram) Observe(d time.Duration) {
 
 // writePrometheus renders every metric in Prometheus text exposition
 // format v0.0.4. gauges are point-in-time values the server owns
-// elsewhere (cache size, pool occupancy), passed in pre-read.
-func (m *metrics) writePrometheus(w io.Writer, gauges map[string]int64) {
+// elsewhere (cache size, pool occupancy), passed in pre-read; counters
+// are externally-owned monotone totals (the dist coordinator's shard
+// accounting), likewise pre-read, and may be nil.
+func (m *metrics) writePrometheus(w io.Writer, gauges map[string]int64, counters map[string]uint64) {
 	fmt.Fprintln(w, "# HELP yapserve_requests_total Requests served, by endpoint and HTTP status code.")
 	fmt.Fprintln(w, "# TYPE yapserve_requests_total counter")
 	for _, lv := range m.requests.snapshot() {
@@ -172,6 +174,15 @@ func (m *metrics) writePrometheus(w io.Writer, gauges map[string]int64) {
 	fmt.Fprintln(w, "# HELP yapserve_inflight_requests Requests currently being served.")
 	fmt.Fprintln(w, "# TYPE yapserve_inflight_requests gauge")
 	fmt.Fprintf(w, "yapserve_inflight_requests %d\n", m.inflight.Load())
+
+	counterNames := make([]string, 0, len(counters))
+	for name := range counters {
+		counterNames = append(counterNames, name)
+	}
+	sort.Strings(counterNames)
+	for _, name := range counterNames {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[name])
+	}
 
 	names := make([]string, 0, len(gauges))
 	for name := range gauges {

@@ -56,8 +56,9 @@ func TestWritePrometheusDeterministic(t *testing.T) {
 	m.observeRequest("evaluate", 200, time.Millisecond)
 	var a, b strings.Builder
 	gauges := map[string]int64{"yapserve_cache_entries": 5}
-	m.writePrometheus(&a, gauges)
-	m.writePrometheus(&b, gauges)
+	counters := map[string]uint64{"yapserve_dist_shards_dispatched_total": 3}
+	m.writePrometheus(&a, gauges, counters)
+	m.writePrometheus(&b, gauges, counters)
 	if a.String() != b.String() {
 		t.Error("exposition output is not deterministic")
 	}
@@ -69,6 +70,7 @@ func TestWritePrometheusDeterministic(t *testing.T) {
 		`yapserve_request_duration_seconds_bucket{endpoint="simulate",le="0.025"} 1`,
 		`yapserve_request_duration_seconds_count{endpoint="simulate"} 1`,
 		"yapserve_cache_entries 5",
+		"yapserve_dist_shards_dispatched_total 3",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in:\n%s", want, out)

@@ -83,6 +83,12 @@ type Config struct {
 	// BreakerCooldown is how long a tripped breaker sheds before probing;
 	// 0 means 5s.
 	BreakerCooldown time.Duration
+	// Distributor, when non-nil, makes this daemon a coordinator: simulate
+	// requests are sharded across its worker fleet and merged (internal/
+	// dist.Coordinator is the implementation; cmd/yapserve wires it from
+	// -workers). Requests carrying "local": true, and the /v1/shard
+	// endpoint itself, always run on the local engine.
+	Distributor Distributor
 	// Faults optionally arms deterministic fault injection in the cache,
 	// pool-admission and simulation paths (see internal/faultinject); nil
 	// — the production default — disables injection.
@@ -134,7 +140,7 @@ func (c Config) withDefaults() Config {
 
 // endpoints are the instrumented routes (the label set of the request
 // metrics).
-var endpoints = []string{"evaluate", "simulate", "sweep", "healthz", "metrics"}
+var endpoints = []string{"evaluate", "simulate", "shard", "sweep", "healthz", "metrics"}
 
 // Server is the yield-as-a-service HTTP handler. Create with New; safe
 // for concurrent use; graceful shutdown is the embedding http.Server's
@@ -168,6 +174,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("/v1/evaluate", s.instrument("evaluate", http.MethodPost, s.handleEvaluate))
 	s.mux.HandleFunc("/v1/simulate", s.instrument("simulate", http.MethodPost, s.handleSimulate))
+	s.mux.HandleFunc("/v1/shard", s.instrument("shard", http.MethodPost, s.handleShard))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", http.MethodPost, s.handleSweep))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
@@ -439,10 +446,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	var res sim.Result
+	var info DistInfo
+	distributed := s.cfg.Distributor != nil && !req.Local
 	runErr := s.pool.Run(ctx, func() {
-		if mode == "w2w" {
+		switch {
+		case distributed:
+			res, info, err = s.cfg.Distributor.Simulate(ctx, mode, opts)
+		case mode == "w2w":
 			res, err = sim.RunW2WContext(ctx, opts)
-		} else {
+		default:
 			res, err = sim.RunD2WContext(ctx, opts)
 		}
 	})
@@ -470,7 +482,118 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.metrics.partialResults.Add(1)
 	}
 	s.metrics.simSamples.get(mode).Add(uint64(res.Counts.Dies))
-	writeJSON(w, http.StatusOK, simulateResponseFrom(res, p.HashString(), req.Seed, workers))
+	resp := simulateResponseFrom(res, p.HashString(), req.Seed, workers)
+	if distributed {
+		resp.Distributed = true
+		resp.Shards = info.Shards
+		resp.Reassigned = info.Reassigned
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleShard executes one shard of a distributed Monte-Carlo run — the
+// worker half of the internal/dist protocol. It is the simulate path with
+// the sample range pinned: samples [Start, Start+Count) of the run rooted
+// at Seed, executed on the local engine (never re-distributed, so a
+// coordinator that is also listed as its own worker cannot recurse) and
+// answered as raw integer tallies for the coordinator's exact merge.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	mode := strings.ToLower(req.Mode)
+	if mode != "w2w" && mode != "d2w" {
+		writeError(w, http.StatusBadRequest, "invalid_mode",
+			fmt.Sprintf("unknown mode %q (want w2w or d2w)", req.Mode))
+		return
+	}
+	p, _, err := s.resolveParams(req.Params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_params", err.Error())
+		return
+	}
+	if req.Start < 0 || req.Count <= 0 || req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, "invalid_params",
+			"shard start must be non-negative, count positive and workers non-negative")
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.SimWorkers
+	}
+	opts := sim.Options{
+		Params:      p,
+		Seed:        req.Seed,
+		Workers:     workers,
+		FirstSample: req.Start,
+		Faults:      s.cfg.Faults,
+	}
+	if mode == "w2w" {
+		opts.Wafers = req.Count
+	} else {
+		opts.Dies = req.Count
+	}
+
+	if err := s.breaker.Allow(); err != nil {
+		var open *resilience.BreakerOpenError
+		retryAfter := s.cfg.RetryAfter
+		if errors.As(err, &open) && open.RetryAfter > 0 {
+			retryAfter = open.RetryAfter
+		}
+		s.writeOverloaded(w, "simulation circuit breaker open; retry later", retryAfter)
+		return
+	}
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	var res sim.Result
+	runErr := s.pool.Run(ctx, func() {
+		if mode == "w2w" {
+			res, err = sim.RunW2WContext(ctx, opts)
+		} else {
+			res, err = sim.RunD2WContext(ctx, opts)
+		}
+	})
+	if runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		if isInternalSimError(runErr) {
+			s.breaker.Record(false)
+		}
+		s.writeSimError(w, runErr)
+		return
+	}
+	s.breaker.Record(true)
+	if res.Partial {
+		if r.Context().Err() != nil {
+			writeError(w, statusClientClosedRequest, "canceled", "client canceled the request")
+			return
+		}
+		s.metrics.partialResults.Add(1)
+	}
+	s.metrics.simSamples.get(mode).Add(uint64(res.Counts.Dies))
+	writeJSON(w, http.StatusOK, ShardResponse{
+		ParamsHash: p.HashString(),
+		Mode:       res.Mode,
+		Start:      req.Start,
+		Count:      req.Count,
+		Counts: ShardCounts{
+			Dies:        res.Counts.Dies,
+			OverlayPass: res.Counts.OverlayPass,
+			DefectPass:  res.Counts.DefectPass,
+			RecessPass:  res.Counts.RecessPass,
+			Survived:    res.Counts.Survived,
+		},
+		Partial:   res.Partial,
+		Completed: res.Completed,
+		Requested: res.Requested,
+		ElapsedMs: float64(res.Elapsed.Microseconds()) / 1e3,
+	})
 }
 
 // isInternalSimError reports whether a simulate failure indicts the
@@ -623,7 +746,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writePrometheus(w, map[string]int64{
+	gauges := map[string]int64{
 		"yapserve_cache_entries":       int64(s.cache.Len()),
 		"yapserve_pool_capacity":       int64(s.pool.Capacity()),
 		"yapserve_pool_queue_capacity": int64(s.pool.QueueCapacity()),
@@ -631,7 +754,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"yapserve_pool_queued":         s.pool.Queued(),
 		"yapserve_breaker_state":       int64(s.breaker.State()),
 		"yapserve_uptime_seconds":      int64(time.Since(s.started).Seconds()),
-	})
+	}
+	var counters map[string]uint64
+	if d := s.cfg.Distributor; d != nil {
+		st := d.Stats()
+		gauges["yapserve_dist_workers_known"] = int64(st.WorkersKnown)
+		gauges["yapserve_dist_workers_up"] = int64(st.WorkersUp)
+		counters = map[string]uint64{
+			"yapserve_dist_shards_dispatched_total": st.ShardsDispatched,
+			"yapserve_dist_shards_reassigned_total": st.ShardsReassigned,
+			"yapserve_dist_runs_merged_total":       st.RunsMerged,
+		}
+	}
+	s.metrics.writePrometheus(w, gauges, counters)
 }
 
 // Shutdown stops admitting simulation work and waits for in-flight jobs

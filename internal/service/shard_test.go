@@ -1,0 +1,165 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"yap/internal/core"
+	"yap/internal/sim"
+)
+
+func TestShardMatchesLocalSlice(t *testing.T) {
+	s := New(Config{BreakerThreshold: -1})
+	w := post(t, s, "/v1/shard", `{"mode":"w2w","seed":42,"start":5,"count":7}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	resp := decodeBody[ShardResponse](t, w)
+	want, err := sim.RunW2WContext(context.Background(),
+		sim.Options{Params: core.Baseline(), Seed: 42, Wafers: 7, FirstSample: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sim.Counts{
+		Dies:        resp.Counts.Dies,
+		OverlayPass: resp.Counts.OverlayPass,
+		DefectPass:  resp.Counts.DefectPass,
+		RecessPass:  resp.Counts.RecessPass,
+		Survived:    resp.Counts.Survived,
+	}
+	if got != want.Counts {
+		t.Errorf("shard counts %+v != local slice %+v", got, want.Counts)
+	}
+	if resp.Mode != "W2W" || resp.Start != 5 || resp.Count != 7 {
+		t.Errorf("echo fields %+v", resp)
+	}
+	if resp.Completed != 7 || resp.Requested != 7 || resp.Partial {
+		t.Errorf("accounting %d/%d partial=%v", resp.Completed, resp.Requested, resp.Partial)
+	}
+	if resp.ParamsHash != core.Baseline().HashString() {
+		t.Errorf("params hash %q", resp.ParamsHash)
+	}
+}
+
+func TestShardSlicesTileTheRun(t *testing.T) {
+	s := New(Config{BreakerThreshold: -1})
+	whole, err := sim.RunD2WContext(context.Background(),
+		sim.Options{Params: core.Baseline(), Seed: 9, Dies: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total sim.Counts
+	for start := 0; start < 90; start += 30 {
+		w := post(t, s, "/v1/shard", fmt.Sprintf(`{"mode":"d2w","seed":9,"start":%d,"count":30}`, start))
+		if w.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", w.Code, w.Body)
+		}
+		resp := decodeBody[ShardResponse](t, w)
+		total.Add(sim.Counts{
+			Dies:        resp.Counts.Dies,
+			OverlayPass: resp.Counts.OverlayPass,
+			DefectPass:  resp.Counts.DefectPass,
+			RecessPass:  resp.Counts.RecessPass,
+			Survived:    resp.Counts.Survived,
+		})
+	}
+	if total != whole.Counts {
+		t.Errorf("tiled shards %+v != whole run %+v", total, whole.Counts)
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	s := New(Config{BreakerThreshold: -1})
+	cases := []struct {
+		body, wantCode string
+	}{
+		{`{"mode":"nope","count":1}`, "invalid_mode"},
+		{`{"mode":"w2w","start":-1,"count":5}`, "invalid_params"},
+		{`{"mode":"w2w","start":0,"count":0}`, "invalid_params"},
+		{`{"mode":"w2w","count":1,"workers":-2}`, "invalid_params"},
+		{`{"mode":"w2w","count":1,"params":{"bogus_field":1}}`, "invalid_params"},
+	}
+	for _, tc := range cases {
+		w := post(t, s, "/v1/shard", tc.body)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d", tc.body, w.Code)
+			continue
+		}
+		if code := errorCode(t, w); code != tc.wantCode {
+			t.Errorf("%s: code %q, want %q", tc.body, code, tc.wantCode)
+		}
+	}
+}
+
+// stubDistributor routes handleSimulate's distributed path in tests.
+type stubDistributor struct {
+	res   sim.Result
+	info  DistInfo
+	err   error
+	calls int
+	stats DistStats
+}
+
+func (d *stubDistributor) Simulate(ctx context.Context, mode string, opts sim.Options) (sim.Result, DistInfo, error) {
+	d.calls++
+	return d.res, d.info, d.err
+}
+
+func (d *stubDistributor) Stats() DistStats { return d.stats }
+
+func TestSimulateRoutesThroughDistributor(t *testing.T) {
+	dist := &stubDistributor{
+		res: sim.Result{Mode: "W2W", Counts: sim.Counts{Dies: 100, OverlayPass: 100,
+			DefectPass: 100, RecessPass: 100, Survived: 100}, Completed: 10, Requested: 10},
+		info: DistInfo{Shards: 6, Reassigned: 2},
+	}
+	s := New(Config{BreakerThreshold: -1, Distributor: dist})
+	w := post(t, s, "/v1/simulate", `{"mode":"w2w","wafers":10}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	resp := decodeBody[SimulateResponse](t, w)
+	if !resp.Distributed || resp.Shards != 6 || resp.Reassigned != 2 {
+		t.Errorf("dist echo %+v", resp)
+	}
+	if dist.calls != 1 {
+		t.Errorf("distributor called %d times", dist.calls)
+	}
+
+	// local=true bypasses the distributor (the worker path, and the
+	// recursion guard for a coordinator listed as its own worker).
+	w = post(t, s, "/v1/simulate", `{"mode":"w2w","wafers":2,"local":true}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("local status %d: %s", w.Code, w.Body)
+	}
+	resp = decodeBody[SimulateResponse](t, w)
+	if resp.Distributed {
+		t.Error("local=true still distributed")
+	}
+	if dist.calls != 1 {
+		t.Errorf("distributor called %d times after local run", dist.calls)
+	}
+}
+
+func TestMetricsExposeDistCounters(t *testing.T) {
+	dist := &stubDistributor{stats: DistStats{
+		WorkersKnown: 3, WorkersUp: 2, ShardsDispatched: 14, ShardsReassigned: 3, RunsMerged: 2,
+	}}
+	s := New(Config{BreakerThreshold: -1, Distributor: dist})
+	w := get(t, s, "/metrics")
+	out := w.Body.String()
+	for _, want := range []string{
+		"yapserve_dist_workers_known 3",
+		"yapserve_dist_workers_up 2",
+		"yapserve_dist_shards_dispatched_total 14",
+		"yapserve_dist_shards_reassigned_total 3",
+		"yapserve_dist_runs_merged_total 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in /metrics", want)
+		}
+	}
+}

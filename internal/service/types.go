@@ -59,6 +59,11 @@ type SimulateRequest struct {
 	Dies   int `json:"dies,omitempty"`
 	// Workers bounds this run's parallelism; zero uses the daemon default.
 	Workers int `json:"workers,omitempty"`
+	// Local forces single-node execution on a coordinator daemon (one
+	// that was started with -workers); ignored elsewhere. Results are
+	// bit-identical either way — the flag exists for A/B verification and
+	// for keeping tiny runs off the fleet.
+	Local bool `json:"local,omitempty"`
 }
 
 // SimulateResponse is the body of a successful POST /v1/simulate.
@@ -89,6 +94,14 @@ type SimulateResponse struct {
 	// bonded dies for D2W); both are set whenever Partial is.
 	Completed int `json:"completed,omitempty"`
 	Requested int `json:"requested,omitempty"`
+	// Distributed reports that the run was sharded across the worker
+	// fleet by a coordinator daemon; Shards is the partition size and
+	// Reassigned counts shard dispatches that failed mid-run and were
+	// recovered onto another worker. The yields are bit-identical to a
+	// local run either way.
+	Distributed bool   `json:"distributed,omitempty"`
+	Shards      int    `json:"shards,omitempty"`
+	Reassigned  uint64 `json:"reassigned,omitempty"`
 }
 
 func simulateResponseFrom(r sim.Result, hash string, seed uint64, workers int) SimulateResponse {
@@ -113,6 +126,63 @@ func simulateResponseFrom(r sim.Result, hash string, seed uint64, workers int) S
 		resp.Requested = r.Requested
 	}
 	return resp
+}
+
+// ShardRequest is the body of POST /v1/shard — the worker half of the
+// internal/dist protocol. It names one contiguous slice of a Monte-Carlo
+// run by its global sample range: the worker simulates samples
+// [Start, Start+Count) of the run rooted at Seed, drawing each sample
+// from its (Seed, global index) stream, so any partition of a run over
+// any set of workers merges to the single-node tallies exactly.
+type ShardRequest struct {
+	// Mode selects "w2w" or "d2w".
+	Mode string `json:"mode"`
+	// Params is the FULL resolved parameter set (not a partial override):
+	// the coordinator resolves defaults once so that coordinator/worker
+	// config skew cannot change the physics. Workers echo the canonical
+	// hash back and coordinators verify it.
+	Params json.RawMessage `json:"params,omitempty"`
+	// Seed is the run's master seed, shared by every shard.
+	Seed uint64 `json:"seed"`
+	// Start and Count bound the shard's global sample index range.
+	Start int `json:"start"`
+	Count int `json:"count"`
+	// Workers bounds the shard's in-process parallelism; zero uses the
+	// worker daemon's default.
+	Workers int `json:"workers,omitempty"`
+}
+
+// ShardCounts is sim.Counts on the wire: raw integer tallies, which is
+// what makes the coordinator's merge exact (yields are recomputed from
+// the merged integers, never averaged from floats).
+type ShardCounts struct {
+	Dies        int `json:"dies"`
+	OverlayPass int `json:"overlay_pass"`
+	DefectPass  int `json:"defect_pass"`
+	RecessPass  int `json:"recess_pass"`
+	Survived    int `json:"survived"`
+}
+
+// ShardResponse is the body of a successful POST /v1/shard.
+type ShardResponse struct {
+	// ParamsHash is the worker's canonical digest of the effective
+	// parameter set; the coordinator rejects shards whose hash disagrees
+	// with its own (config skew would silently corrupt the merge).
+	ParamsHash string `json:"params_hash"`
+	// Mode is the sim.Result mode ("W2W" or "D2W").
+	Mode string `json:"mode"`
+	// Start and Count echo the request's sample range.
+	Start int `json:"start"`
+	Count int `json:"count"`
+	// Counts carries the shard's raw tallies.
+	Counts ShardCounts `json:"counts"`
+	// Partial, Completed and Requested report the deadline-expiry path:
+	// a shard whose worker-side deadline fired returns the samples that
+	// DID complete, and the coordinator folds them into a partial merge.
+	Partial   bool    `json:"partial,omitempty"`
+	Completed int     `json:"completed"`
+	Requested int     `json:"requested"`
+	ElapsedMs float64 `json:"elapsed_ms"`
 }
 
 // SweepRequest is the body of POST /v1/sweep: a batch of parameter

@@ -81,6 +81,9 @@ const d2wCancelStride = 64
 // injected fault (Options.Faults), returns an error. Determinism is
 // unaffected — each die sample draws from its own seed-derived stream.
 func RunD2WContext(ctx context.Context, opts Options) (Result, error) {
+	if opts.FirstSample < 0 {
+		return Result{}, fmt.Errorf("sim: negative FirstSample %d", opts.FirstSample)
+	}
 	env, err := newD2WEnv(opts)
 	if err != nil {
 		return Result{}, err
@@ -135,7 +138,7 @@ func RunD2WContext(ctx context.Context, opts Options) (Result, error) {
 					}
 				}
 				steps++
-				local.Add(env.simulateDie(randx.Derive(opts.Seed, uint64(i))))
+				local.Add(env.simulateDie(randx.Derive(opts.Seed, uint64(opts.FirstSample)+uint64(i))))
 			}
 		}(w)
 	}

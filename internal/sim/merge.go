@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrMergeIncompatible reports Results that cannot be folded into one run:
+// mixed modes, or mixed per-die collection shapes. Callers match it with
+// errors.Is.
+var ErrMergeIncompatible = errors.New("sim: results are incompatible for merging")
+
+// Merge folds shard Results into the Result a single run over the union of
+// their sample ranges would have produced. Because every tally is an
+// integer count and every sample draws from its own (seed, global index)
+// stream, the merge is exact: for any partition of a run into shards
+// (each executed with the matching Options.FirstSample), Merge returns
+// counts, yields and confidence bounds bit-identical to the single-node
+// run — at any shard count, in any merge order, with any nesting. Merge
+// is associative and commutative in every field except Elapsed, which is
+// the maximum over the parts (the wall-clock of a set of shards executed
+// in parallel is its slowest member; max is itself associative and
+// order-independent, but it is telemetry, not part of the bit-identical
+// contract).
+//
+// Completed and Requested sum over the parts, and the merged Partial flag
+// is derived (Completed < Requested) rather than copied, so folding in a
+// partial shard — the deadline-expiry path of RunW2WContext/RunD2WContext
+// — yields a merged Result that is itself correctly partial.
+//
+// PerDie slices must be all absent or all present with one length
+// (index-aligned per-site tallies sum elementwise); a mix returns
+// ErrMergeIncompatible, as does an empty argument list or a mode mismatch.
+func Merge(parts ...Result) (Result, error) {
+	if len(parts) == 0 {
+		return Result{}, fmt.Errorf("%w: no results to merge", ErrMergeIncompatible)
+	}
+	mode := parts[0].Mode
+	wantPerDie := len(parts[0].PerDie)
+	var perDie []Counts
+	if parts[0].PerDie != nil {
+		perDie = make([]Counts, wantPerDie)
+	}
+	var total Counts
+	var elapsed time.Duration
+	completed, requested := 0, 0
+	for i := range parts {
+		p := &parts[i]
+		if p.Mode != mode {
+			return Result{}, fmt.Errorf("%w: mode %q vs %q", ErrMergeIncompatible, p.Mode, mode)
+		}
+		if (p.PerDie == nil) != (perDie == nil) || len(p.PerDie) != wantPerDie {
+			return Result{}, fmt.Errorf("%w: per-die tallies of length %d vs %d",
+				ErrMergeIncompatible, len(p.PerDie), wantPerDie)
+		}
+		total.Add(p.Counts)
+		completed += p.Completed
+		requested += p.Requested
+		if p.Elapsed > elapsed {
+			elapsed = p.Elapsed
+		}
+		for j := range p.PerDie {
+			perDie[j].Add(p.PerDie[j])
+		}
+	}
+	res := resultFrom(mode, total, elapsed)
+	res.Completed, res.Requested = completed, requested
+	res.Partial = completed < requested
+	res.PerDie = perDie
+	return res, nil
+}

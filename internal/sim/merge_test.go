@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"yap/internal/core"
+)
+
+// stripElapsed zeroes the one field excluded from the bit-identical merge
+// contract (wall-clock telemetry).
+func stripElapsed(r Result) Result {
+	r.Elapsed = 0
+	return r
+}
+
+// shardResults runs opts split into the given contiguous sample counts,
+// each shard with FirstSample pointing at its slice.
+func shardResults(t *testing.T, mode string, opts Options, counts []int) []Result {
+	t.Helper()
+	out := make([]Result, 0, len(counts))
+	start := 0
+	for _, n := range counts {
+		o := opts
+		o.FirstSample = start
+		var res Result
+		var err error
+		if mode == "w2w" {
+			o.Wafers = n
+			res, err = RunW2WContext(context.Background(), o)
+		} else {
+			o.Dies = n
+			res, err = RunD2WContext(context.Background(), o)
+		}
+		if err != nil {
+			t.Fatalf("shard [%d,%d): %v", start, start+n, err)
+		}
+		out = append(out, res)
+		start += n
+	}
+	return out
+}
+
+func TestMergeReproducesSingleNodeW2W(t *testing.T) {
+	opts := Options{Params: core.Baseline(), Seed: 41, Wafers: 24, Workers: 2}
+	single, err := RunW2WContext(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, split := range [][]int{{24}, {12, 12}, {9, 8, 7}, {1, 23}, {5, 5, 5, 5, 4}} {
+		parts := shardResults(t, "w2w", opts, split)
+		merged, err := Merge(parts...)
+		if err != nil {
+			t.Fatalf("split %v: %v", split, err)
+		}
+		if got, want := stripElapsed(merged), stripElapsed(single); !reflect.DeepEqual(got, want) {
+			t.Errorf("split %v: merged %+v != single-node %+v", split, got, want)
+		}
+	}
+}
+
+func TestMergeReproducesSingleNodeD2W(t *testing.T) {
+	opts := Options{Params: core.Baseline(), Seed: 99, Dies: 600, Workers: 2}
+	single, err := RunD2WContext(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, split := range [][]int{{600}, {300, 300}, {250, 200, 150}, {599, 1}} {
+		parts := shardResults(t, "d2w", opts, split)
+		merged, err := Merge(parts...)
+		if err != nil {
+			t.Fatalf("split %v: %v", split, err)
+		}
+		if got, want := stripElapsed(merged), stripElapsed(single); !reflect.DeepEqual(got, want) {
+			t.Errorf("split %v: merged %+v != single-node %+v", split, got, want)
+		}
+	}
+}
+
+func TestMergeReproducesPerDie(t *testing.T) {
+	opts := Options{Params: core.Baseline(), Seed: 7, Wafers: 12, CollectPerDie: true}
+	single, err := RunW2WContext(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := shardResults(t, "w2w", opts, []int{5, 4, 3})
+	merged, err := Merge(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripElapsed(merged), stripElapsed(single)) {
+		t.Errorf("merged per-die run differs from single node")
+	}
+	if len(merged.PerDie) == 0 {
+		t.Fatal("merged PerDie empty")
+	}
+}
+
+func TestMergeAssociativeAndOrderIndependent(t *testing.T) {
+	opts := Options{Params: core.Baseline(), Seed: 3, Wafers: 20}
+	parts := shardResults(t, "w2w", opts, []int{7, 6, 4, 3})
+
+	flat, err := Merge(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Right-nested fold: merge((a, merge(b, merge(c, d)))).
+	nested := parts[len(parts)-1]
+	for i := len(parts) - 2; i >= 0; i-- {
+		if nested, err = Merge(parts[i], nested); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(flat, nested) {
+		t.Errorf("nested fold %+v != flat merge %+v", nested, flat)
+	}
+
+	// Reversed and rotated orders.
+	for _, order := range [][]int{{3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}} {
+		perm := make([]Result, len(parts))
+		for i, j := range order {
+			perm[i] = parts[j]
+		}
+		got, err := Merge(perm...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, flat) {
+			t.Errorf("order %v: merge differs", order)
+		}
+	}
+}
+
+func TestMergeSingleElementIsIdentity(t *testing.T) {
+	opts := Options{Params: core.Baseline(), Seed: 11, Wafers: 6}
+	res, err := RunW2WContext(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged, res) {
+		t.Errorf("Merge(r) = %+v, want %+v", merged, res)
+	}
+}
+
+func TestMergePartialShardDerivesPartial(t *testing.T) {
+	full := Result{Mode: "W2W", Counts: Counts{Dies: 100, Survived: 90}, Completed: 10, Requested: 10}
+	part := Result{Mode: "W2W", Counts: Counts{Dies: 40, Survived: 30}, Partial: true, Completed: 4, Requested: 10,
+		Elapsed: 3 * time.Second}
+	merged, err := Merge(full, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Partial {
+		t.Error("merging a partial shard must yield a partial result")
+	}
+	if merged.Completed != 14 || merged.Requested != 20 {
+		t.Errorf("completed/requested = %d/%d, want 14/20", merged.Completed, merged.Requested)
+	}
+	if merged.Counts.Dies != 140 || merged.Counts.Survived != 120 {
+		t.Errorf("counts %+v", merged.Counts)
+	}
+	if merged.Elapsed != 3*time.Second {
+		t.Errorf("elapsed %v, want max of parts", merged.Elapsed)
+	}
+	// Two complete halves merge to a non-partial whole even when one part
+	// carried the Partial flag history via derived accounting.
+	whole, err := Merge(full, Result{Mode: "W2W", Completed: 5, Requested: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Partial {
+		t.Error("complete parts must merge to a complete result")
+	}
+}
+
+func TestMergeRejectsIncompatible(t *testing.T) {
+	w := Result{Mode: "W2W"}
+	d := Result{Mode: "D2W"}
+	if _, err := Merge(); !errors.Is(err, ErrMergeIncompatible) {
+		t.Errorf("empty merge: %v", err)
+	}
+	if _, err := Merge(w, d); !errors.Is(err, ErrMergeIncompatible) {
+		t.Errorf("mode mismatch: %v", err)
+	}
+	withPD := Result{Mode: "W2W", PerDie: make([]Counts, 3)}
+	if _, err := Merge(w, withPD); !errors.Is(err, ErrMergeIncompatible) {
+		t.Errorf("per-die presence mismatch: %v", err)
+	}
+	other := Result{Mode: "W2W", PerDie: make([]Counts, 5)}
+	if _, err := Merge(withPD, other); !errors.Is(err, ErrMergeIncompatible) {
+		t.Errorf("per-die length mismatch: %v", err)
+	}
+}
+
+func TestFirstSampleRejectsNegative(t *testing.T) {
+	if _, err := RunW2WContext(context.Background(), Options{Params: core.Baseline(), Wafers: 1, FirstSample: -1}); err == nil {
+		t.Error("W2W accepted negative FirstSample")
+	}
+	if _, err := RunD2WContext(context.Background(), Options{Params: core.Baseline(), Dies: 1, FirstSample: -1}); err == nil {
+		t.Error("D2W accepted negative FirstSample")
+	}
+}

@@ -51,6 +51,15 @@ type Options struct {
 	Dies int
 	// Workers bounds the parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// FirstSample is the global index of this run's first sample (bonded
+	// wafer for W2W, bonded die for D2W). Sample k of the run draws from
+	// the stream Derive(Seed, FirstSample+k), so a run over the index
+	// range [FirstSample, FirstSample+Wafers) reproduces exactly that
+	// slice of the single-node run with FirstSample == 0 — the property
+	// internal/dist relies on to shard a run across worker processes and
+	// Merge the tallies bit-identically. 0 — the default — is the whole
+	// run from the beginning; negative is rejected.
+	FirstSample int
 
 	// TwoDRandomMisalignment switches the random overlay error from the
 	// paper's scalar convention to a 2-D vector (u_x, u_y), each N(0, σ₁)

@@ -117,6 +117,9 @@ func RunW2W(opts Options) (Result, error) {
 // so any wafer that completes contributes exactly what it would have
 // contributed to an uncanceled run at any worker count.
 func RunW2WContext(ctx context.Context, opts Options) (Result, error) {
+	if opts.FirstSample < 0 {
+		return Result{}, fmt.Errorf("sim: negative FirstSample %d", opts.FirstSample)
+	}
 	env, err := newW2WEnv(opts)
 	if err != nil {
 		return Result{}, err
@@ -175,7 +178,7 @@ func RunW2WContext(ctx context.Context, opts Options) (Result, error) {
 					}
 					return
 				}
-				out.counts.Add(env.simulateWafer(randx.Derive(opts.Seed, uint64(i)), out.perDie))
+				out.counts.Add(env.simulateWafer(randx.Derive(opts.Seed, uint64(opts.FirstSample)+uint64(i)), out.perDie))
 				out.completed++
 			}
 		}(w)

@@ -103,6 +103,13 @@ func GenerateVoidMap(p Params, seed uint64, particles int) (*VoidMap, error) {
 	return sim.GenerateVoidMap(p, seed, particles)
 }
 
+// MergeSimResults folds shard results — runs over disjoint slices of one
+// run's sample index space, each executed with the matching
+// SimOptions.FirstSample — into the Result the single run would have
+// produced, bit-identically (internal/dist uses this to shard runs across
+// worker processes). See sim.Merge for the exactness contract.
+func MergeSimResults(parts ...SimResult) (SimResult, error) { return sim.Merge(parts...) }
+
 // WithPitch returns p at a new pitch with the case-study pad sizing rule
 // (bottom pad = pitch/2, top pad = pitch/3).
 func WithPitch(p Params, pitch float64) Params { return p.WithPitch(pitch) }
