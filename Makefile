@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race chaos dist bench cover figures report serve clean
+.PHONY: all build vet lint test test-race chaos dist jobs bench cover figures report serve clean
 
 all: build vet lint test
 
@@ -45,8 +45,22 @@ dist:
 	$(GO) test -race -run 'Merge|Plan|Coordinator|Registry|Shard|FirstSample|Distributor' ./internal/dist/ ./internal/sim/ ./internal/service/
 	YAP_FAULTS='$(DIST_WORKER_FAULTS)' $(GO) run -race ./cmd/yapload -dist -dist-workers 3 -dist-faults '$(DIST_FAULTS)'
 
+# Durable-jobs drill: the WAL/manager/service/client jobs tests under
+# the race detector, then the true crash-recovery exercise via
+# `yapload -jobs` — a re-exec'd daemon SIGKILLed after its job has
+# durably checkpointed, restarted over the same store, and required to
+# finish with a result bit-identical to an uninterrupted run.
+jobs:
+	$(GO) test -race -run 'Job|WAL|Wal|Checkpoint|Crash|Resume|Recover' ./internal/jobs/ ./internal/service/ ./internal/client/
+	$(GO) run -race ./cmd/yapload -jobs
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark record for the jobs durability layer
+# (checkpoint append + WAL replay), one JSON event per line.
+BENCH_jobs.json:
+	$(GO) test -json -run '^$$' -bench 'BenchmarkJobs' -benchmem ./internal/jobs/ > $@
 
 cover:
 	$(GO) test -cover ./...
@@ -68,4 +82,4 @@ serve:
 	$(GO) run ./cmd/yapserve
 
 clean:
-	rm -rf results report test_output.txt bench_output.txt
+	rm -rf results report test_output.txt bench_output.txt BENCH_jobs.json

@@ -96,11 +96,24 @@ func (w *workerProc) kill() {
 // startDrillWorker re-execs this binary in worker mode and waits for its
 // listen banner.
 func startDrillWorker(logger *log.Logger) (*workerProc, error) {
+	w, err := startSubprocess(nil, "-dist-worker-exec")
+	if err == nil {
+		logger.Printf("dist: worker pid %d up at %s", w.cmd.Process.Pid, w.url)
+	}
+	return w, err
+}
+
+// startSubprocess re-execs this binary with the given flags (plus any
+// extra environment entries) and waits for its listen banner.
+func startSubprocess(extraEnv []string, args ...string) (*workerProc, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, err
 	}
-	cmd := exec.Command(exe, "-dist-worker-exec")
+	cmd := exec.Command(exe, args...)
+	if len(extraEnv) > 0 {
+		cmd.Env = append(os.Environ(), extraEnv...)
+	}
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -124,11 +137,10 @@ func startDrillWorker(logger *log.Logger) (*workerProc, error) {
 	}()
 	select {
 	case u := <-urls:
-		logger.Printf("dist: worker pid %d up at %s", cmd.Process.Pid, u)
 		return &workerProc{cmd: cmd, url: u}, nil
 	case <-time.After(15 * time.Second):
 		_ = cmd.Process.Kill()
-		return nil, errors.New("worker did not announce a listen address within 15s")
+		return nil, errors.New("subprocess did not announce a listen address within 15s")
 	}
 }
 

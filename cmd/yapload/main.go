@@ -25,6 +25,14 @@
 //
 //	yapload -dist -dist-workers 3 -dist-faults 'seed=5,dist.dispatch=0.1:error'
 //
+// With -jobs it drills the durable asynchronous job subsystem: it
+// re-execs itself as a daemon with a job store, SIGKILLs it after the
+// submitted job has durably checkpointed, restarts it over the same
+// store, and requires the resumed job to finish with a result
+// bit-identical to an uninterrupted run (see jobs.go):
+//
+//	yapload -jobs -jobs-wafers 120
+//
 // Exits 1 when any invariant is violated.
 package main
 
@@ -54,7 +62,8 @@ var knownErrorCodes = map[string]bool{
 	"method_not_allowed": true, "invalid_json": true, "invalid_params": true,
 	"invalid_mode": true, "too_many_points": true, "body_too_large": true,
 	"deadline_exceeded": true, "canceled": true, "overloaded": true,
-	"internal": true,
+	"internal": true, "not_found": true, "jobs_disabled": true,
+	"job_terminal": true,
 }
 
 // tally aggregates outcomes across workers.
@@ -94,8 +103,15 @@ func main() {
 		runDistWorker(logger)
 		return
 	}
+	if *jobsServerX {
+		runJobsServer(logger)
+		return
+	}
 	if *distMode {
 		os.Exit(runDistDrill(logger, *seed, *wafers, *dies))
+	}
+	if *jobsMode {
+		os.Exit(runJobsDrill(logger, *seed))
 	}
 
 	base := *target

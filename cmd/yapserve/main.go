@@ -12,6 +12,8 @@
 //	         [-breaker-threshold n] [-breaker-cooldown 5s]
 //	         [-worker | -workers url1,url2,...]
 //	         [-shards-per-worker 2] [-heartbeat 2s] [-shard-timeout d]
+//	         [-jobs-dir dir] [-checkpoint-every n] [-job-ttl d]
+//	         [-job-runners n] [-version]
 //
 // Resilience: simulate admission beyond -max-queued waiting requests is
 // shed with 503 "overloaded" plus a Retry-After hint; a deadline that
@@ -29,14 +31,28 @@
 // slow workers are reassigned automatically; reassignment and fleet
 // counters appear on /metrics.
 //
+// Durable jobs (internal/jobs): -jobs-dir enables POST /v1/jobs, an
+// asynchronous alternative to /v1/simulate. Submissions answer 202
+// immediately and execute on a bounded runner pool, appending raw-tally
+// checkpoints every -checkpoint-every samples to a write-ahead log in
+// -jobs-dir. A crash or restart replays the log and resumes every
+// unfinished job from its last durable checkpoint, with final results
+// bit-identical to an uninterrupted run. Finished jobs stay queryable
+// for -job-ttl. When -workers is set, jobs shard across the fleet like
+// synchronous simulations.
+//
 // Endpoints:
 //
-//	POST /v1/evaluate  analytic W2W/D2W breakdown (Eq. 22 / Eq. 28)
-//	POST /v1/simulate  Monte-Carlo yield simulation (sharded when -workers is set)
-//	POST /v1/shard     one slice of a distributed run (worker protocol)
-//	POST /v1/sweep     batch evaluation with partial-failure reporting
-//	GET  /healthz      liveness
-//	GET  /metrics      Prometheus text format
+//	POST   /v1/evaluate   analytic W2W/D2W breakdown (Eq. 22 / Eq. 28)
+//	POST   /v1/simulate   Monte-Carlo yield simulation (sharded when -workers is set)
+//	POST   /v1/shard      one slice of a distributed run (worker protocol)
+//	POST   /v1/sweep      batch evaluation with partial-failure reporting
+//	POST   /v1/jobs       submit a durable asynchronous simulation (needs -jobs-dir)
+//	GET    /v1/jobs       list jobs
+//	GET    /v1/jobs/{id}  poll one job (terminal jobs carry the result)
+//	DELETE /v1/jobs/{id}  cancel a pending or running job
+//	GET    /healthz       liveness
+//	GET    /metrics       Prometheus text format
 //
 // SIGINT/SIGTERM drain in-flight requests (up to -drain, default 30s)
 // before exiting; a second signal aborts immediately.
@@ -58,7 +74,9 @@ import (
 	"yap/internal/core"
 	"yap/internal/dist"
 	"yap/internal/faultinject"
+	"yap/internal/jobs"
 	"yap/internal/service"
+	"yap/internal/sim"
 )
 
 func main() {
@@ -82,8 +100,19 @@ func main() {
 		shardsPerW   = flag.Int("shards-per-worker", 0, "shards planned per worker per run (0 = 2)")
 		heartbeat    = flag.Duration("heartbeat", 0, "worker liveness probe interval (0 = 2s, negative disables)")
 		shardTimeout = flag.Duration("shard-timeout", 0, "per-shard dispatch deadline; slower workers get their shard reassigned (0 = run deadline only)")
+
+		jobsDir      = flag.String("jobs-dir", "", "directory for the durable job store; enables POST /v1/jobs (empty disables)")
+		chkEvery     = flag.Int("checkpoint-every", 0, "samples per durable job checkpoint (0 = 200)")
+		jobTTL       = flag.Duration("job-ttl", 0, "how long finished jobs stay queryable before GC (0 = 1h, negative keeps forever)")
+		jobRunners   = flag.Int("job-runners", 0, "concurrently executing jobs (0 = 2)")
+		printVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *printVersion {
+		version, goVersion := service.BuildInfo()
+		fmt.Printf("yapserve %s (%s)\n", version, goVersion)
+		return
+	}
 	logger := log.New(os.Stderr, "yapserve: ", log.LstdFlags)
 	if *workerMode && *workerList != "" {
 		logger.Fatal("-worker and -workers are mutually exclusive: a coordinator must not be its own worker")
@@ -131,6 +160,36 @@ func main() {
 		logger.Print("worker mode: serving shards for a coordinator")
 	}
 
+	var jm *jobs.Manager
+	if *jobsDir != "" {
+		jcfg := jobs.Config{
+			Dir:             *jobsDir,
+			Runners:         *jobRunners,
+			CheckpointEvery: *chkEvery,
+			ResultTTL:       *jobTTL,
+			SimWorkers:      *workers,
+			Faults:          faults,
+			Logger:          logger,
+		}
+		if coord != nil {
+			// Jobs shard across the fleet like synchronous simulations;
+			// checkpoints still land in the coordinator's local store.
+			jcfg.Run = func(ctx context.Context, mode string, opts sim.Options) (sim.Result, error) {
+				res, _, err := coord.Simulate(ctx, mode, opts)
+				return res, err
+			}
+		}
+		jm, err = jobs.Open(jcfg)
+		if err != nil {
+			logger.Fatalf("invalid -jobs-dir: %v", err)
+		}
+		every := *chkEvery
+		if every <= 0 {
+			every = 200
+		}
+		logger.Printf("durable jobs: store %s, checkpoint every %d samples", *jobsDir, every)
+	}
+
 	cfg := service.Config{
 		Defaults:          &defaults,
 		CacheSize:         *cacheSize,
@@ -148,6 +207,9 @@ func main() {
 	}
 	if coord != nil {
 		cfg.Distributor = coord
+	}
+	if jm != nil {
+		cfg.Jobs = jm
 	}
 	srv := service.New(cfg)
 	logger.Printf("resilience: %s", srv.ResilienceSummary())
@@ -189,6 +251,13 @@ func main() {
 		} else {
 			fmt.Fprintln(os.Stderr, "yapserve: shutdown:", err)
 			os.Exit(1)
+		}
+	}
+	if jm != nil {
+		// After HTTP has drained: snapshot the store and stop the runners.
+		// Mid-run jobs stay durably running and resume at the next start.
+		if err := jm.Close(); err != nil {
+			logger.Printf("job store close: %v", err)
 		}
 	}
 	logger.Print("bye")

@@ -1,6 +1,6 @@
 // Package client is the resilient Go client for the yapserve HTTP API:
-// typed wrappers over /v1/evaluate, /v1/simulate, /v1/sweep and /healthz
-// that retry transient failures with capped exponential backoff and
+// typed wrappers over /v1/evaluate, /v1/simulate, /v1/sweep, /v1/jobs
+// and /healthz that retry transient failures with capped exponential backoff and
 // deterministic jitter, honor the server's Retry-After hints (both the
 // whole-second header and the sub-second retry_after_ms body field), and
 // optionally stop hammering a struggling server through a client-side
@@ -150,11 +150,94 @@ func (c *Client) Health(ctx context.Context) (*service.HealthResponse, error) {
 	return &resp, nil
 }
 
-// do runs the retry loop around one logical call: permanent failures and
-// context expiry return immediately, transient ones (connection errors,
-// 429, 5xx, an open client breaker) back off — honoring the larger of the
-// backoff schedule and the server's Retry-After hint — and try again.
+// SubmitJob calls POST /v1/jobs, enqueueing a durable asynchronous
+// Monte-Carlo run. The server answers 202 with the pending job; poll it
+// with GetJob or WaitJob. Note that a retried submission (transient
+// failure after the server durably accepted the job) enqueues a second
+// job — the runs are deterministic, so the duplicate produces identical
+// results and only costs compute, but callers that care should ListJobs
+// and reconcile by params hash and seed.
+func (c *Client) SubmitJob(ctx context.Context, req service.JobSubmitRequest) (*service.JobResponse, error) {
+	var resp service.JobResponse
+	if err := c.do(ctx, "/v1/jobs", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// GetJob calls GET /v1/jobs/{id}. A 404 carries code "not_found" for an
+// unknown or expired job, or "jobs_disabled" when the daemon runs
+// without a job store.
+func (c *Client) GetJob(ctx context.Context, id string) (*service.JobResponse, error) {
+	var resp service.JobResponse
+	if err := c.doMethod(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ListJobs calls GET /v1/jobs.
+func (c *Client) ListJobs(ctx context.Context) (*service.JobListResponse, error) {
+	var resp service.JobListResponse
+	if err := c.do(ctx, "/v1/jobs", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// CancelJob calls DELETE /v1/jobs/{id}. Canceling an already-finished
+// job surfaces an *APIError with code "job_terminal" (409).
+func (c *Client) CancelJob(ctx context.Context, id string) (*service.JobResponse, error) {
+	var resp service.JobResponse
+	if err := c.doMethod(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// WaitJob polls GET /v1/jobs/{id} every interval (250ms when
+// non-positive) until the job reaches a terminal state — done, failed or
+// canceled — and returns it. Polling is resumable by construction: each
+// poll is an independent idempotent GET with the client's full retry
+// schedule behind it, so a daemon restart mid-wait (during which the job
+// itself resumes from its last durable checkpoint) only costs a few
+// retried polls. WaitJob does not turn failed or canceled states into
+// errors; inspect State on the returned job.
+func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration) (*service.JobResponse, error) {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	for {
+		job, err := c.GetJob(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch job.State {
+		case "done", "failed", "canceled":
+			return job, nil
+		}
+		if err := resilience.Sleep(ctx, interval); err != nil {
+			return nil, fmt.Errorf("client: waiting for job %s: %w", id, err)
+		}
+	}
+}
+
+// do runs the retry loop around one logical call, inferring the verb
+// from the payload: POST with a body, GET without.
 func (c *Client) do(ctx context.Context, path string, body, out any) error {
+	method := http.MethodGet
+	if body != nil {
+		method = http.MethodPost
+	}
+	return c.doMethod(ctx, method, path, body, out)
+}
+
+// doMethod runs the retry loop around one logical call: permanent
+// failures and context expiry return immediately, transient ones
+// (connection errors, 429, 5xx, an open client breaker) back off —
+// honoring the larger of the backoff schedule and the server's
+// Retry-After hint — and try again.
+func (c *Client) doMethod(ctx context.Context, method, path string, body, out any) error {
 	var payload []byte
 	if body != nil {
 		var err error
@@ -173,7 +256,7 @@ func (c *Client) do(ctx context.Context, path string, body, out any) error {
 				return fmt.Errorf("client: giving up while backing off: %w", errors.Join(err, lastErr))
 			}
 		}
-		err := c.once(ctx, path, payload, out)
+		err := c.once(ctx, method, path, payload, out)
 		if err == nil {
 			return nil
 		}
@@ -192,16 +275,13 @@ func (c *Client) do(ctx context.Context, path string, body, out any) error {
 // breaker. Outcome recording: transport errors and 5xx count as failures;
 // any parseable HTTP response below 500 counts as success (the server is
 // reachable and judging requests, which is what the breaker protects).
-func (c *Client) once(ctx context.Context, path string, payload []byte, out any) error {
+func (c *Client) once(ctx context.Context, method, path string, payload []byte, out any) error {
 	if err := c.cfg.Breaker.Allow(); err != nil {
 		return err
 	}
-	method := http.MethodPost
 	var body io.Reader
 	if payload != nil {
 		body = bytes.NewReader(payload)
-	} else {
-		method = http.MethodGet
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, body)
 	if err != nil {

@@ -55,6 +55,14 @@ const (
 	// HookDistMerge fires in the dist coordinator before shard results
 	// are merged; an injected fault fails the distributed run.
 	HookDistMerge = "dist.merge"
+	// HookJobsWAL fires in the jobs manager before every write-ahead-log
+	// append; an injected error fails the job (durability failures must
+	// never be papered over), and an injected delay models a slow disk.
+	HookJobsWAL = "jobs.wal"
+	// HookJobsRun fires in the jobs manager before each checkpoint-sized
+	// slice of a job executes; an injected error or panic fails the job,
+	// covering the runner-death path.
+	HookJobsRun = "jobs.run"
 )
 
 // ErrInjected is the sentinel wrapped by every injected error; callers

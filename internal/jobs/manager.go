@@ -1,0 +1,920 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"yap/internal/faultinject"
+	"yap/internal/sim"
+)
+
+// RunFunc executes one contiguous slice of a Monte-Carlo run. mode is
+// "w2w" or "d2w"; opts carries the slice's FirstSample/Wafers/Dies. The
+// default runs in-process; yapserve substitutes the dist coordinator when
+// a worker fleet is registered. The contract the manager depends on: for
+// a given (Params, Seed, FirstSample, sample count) the returned raw
+// tallies are bit-identical however the slice is executed.
+type RunFunc func(ctx context.Context, mode string, opts sim.Options) (sim.Result, error)
+
+func defaultRun(ctx context.Context, mode string, opts sim.Options) (sim.Result, error) {
+	if mode == "d2w" {
+		return sim.RunD2WContext(ctx, opts)
+	}
+	return sim.RunW2WContext(ctx, opts)
+}
+
+// Config configures a Manager. The zero value of every field is usable;
+// only Dir is required.
+type Config struct {
+	// Dir is the durability directory (jobs.wal + jobs.snap live here);
+	// created if absent. Two managers must not share a directory.
+	Dir string
+	// Run executes job slices; nil runs the in-process simulator.
+	Run RunFunc
+	// Runners bounds concurrently executing jobs (default 2).
+	Runners int
+	// CheckpointEvery is the default slice size in samples between durable
+	// checkpoints for jobs that don't set their own (default 200).
+	CheckpointEvery int
+	// ResultTTL is how long terminal jobs stay queryable after finishing
+	// before the GC pass drops them (default 1h; negative disables GC).
+	ResultTTL time.Duration
+	// GCInterval is the GC pass cadence (default 1m).
+	GCInterval time.Duration
+	// MaxQueued bounds jobs admitted but not yet terminal (default 64).
+	// Submit beyond it fails with ErrQueueFull. Jobs recovered from disk
+	// are always re-admitted, even past the bound — durability outranks
+	// admission control.
+	MaxQueued int
+	// SimWorkers is the default per-slice parallelism for jobs that don't
+	// set Spec.Workers (0 = GOMAXPROCS).
+	SimWorkers int
+	// Faults optionally arms deterministic fault injection at the
+	// HookJobsWAL and HookJobsRun hooks (and inside the simulator via the
+	// sim hooks, since the injector is passed down).
+	Faults *faultinject.Injector
+	// Logger receives recovery and failure notes; nil discards.
+	Logger *log.Logger
+	// Clock supplies telemetry timestamps (SubmittedAt/FinishedAt and TTL
+	// expiry); nil uses the wall clock. Timestamps never feed back into
+	// simulation results, so an injected clock exists for tests, not for
+	// determinism of the physics.
+	Clock func() time.Time
+}
+
+func (c Config) runners() int {
+	if c.Runners > 0 {
+		return c.Runners
+	}
+	return 2
+}
+
+func (c Config) checkpointEvery() int {
+	if c.CheckpointEvery > 0 {
+		return c.CheckpointEvery
+	}
+	return 200
+}
+
+func (c Config) resultTTL() time.Duration {
+	if c.ResultTTL != 0 {
+		return c.ResultTTL
+	}
+	return time.Hour
+}
+
+func (c Config) gcInterval() time.Duration {
+	if c.GCInterval > 0 {
+		return c.GCInterval
+	}
+	return time.Minute
+}
+
+func (c Config) maxQueued() int {
+	if c.MaxQueued > 0 {
+		return c.MaxQueued
+	}
+	return 64
+}
+
+// Sentinel errors for the Manager API.
+var (
+	// ErrNotFound reports an unknown (or already garbage-collected) job ID.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrQueueFull reports that admission is at MaxQueued live jobs.
+	ErrQueueFull = errors.New("jobs: job queue full")
+	// ErrClosed reports an operation on a closed Manager.
+	ErrClosed = errors.New("jobs: manager closed")
+	// ErrTerminal reports a cancel of a job that already finished.
+	ErrTerminal = errors.New("jobs: job already terminal")
+)
+
+// jobState is the Manager's mutable record of one job. The wire spec is
+// kept alongside the decoded one so snapshots re-persist exactly the
+// bytes that were submitted.
+type jobState struct {
+	job    Job
+	wire   specWire
+	cancel context.CancelFunc // set while a runner owns the job
+	// cancelRequested distinguishes a user cancel from a manager shutdown
+	// when the runner's context fires.
+	cancelRequested bool
+}
+
+// Stats is a point-in-time counter/gauge snapshot for /metrics.
+type Stats struct {
+	// Counters (monotone since Open).
+	Submitted    uint64
+	Done         uint64
+	Failed       uint64
+	Canceled     uint64
+	Resumed      uint64 // jobs re-enqueued from a durable checkpoint at Open
+	Checkpoints  uint64 // checkpoint records appended
+	WALRecords   uint64 // total records appended
+	WALTruncated uint64 // corrupt/torn tail bytes discarded at Open (0 or 1 events)
+	GCRemoved    uint64 // terminal jobs dropped by TTL GC
+	// Gauges.
+	Pending  int
+	Running  int
+	Terminal int
+}
+
+// Manager owns one durability directory and a bounded runner pool. All
+// methods are safe for concurrent use.
+type Manager struct {
+	cfg   Config
+	run   RunFunc
+	clock func() time.Time
+
+	wal   *wal
+	snap  string // snapshot path
+	queue chan string
+
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	wg        sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	nextID uint64
+	jobs   map[string]*jobState
+	stats  Stats
+}
+
+// Open recovers the directory's durable state and starts the runner pool.
+// Recovery loads the snapshot, replays the WAL over it (truncating a
+// corrupt or torn tail rather than failing), compacts the folded state
+// into a fresh snapshot, reconstructs terminal results from their raw
+// tallies, and re-enqueues every non-terminal job — running jobs resume
+// from their last durable checkpoint.
+func Open(cfg Config) (*Manager, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("jobs: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: create dir: %w", err)
+	}
+	m := &Manager{
+		cfg:   cfg,
+		run:   cfg.Run,
+		clock: cfg.Clock,
+		snap:  filepath.Join(cfg.Dir, snapName),
+		jobs:  make(map[string]*jobState),
+	}
+	if m.run == nil {
+		m.run = defaultRun
+	}
+	if m.clock == nil {
+		m.clock = time.Now
+	}
+	m.nextID = 1
+
+	if err := m.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	walPath := filepath.Join(cfg.Dir, walName)
+	records, cleanOffset, truncated, err := replayWAL(walPath)
+	if err != nil {
+		return nil, err
+	}
+	if truncated {
+		m.stats.WALTruncated++
+		m.logf("recovery: discarding corrupt/torn wal tail after offset %d", cleanOffset)
+	}
+	for _, payload := range records {
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// An intact frame with unreadable JSON: skip it, keep folding.
+			m.logf("recovery: skipping undecodable wal record: %v", err)
+			continue
+		}
+		m.apply(rec)
+	}
+	m.wal, err = openWAL(walPath, cleanOffset)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fail jobs whose persisted spec no longer decodes (disk corruption or
+	// an incompatible parameter schema) instead of refusing to start: the
+	// daemon keeps serving, the job reports its error.
+	for _, js := range m.ordered() {
+		if js.job.State.Terminal() {
+			continue
+		}
+		if _, err := js.wire.toSpec(); err != nil {
+			m.logf("recovery: job %s spec unusable, marking failed: %v", js.job.ID, err)
+			m.finishLocked(js, StateFailed, err.Error(), nil)
+		}
+	}
+
+	// Compact: the snapshot now carries the fold of everything replayed,
+	// so the log restarts empty.
+	if err := m.writeSnapshotLocked(); err != nil {
+		m.wal.Close()
+		return nil, err
+	}
+	if err := m.wal.Reset(); err != nil {
+		m.wal.Close()
+		return nil, err
+	}
+
+	// Reconstruct terminal results (yields, Wilson CI) from durable
+	// tallies for done jobs recovered from disk.
+	for _, js := range m.jobs {
+		if js.job.State == StateDone && js.job.Result == nil {
+			res, err := finishedResult(js.job.Spec.Mode, js.job.Counts, js.job.Completed)
+			if err != nil {
+				m.logf("recovery: job %s result reconstruction: %v", js.job.ID, err)
+				continue
+			}
+			js.job.Result = &res
+		}
+	}
+
+	// Re-enqueue non-terminal jobs in ID order; recovered jobs are
+	// admitted past MaxQueued (they were already admitted once).
+	var resumable []*jobState
+	for _, js := range m.ordered() {
+		if !js.job.State.Terminal() {
+			resumable = append(resumable, js)
+		}
+	}
+	depth := m.cfg.maxQueued()
+	if len(resumable) > depth {
+		depth = len(resumable)
+	}
+	m.queue = make(chan string, depth)
+	for _, js := range resumable {
+		if js.job.State == StateRunning {
+			js.job.Resumes++
+			m.stats.Resumed++
+			// Durable telemetry: the resume count rides on a running-state
+			// record so it survives the next crash too.
+			m.appendLocked(walRecord{Type: recState, ID: js.job.ID, State: StateRunning, Resumes: js.job.Resumes})
+			m.logf("recovery: resuming job %s from sample %d/%d (resume #%d)",
+				js.job.ID, js.job.Completed, js.job.Spec.Samples, js.job.Resumes)
+		}
+		m.queue <- js.job.ID
+	}
+
+	m.runCtx, m.runCancel = context.WithCancel(context.Background())
+	for i := 0; i < m.cfg.runners(); i++ {
+		m.wg.Add(1)
+		go m.runner()
+	}
+	if m.cfg.resultTTL() > 0 {
+		m.wg.Add(1)
+		go m.gcLoop()
+	}
+	return m, nil
+}
+
+// loadSnapshot reads jobs.snap into the state map. A missing snapshot is
+// an empty store; an unreadable one is logged and treated as empty (the
+// WAL replay still applies whatever it holds).
+func (m *Manager) loadSnapshot() error {
+	data, err := os.ReadFile(m.snap)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("jobs: read snapshot: %w", err)
+	}
+	var st persistedState
+	if err := json.Unmarshal(data, &st); err != nil {
+		m.logf("recovery: snapshot unreadable, starting from wal alone: %v", err)
+		return nil
+	}
+	if st.NextID > m.nextID {
+		m.nextID = st.NextID
+	}
+	for _, pj := range st.Jobs {
+		js := &jobState{
+			wire: pj.Spec,
+			job: Job{
+				ID:        pj.ID,
+				State:     pj.State,
+				Completed: pj.Completed,
+				Counts:    pj.Counts,
+				Resumes:   pj.Resumes,
+				Error:     pj.Error,
+			},
+		}
+		if pj.SubmittedAt != 0 {
+			js.job.SubmittedAt = time.Unix(0, pj.SubmittedAt)
+		}
+		if pj.FinishedAt != 0 {
+			js.job.FinishedAt = time.Unix(0, pj.FinishedAt)
+		}
+		if spec, err := pj.Spec.toSpec(); err == nil {
+			js.job.Spec = spec
+			js.job.ParamsHash = spec.Params.HashString()
+		}
+		m.jobs[pj.ID] = js
+		m.noteID(pj.ID)
+	}
+	return nil
+}
+
+// apply folds one WAL record into the state map. Application is
+// idempotent and monotone: records the snapshot already covers, or that
+// arrive out of order after a partial compaction, never regress state.
+func (m *Manager) apply(rec walRecord) {
+	switch rec.Type {
+	case recSubmit:
+		if rec.Spec == nil || rec.ID == "" {
+			return
+		}
+		if _, ok := m.jobs[rec.ID]; ok {
+			return // snapshot already covers it
+		}
+		js := &jobState{wire: *rec.Spec, job: Job{ID: rec.ID, State: StatePending}}
+		if rec.At != 0 {
+			js.job.SubmittedAt = time.Unix(0, rec.At)
+		}
+		if spec, err := rec.Spec.toSpec(); err == nil {
+			js.job.Spec = spec
+			js.job.ParamsHash = spec.Params.HashString()
+		}
+		m.jobs[rec.ID] = js
+		m.noteID(rec.ID)
+	case recState:
+		js, ok := m.jobs[rec.ID]
+		if !ok {
+			return // orphan record for a job the snapshot GC'd
+		}
+		if rec.State.rank() < js.job.State.rank() {
+			return
+		}
+		if js.job.State.Terminal() && rec.State != js.job.State {
+			return // first terminal state wins; a correct log never hits this
+		}
+		js.job.State = rec.State
+		if rec.Resumes > js.job.Resumes {
+			js.job.Resumes = rec.Resumes
+		}
+		if rec.State == StateFailed && rec.Error != "" {
+			js.job.Error = rec.Error
+		}
+		if rec.State.Terminal() {
+			if rec.At != 0 {
+				js.job.FinishedAt = time.Unix(0, rec.At)
+			}
+			if rec.Counts != nil && rec.Completed >= js.job.Completed {
+				js.job.Completed = rec.Completed
+				js.job.Counts = *rec.Counts
+			}
+		}
+	case recCheckpoint:
+		js, ok := m.jobs[rec.ID]
+		if !ok || js.job.State.Terminal() || rec.Counts == nil {
+			return
+		}
+		// Checkpoints carry cumulative tallies, so folding is taking the
+		// furthest one.
+		if rec.Completed > js.job.Completed {
+			js.job.Completed = rec.Completed
+			js.job.Counts = *rec.Counts
+		}
+	case recGC:
+		delete(m.jobs, rec.ID)
+	}
+}
+
+// noteID keeps the persistent allocator ahead of every ID ever seen.
+func (m *Manager) noteID(id string) {
+	n, ok := parseID(id)
+	if ok && n >= m.nextID {
+		m.nextID = n + 1
+	}
+}
+
+func parseID(id string) (uint64, bool) {
+	s, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func formatID(n uint64) string { return fmt.Sprintf("job-%06d", n) }
+
+// ordered returns the jobs sorted by ID. Callers hold m.mu (or have
+// exclusive access during recovery).
+func (m *Manager) ordered() []*jobState {
+	out := make([]*jobState, len(m.jobs))
+	i := 0
+	for _, js := range m.jobs {
+		out[i] = js
+		i++
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].job.ID < out[b].job.ID })
+	return out
+}
+
+// Submit validates, durably logs and enqueues a job, returning its
+// pending Job. The submit record is fsync'd before Submit returns: an
+// accepted job survives any crash after the 202 goes out.
+func (m *Manager) Submit(spec Spec) (Job, error) {
+	if spec.Mode != "w2w" && spec.Mode != "d2w" {
+		return Job{}, fmt.Errorf("jobs: mode must be \"w2w\" or \"d2w\", got %q", spec.Mode)
+	}
+	if spec.Samples <= 0 {
+		return Job{}, fmt.Errorf("jobs: samples must be positive, got %d", spec.Samples)
+	}
+	if spec.Workers < 0 || spec.CheckpointEvery < 0 {
+		return Job{}, errors.New("jobs: workers and checkpoint_every must be non-negative")
+	}
+	if err := spec.Params.Validate(); err != nil {
+		return Job{}, fmt.Errorf("jobs: invalid params: %w", err)
+	}
+	wire, err := specToWire(spec)
+	if err != nil {
+		return Job{}, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Job{}, ErrClosed
+	}
+	if m.live() >= m.cfg.maxQueued() || len(m.queue) >= cap(m.queue) {
+		return Job{}, ErrQueueFull
+	}
+	id := formatID(m.nextID)
+	js := &jobState{wire: wire, job: Job{
+		ID:          id,
+		Spec:        spec,
+		ParamsHash:  spec.Params.HashString(),
+		State:       StatePending,
+		SubmittedAt: m.clock(),
+	}}
+	if err := m.appendLocked(walRecord{Type: recSubmit, ID: id, Spec: &wire, At: js.job.SubmittedAt.UnixNano()}); err != nil {
+		return Job{}, err
+	}
+	m.nextID++
+	m.jobs[id] = js
+	m.stats.Submitted++
+	m.queue <- id // capacity checked above; sends only happen under m.mu
+	return js.job, nil
+}
+
+// live counts non-terminal jobs. Callers hold m.mu.
+func (m *Manager) live() int {
+	n := 0
+	for _, js := range m.jobs {
+		if !js.job.State.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns a copy of the job, or ErrNotFound.
+func (m *Manager) Get(id string) (Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	js, ok := m.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	return js.job, nil
+}
+
+// List returns copies of every tracked job, sorted by ID.
+func (m *Manager) List() []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ordered := m.ordered()
+	out := make([]Job, len(ordered))
+	for i, js := range ordered {
+		out[i] = js.job
+	}
+	return out
+}
+
+// Cancel stops a job. A pending job is canceled durably on the spot; a
+// running job is interrupted at its next sample boundary and canceled by
+// its runner (the returned copy still shows it running). Canceling a
+// terminal job returns ErrTerminal with the job's final state.
+func (m *Manager) Cancel(id string) (Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	js, ok := m.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	switch {
+	case js.job.State.Terminal():
+		return js.job, ErrTerminal
+	case js.cancel != nil: // running: the runner owns the terminal record
+		js.cancelRequested = true
+		js.cancel()
+	default: // pending: cancel durably right here
+		js.cancelRequested = true
+		m.finishLocked(js, StateCanceled, "", nil)
+	}
+	return js.job, nil
+}
+
+// Stats returns a point-in-time counter/gauge snapshot.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	for _, js := range m.jobs {
+		switch js.job.State {
+		case StatePending:
+			s.Pending++
+		case StateRunning:
+			s.Running++
+		default:
+			s.Terminal++
+		}
+	}
+	return s
+}
+
+// Close stops the runner pool and the GC loop, waits for them, syncs the
+// final snapshot and closes the log. Jobs interrupted mid-run stay
+// durably running — indistinguishable from a crash — and resume from
+// their last checkpoint at the next Open.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+
+	m.runCancel()
+	m.wg.Wait()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	err := m.writeSnapshotLocked()
+	if cerr := m.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// appendLocked durably logs one record. Callers hold m.mu (or have
+// exclusive access during recovery). The HookJobsWAL fault hook fires
+// first, so chaos drills can fail or delay durability deterministically.
+func (m *Manager) appendLocked(rec walRecord) error {
+	if err := m.fireWALHook(); err != nil {
+		return fmt.Errorf("jobs: wal append: %w", err)
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: encode wal record: %w", err)
+	}
+	if err := m.wal.Append(payload); err != nil {
+		return err
+	}
+	m.stats.WALRecords++
+	if rec.Type == recCheckpoint {
+		m.stats.Checkpoints++
+	}
+	return nil
+}
+
+// fireWALHook fires HookJobsWAL, converting an injected panic into an
+// error: the hook fires under m.mu, where unwinding would leave no one to
+// release the lock or fail the job.
+func (m *Manager) fireWALHook() (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("wal hook panic: %v", rec)
+		}
+	}()
+	return m.cfg.Faults.Fire(context.Background(), faultinject.HookJobsWAL)
+}
+
+// finishLocked moves a job to a terminal state, durably when possible.
+// Callers hold m.mu. A WAL failure while recording the transition is
+// logged and the in-memory state still advances: the worst outcome of
+// losing a terminal record is re-running the tail of the job after a
+// restart, never wrong results.
+func (m *Manager) finishLocked(js *jobState, state State, errText string, res *sim.Result) {
+	js.job.State = state
+	js.job.Error = errText
+	js.job.FinishedAt = m.clock()
+	js.job.Result = res
+	rec := walRecord{Type: recState, ID: js.job.ID, State: state, Error: errText, At: js.job.FinishedAt.UnixNano()}
+	if state == StateDone {
+		rec.Completed = js.job.Completed
+		c := js.job.Counts
+		rec.Counts = &c
+	}
+	if err := m.appendLocked(rec); err != nil {
+		m.logf("job %s: recording %s state: %v", js.job.ID, state, err)
+	}
+	switch state {
+	case StateDone:
+		m.stats.Done++
+	case StateFailed:
+		m.stats.Failed++
+		if errText != "" {
+			m.logf("job %s failed: %s", js.job.ID, errText)
+		}
+	case StateCanceled:
+		m.stats.Canceled++
+	}
+}
+
+// runner is one worker of the bounded pool: dequeue, execute in
+// checkpoint-sized slices, repeat.
+func (m *Manager) runner() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.runCtx.Done():
+			return
+		case id := <-m.queue:
+			m.runJob(id)
+		}
+	}
+}
+
+// runJob executes one job from its last durable checkpoint to the end,
+// appending a cumulative checkpoint record after every slice. The slice
+// results are folded through sim.Merge — the same arithmetic as the dist
+// coordinator — so the final Result is bit-identical to an uninterrupted
+// single-process run (Elapsed excepted, as everywhere).
+func (m *Manager) runJob(id string) {
+	// An injected panic at HookJobsRun (or a genuine bug in the slice
+	// path) costs this job a failure, not the whole daemon. Code holding
+	// m.mu never panics (see fireWALHook), so re-locking here is safe.
+	defer func() {
+		if rec := recover(); rec != nil {
+			m.mu.Lock()
+			if js, ok := m.jobs[id]; ok && !js.job.State.Terminal() {
+				js.cancel = nil
+				m.finishLocked(js, StateFailed, fmt.Sprintf("runner panicked: %v", rec), nil)
+			}
+			m.mu.Unlock()
+		}
+	}()
+	m.mu.Lock()
+	js, ok := m.jobs[id]
+	if !ok || js.job.State.Terminal() {
+		m.mu.Unlock()
+		return // canceled (or GC'd) while queued
+	}
+	if js.job.State == StatePending {
+		js.job.State = StateRunning
+		if err := m.appendLocked(walRecord{Type: recState, ID: id, State: StateRunning}); err != nil {
+			m.finishLocked(js, StateFailed, fmt.Sprintf("recording running state: %v", err), nil)
+			m.mu.Unlock()
+			return
+		}
+	}
+	jobCtx, cancel := context.WithCancel(m.runCtx)
+	defer cancel()
+	js.cancel = cancel
+	spec := js.job.Spec
+	completed := js.job.Completed
+	counts := js.job.Counts
+	m.mu.Unlock()
+
+	checkpointEvery := spec.CheckpointEvery
+	if checkpointEvery <= 0 {
+		checkpointEvery = m.cfg.checkpointEvery()
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = m.cfg.SimWorkers
+	}
+
+	// acc accumulates the merged partial Result; base is the durable
+	// prefix (empty for a fresh job).
+	acc := baseResult(spec.Mode, counts, completed)
+	fail := func(text string) {
+		m.mu.Lock()
+		js.cancel = nil
+		m.finishLocked(js, StateFailed, text, nil)
+		m.mu.Unlock()
+	}
+
+	// interrupted ends the run when jobCtx fired: a user cancel becomes a
+	// durable canceled state; a manager shutdown leaves the job durably
+	// running so the next Open resumes it from the last checkpoint —
+	// deliberately indistinguishable from a crash. Either way the
+	// in-flight slice is discarded: its partial tallies may cover
+	// NON-contiguous samples (workers stride the index space), so they
+	// can never be checkpointed.
+	interrupted := func() {
+		m.mu.Lock()
+		js.cancel = nil
+		if js.cancelRequested && !js.job.State.Terminal() {
+			m.finishLocked(js, StateCanceled, "", nil)
+		}
+		m.mu.Unlock()
+	}
+
+	for completed < spec.Samples {
+		chunk := spec.Samples - completed
+		if chunk > checkpointEvery {
+			chunk = checkpointEvery
+		}
+		if err := m.cfg.Faults.Fire(jobCtx, faultinject.HookJobsRun); err != nil {
+			if jobCtx.Err() != nil {
+				interrupted()
+				return
+			}
+			fail(fmt.Sprintf("slice at sample %d: %v", completed, err))
+			return
+		}
+		opts := sim.Options{
+			Params:      spec.Params,
+			Seed:        spec.Seed,
+			Workers:     workers,
+			FirstSample: completed,
+			Faults:      m.cfg.Faults,
+		}
+		if spec.Mode == "d2w" {
+			opts.Dies = chunk
+		} else {
+			opts.Wafers = chunk
+		}
+		res, err := m.run(jobCtx, spec.Mode, opts)
+		if jobCtx.Err() != nil {
+			interrupted()
+			return
+		}
+		if err != nil {
+			fail(fmt.Sprintf("slice at sample %d: %v", completed, err))
+			return
+		}
+		if res.Partial {
+			// No deadline and no cancellation, yet the slice is partial —
+			// a distributed runner degraded. The tallies cannot be trusted
+			// to be contiguous, so fail rather than checkpoint them.
+			fail(fmt.Sprintf("slice at sample %d returned partial tallies (%d/%d)", completed, res.Completed, res.Requested))
+			return
+		}
+		merged, err := sim.Merge(acc, res)
+		if err != nil {
+			fail(fmt.Sprintf("merging slice at sample %d: %v", completed, err))
+			return
+		}
+		acc = merged
+		completed += chunk
+
+		m.mu.Lock()
+		if js.job.State.Terminal() { // raced with a durable cancel
+			js.cancel = nil
+			m.mu.Unlock()
+			return
+		}
+		c := acc.Counts
+		if err := m.appendLocked(walRecord{Type: recCheckpoint, ID: id, Completed: completed, Counts: &c}); err != nil {
+			js.cancel = nil
+			m.finishLocked(js, StateFailed, fmt.Sprintf("checkpoint at sample %d: %v", completed, err), nil)
+			m.mu.Unlock()
+			return
+		}
+		js.job.Completed = completed
+		js.job.Counts = acc.Counts
+		m.mu.Unlock()
+	}
+
+	final, err := sim.Merge(acc)
+	if err != nil {
+		fail(fmt.Sprintf("finalizing: %v", err))
+		return
+	}
+	m.mu.Lock()
+	js.cancel = nil
+	if !js.job.State.Terminal() {
+		m.finishLocked(js, StateDone, "", &final)
+	}
+	m.mu.Unlock()
+}
+
+// gcLoop drops terminal jobs whose results have outlived ResultTTL.
+func (m *Manager) gcLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.gcInterval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.runCtx.Done():
+			return
+		case <-ticker.C:
+			m.gcPass()
+		}
+	}
+}
+
+// gcPass removes expired terminal jobs, durably (a gc record per drop,
+// then a compacting snapshot when anything was dropped).
+func (m *Manager) gcPass() {
+	ttl := m.cfg.resultTTL()
+	if ttl <= 0 {
+		return
+	}
+	now := m.clock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	removed := 0
+	for _, js := range m.ordered() {
+		if !js.job.State.Terminal() || js.job.FinishedAt.IsZero() {
+			continue
+		}
+		if now.Sub(js.job.FinishedAt) < ttl {
+			continue
+		}
+		if err := m.appendLocked(walRecord{Type: recGC, ID: js.job.ID, At: now.UnixNano()}); err != nil {
+			m.logf("gc: recording removal of %s: %v", js.job.ID, err)
+			continue
+		}
+		delete(m.jobs, js.job.ID)
+		m.stats.GCRemoved++
+		removed++
+	}
+	if removed > 0 {
+		if err := m.writeSnapshotLocked(); err != nil {
+			m.logf("gc: snapshot: %v", err)
+			return
+		}
+		if err := m.wal.Reset(); err != nil {
+			m.logf("gc: wal reset: %v", err)
+		}
+	}
+}
+
+// writeSnapshotLocked persists the full state atomically. Callers hold
+// m.mu (or have exclusive access during recovery).
+func (m *Manager) writeSnapshotLocked() error {
+	st := persistedState{NextID: m.nextID}
+	ordered := m.ordered()
+	st.Jobs = make([]persistedJob, len(ordered))
+	for i, js := range ordered {
+		pj := persistedJob{
+			ID:        js.job.ID,
+			Spec:      js.wire,
+			State:     js.job.State,
+			Completed: js.job.Completed,
+			Counts:    js.job.Counts,
+			Resumes:   js.job.Resumes,
+			Error:     js.job.Error,
+		}
+		if !js.job.SubmittedAt.IsZero() {
+			pj.SubmittedAt = js.job.SubmittedAt.UnixNano()
+		}
+		if !js.job.FinishedAt.IsZero() {
+			pj.FinishedAt = js.job.FinishedAt.UnixNano()
+		}
+		st.Jobs[i] = pj
+	}
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: encode snapshot: %w", err)
+	}
+	return writeFileAtomic(m.snap, data)
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logger != nil {
+		m.cfg.Logger.Printf("jobs: "+format, args...)
+	}
+}

@@ -1,0 +1,202 @@
+// Package jobs is the durable asynchronous Monte-Carlo job subsystem: a
+// write-ahead log plus snapshot store persists job specs, state
+// transitions and periodic raw-tally checkpoints, and a bounded runner
+// pool executes jobs in checkpoint-sized slices of the global sample
+// index space. Because every sample draws from its own (seed, global
+// index) stream and sim.Merge folds integer tallies exactly, a job that
+// is interrupted at any durable checkpoint — daemon crash, SIGKILL,
+// graceful restart — resumes from its last checkpointed index and
+// finishes with a Result bit-identical (Elapsed excluded, as everywhere
+// in the repo's merge contract) to an uninterrupted single-process run.
+//
+// Durability layout (one directory per Manager):
+//
+//	jobs.snap  atomic-rename JSON snapshot of every live job + ID counter
+//	jobs.wal   length-prefixed, CRC-32-checked, fsync'd record log
+//
+// Recovery replays the WAL over the snapshot (record application is
+// idempotent and monotone, so replaying records the snapshot already
+// covers is harmless), truncates a corrupt or torn tail instead of
+// failing, compacts the folded state into a fresh snapshot, and
+// re-enqueues every non-terminal job. The package sits in the yaplint
+// determinism tree: nothing in the replayed path reads the wall clock —
+// timestamps are telemetry carried in records, produced by the injected
+// Clock at append time.
+package jobs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+const (
+	walName  = "jobs.wal"
+	snapName = "jobs.snap"
+
+	// maxRecordBytes bounds one WAL record. Records are small JSON blobs
+	// (a spec with an embedded parameter set is the largest); anything
+	// beyond this is treated as corruption at replay.
+	maxRecordBytes = 4 << 20
+)
+
+// walHeaderSize is the per-record framing: uint32 payload length plus
+// uint32 CRC-32 (IEEE) of the payload, both little-endian.
+const walHeaderSize = 8
+
+// wal is the append side of the log: every Append writes one framed
+// record and fsyncs before returning, so a record that Append reported
+// durable survives a crash immediately after.
+type wal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openWAL opens (creating if absent) the log at path for appending,
+// truncating it to cleanOffset first — the byte offset replayWAL reported
+// as the end of the last intact record — so a torn tail is physically
+// discarded before new records land after it.
+func openWAL(path string, cleanOffset int64) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: open wal: %w", err)
+	}
+	if err := f.Truncate(cleanOffset); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobs: truncate wal tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobs: seek wal: %w", err)
+	}
+	return &wal{f: f}, nil
+}
+
+// Append durably writes one record: frame + payload in a single write,
+// then fsync. An error leaves the caller free to retry or to fail the
+// operation the record was logging; a torn write from a crash mid-call is
+// healed by replay truncation at the next open.
+func (w *wal) Append(payload []byte) error {
+	if len(payload) == 0 {
+		return errors.New("jobs: empty wal record")
+	}
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("jobs: wal record of %d bytes exceeds the %d-byte bound", len(payload), maxRecordBytes)
+	}
+	buf := make([]byte, walHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[walHeaderSize:], payload)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("jobs: append wal record: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: fsync wal: %w", err)
+	}
+	return nil
+}
+
+// Reset empties the log (compaction: the snapshot now carries everything
+// the log held) and fsyncs the truncation.
+func (w *wal) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("jobs: reset wal: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("jobs: reset wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: fsync wal reset: %w", err)
+	}
+	return nil
+}
+
+func (w *wal) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// replayWAL reads every intact record from path in append order. It never
+// fails on corruption: a record whose frame is torn (crash mid-write),
+// whose length is insane, or whose CRC disagrees ends the replay there,
+// and truncated reports that trailing bytes were discarded. cleanOffset
+// is the byte offset of the first non-intact byte — pass it to openWAL so
+// the tail is physically removed. A missing file is an empty log.
+func replayWAL(path string) (records [][]byte, cleanOffset int64, truncated bool, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("jobs: read wal: %w", err)
+	}
+	off := 0
+	for off+walHeaderSize <= len(data) {
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n == 0 || n > maxRecordBytes || off+walHeaderSize+int(n) > len(data) {
+			break
+		}
+		payload := data[off+walHeaderSize : off+walHeaderSize+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		records = append(records, payload)
+		off += walHeaderSize + int(n)
+	}
+	return records, int64(off), off < len(data), nil
+}
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory, fsyncs the file, renames it into place and fsyncs the
+// directory — the snapshot either fully exists or the old one survives.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("jobs: create snapshot temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after the rename succeeds
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobs: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobs: fsync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("jobs: close snapshot temp: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("jobs: rename snapshot into place: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed or just-created entry is
+// durable. Filesystems that refuse to fsync a directory are tolerated —
+// the data files themselves are already synced.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("jobs: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		return fmt.Errorf("jobs: fsync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWALAppendReplayRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walName)
+	w, err := openWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte(`{"t":"submit"}`), []byte(`{"t":"state"}`), bytes.Repeat([]byte("x"), 4096)}
+	for _, p := range want {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, off, truncated, err := replayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Error("clean log reported truncated")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != fi.Size() {
+		t.Errorf("clean offset %d != file size %d", off, fi.Size())
+	}
+}
+
+func TestWALReplayMissingFileIsEmpty(t *testing.T) {
+	recs, off, truncated, err := replayWAL(filepath.Join(t.TempDir(), walName))
+	if err != nil || len(recs) != 0 || off != 0 || truncated {
+		t.Fatalf("missing file: recs=%d off=%d truncated=%v err=%v", len(recs), off, truncated, err)
+	}
+}
+
+// writeRecords builds a raw log of intact frames for corruption tests.
+func writeRecords(t *testing.T, path string, payloads ...[]byte) {
+	t.Helper()
+	w, err := openWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALReplayTruncatesCorruptTail(t *testing.T) {
+	a, b := []byte("record-one"), []byte("record-two")
+	tamper := []struct {
+		name   string
+		mangle func(data []byte) []byte
+	}{
+		{"torn frame", func(data []byte) []byte {
+			return data[:len(data)-3] // cut mid-payload of the last record
+		}},
+		{"flipped payload byte", func(data []byte) []byte {
+			data[len(data)-1] ^= 0xff // CRC mismatch on the last record
+			return data
+		}},
+		{"insane length", func(data []byte) []byte {
+			// Corrupt the second record's length field far past the bound.
+			off := walHeaderSize + len(a)
+			binary.LittleEndian.PutUint32(data[off:off+4], maxRecordBytes+1)
+			return data
+		}},
+		{"trailing garbage header", func(data []byte) []byte {
+			return append(data, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5)
+		}},
+	}
+	for _, tc := range tamper {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), walName)
+			writeRecords(t, path, a, b)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			recs, off, truncated, err := replayWAL(path)
+			if err != nil {
+				t.Fatalf("replay must not fail on corruption: %v", err)
+			}
+			if !truncated {
+				t.Error("corrupt tail not reported")
+			}
+			if len(recs) < 1 || !bytes.Equal(recs[0], a) {
+				t.Fatalf("first record lost: %d replayed", len(recs))
+			}
+			// Appending after reopening at the clean offset must yield a
+			// fully intact log again.
+			w, err := openWAL(path, off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Append([]byte("record-three")); err != nil {
+				t.Fatal(err)
+			}
+			w.Close()
+			recs2, _, truncated2, err := replayWAL(path)
+			if err != nil || truncated2 {
+				t.Fatalf("post-heal replay: truncated=%v err=%v", truncated2, err)
+			}
+			if len(recs2) != len(recs)+1 {
+				t.Errorf("post-heal records %d, want %d", len(recs2), len(recs)+1)
+			}
+		})
+	}
+}
+
+func TestWALRejectsOversizedAndEmptyRecords(t *testing.T) {
+	w, err := openWAL(filepath.Join(t.TempDir(), walName), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(nil); err == nil {
+		t.Error("empty record accepted")
+	}
+	if err := w.Append(make([]byte, maxRecordBytes+1)); err == nil {
+		t.Error("oversized record accepted")
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), walName)
+	w, err := openWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("gone after reset")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	recs, _, _, err := replayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0]) != "kept" {
+		t.Fatalf("after reset: %d records", len(recs))
+	}
+}
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, snapName)
+	if err := writeFileAtomic(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileAtomic(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v2" {
+		t.Errorf("read %q, want v2", data)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("temp files left behind: %d entries", len(entries))
+	}
+}

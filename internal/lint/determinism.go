@@ -16,12 +16,19 @@ import (
 // depends on wall clock or ambient randomness. (The paper's validation
 // methodology depends on seeded replays being bit-identical.)
 // Subpackages inherit the constraint.
+//
+// yap/internal/jobs is in the tree because its crash-resume contract is a
+// determinism claim: a WAL replay that consulted the wall clock or
+// ambient randomness could steer a resumed job away from the tallies the
+// uninterrupted run would have produced. Timestamps there are telemetry
+// from an injected Clock, never control flow.
 var deterministicPaths = []string{
 	"yap/internal/sim",
 	"yap/internal/randx",
 	"yap/internal/core",
 	"yap/internal/faultinject",
 	"yap/internal/dist",
+	"yap/internal/jobs",
 }
 
 // inTree reports whether path is root itself or a subpackage of it.

@@ -1,0 +1,38 @@
+package service
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo reports the binary's module version and Go toolchain, for the
+// yapserve -version flag and the yapserve_build_info metric. Binaries
+// built from a checkout (no module proxy version) report "devel", with
+// the VCS revision appended when the toolchain stamped one.
+func BuildInfo() (version, goVersion string) {
+	version, goVersion = "unknown", runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, goVersion
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	switch v := bi.Main.Version; v {
+	case "", "(devel)":
+		version = "devel"
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				rev := s.Value
+				if len(rev) > 12 {
+					rev = rev[:12]
+				}
+				version = "devel+" + rev
+				break
+			}
+		}
+	default:
+		version = v
+	}
+	return version, goVersion
+}

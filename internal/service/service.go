@@ -41,6 +41,7 @@ import (
 
 	"yap/internal/core"
 	"yap/internal/faultinject"
+	"yap/internal/jobs"
 	"yap/internal/resilience"
 	"yap/internal/sim"
 )
@@ -89,6 +90,12 @@ type Config struct {
 	// -workers). Requests carrying "local": true, and the /v1/shard
 	// endpoint itself, always run on the local engine.
 	Distributor Distributor
+	// Jobs, when non-nil, mounts the durable asynchronous job API
+	// (/v1/jobs: submit 202, get, list, cancel) backed by the given
+	// manager (cmd/yapserve wires it from -jobs-dir). The Server does not
+	// own the manager's lifecycle — whoever opened it closes it, after the
+	// HTTP server has stopped.
+	Jobs *jobs.Manager
 	// Faults optionally arms deterministic fault injection in the cache,
 	// pool-admission and simulation paths (see internal/faultinject); nil
 	// — the production default — disables injection.
@@ -140,7 +147,7 @@ func (c Config) withDefaults() Config {
 
 // endpoints are the instrumented routes (the label set of the request
 // metrics).
-var endpoints = []string{"evaluate", "simulate", "shard", "sweep", "healthz", "metrics"}
+var endpoints = []string{"evaluate", "simulate", "shard", "sweep", "jobs", "healthz", "metrics"}
 
 // Server is the yield-as-a-service HTTP handler. Create with New; safe
 // for concurrent use; graceful shutdown is the embedding http.Server's
@@ -176,6 +183,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/simulate", s.instrument("simulate", http.MethodPost, s.handleSimulate))
 	s.mux.HandleFunc("/v1/shard", s.instrument("shard", http.MethodPost, s.handleShard))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", http.MethodPost, s.handleSweep))
+	// Method-qualified patterns (Go 1.22 mux): one path, four verbs. The
+	// handlers answer 404 "jobs_disabled" when no manager is configured,
+	// so the route set is identical either way.
+	s.mux.HandleFunc("POST /v1/jobs", s.instrument("jobs", http.MethodPost, s.handleJobSubmit))
+	s.mux.HandleFunc("GET /v1/jobs", s.instrument("jobs", http.MethodGet, s.handleJobList))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", http.MethodGet, s.handleJobGet))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("jobs", http.MethodDelete, s.handleJobCancel))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
 	return s
@@ -755,18 +769,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"yapserve_breaker_state":       int64(s.breaker.State()),
 		"yapserve_uptime_seconds":      int64(time.Since(s.started).Seconds()),
 	}
-	var counters map[string]uint64
+	counters := map[string]uint64{}
 	if d := s.cfg.Distributor; d != nil {
 		st := d.Stats()
 		gauges["yapserve_dist_workers_known"] = int64(st.WorkersKnown)
 		gauges["yapserve_dist_workers_up"] = int64(st.WorkersUp)
-		counters = map[string]uint64{
-			"yapserve_dist_shards_dispatched_total": st.ShardsDispatched,
-			"yapserve_dist_shards_reassigned_total": st.ShardsReassigned,
-			"yapserve_dist_runs_merged_total":       st.RunsMerged,
-		}
+		counters["yapserve_dist_shards_dispatched_total"] = st.ShardsDispatched
+		counters["yapserve_dist_shards_reassigned_total"] = st.ShardsReassigned
+		counters["yapserve_dist_runs_merged_total"] = st.RunsMerged
+	}
+	if jm := s.cfg.Jobs; jm != nil {
+		st := jm.Stats()
+		gauges["yapserve_jobs_pending"] = int64(st.Pending)
+		gauges["yapserve_jobs_running"] = int64(st.Running)
+		gauges["yapserve_jobs_terminal_cached"] = int64(st.Terminal)
+		counters["yapserve_jobs_submitted_total"] = st.Submitted
+		counters["yapserve_jobs_done_total"] = st.Done
+		counters["yapserve_jobs_failed_total"] = st.Failed
+		counters["yapserve_jobs_canceled_total"] = st.Canceled
+		counters["yapserve_jobs_resumed_total"] = st.Resumed
+		counters["yapserve_jobs_checkpoints_total"] = st.Checkpoints
+		counters["yapserve_jobs_wal_records_total"] = st.WALRecords
+		counters["yapserve_jobs_wal_truncations_total"] = st.WALTruncated
+		counters["yapserve_jobs_gc_removed_total"] = st.GCRemoved
 	}
 	s.metrics.writePrometheus(w, gauges, counters)
+	version, goVersion := BuildInfo()
+	fmt.Fprintln(w, "# HELP yapserve_build_info Build metadata; the value is always 1.")
+	fmt.Fprintln(w, "# TYPE yapserve_build_info gauge")
+	fmt.Fprintf(w, "yapserve_build_info{version=%q,goversion=%q} 1\n", version, goVersion)
 }
 
 // Shutdown stops admitting simulation work and waits for in-flight jobs

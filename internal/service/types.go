@@ -214,6 +214,62 @@ type SweepResponse struct {
 	Failed int          `json:"failed"`
 }
 
+// JobSubmitRequest is the body of POST /v1/jobs: a simulate request that
+// runs asynchronously and durably. The daemon answers 202 with the job's
+// ID immediately; progress and the final result are polled via
+// GET /v1/jobs/{id}. Unlike a synchronous simulate, the run survives
+// daemon restarts: it resumes from its last durable checkpoint with a
+// final result bit-identical to an uninterrupted run.
+type JobSubmitRequest struct {
+	// Mode selects "w2w" (the default) or "d2w".
+	Mode   string          `json:"mode,omitempty"`
+	Params json.RawMessage `json:"params,omitempty"`
+	// Seed fixes the RNG; equal seeds reproduce exactly — across crashes.
+	Seed uint64 `json:"seed,omitempty"`
+	// Wafers (W2W) and Dies (D2W) are the sample counts; zero uses the
+	// paper defaults (1000 wafers / 20000 dies).
+	Wafers int `json:"wafers,omitempty"`
+	Dies   int `json:"dies,omitempty"`
+	// Workers bounds each slice's parallelism; zero uses the daemon
+	// default.
+	Workers int `json:"workers,omitempty"`
+	// CheckpointEvery overrides the daemon's checkpoint interval in
+	// samples; a crash re-runs at most this many samples.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// JobResponse describes one job: the body of GET /v1/jobs/{id}, the 202
+// body of POST /v1/jobs, and the list element of GET /v1/jobs.
+type JobResponse struct {
+	ID string `json:"id"`
+	// State is pending, running, done, failed or canceled.
+	State      string `json:"state"`
+	Mode       string `json:"mode"`
+	ParamsHash string `json:"params_hash"`
+	Seed       uint64 `json:"seed"`
+	// Samples is the requested sample count; Completed counts durably
+	// checkpointed samples (the resume point after a crash).
+	Samples         int `json:"samples"`
+	Completed       int `json:"completed"`
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Resumes counts how many times the job was recovered from its
+	// checkpoint after a daemon restart.
+	Resumes int `json:"resumes,omitempty"`
+	// Error is the failure detail of a failed job.
+	Error string `json:"error,omitempty"`
+	// SubmittedAt and FinishedAt are RFC 3339 telemetry timestamps.
+	SubmittedAt string `json:"submitted_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+	// Result is the final merged result of a done job, in the same shape
+	// as a synchronous simulate response.
+	Result *SimulateResponse `json:"result,omitempty"`
+}
+
+// JobListResponse is the body of GET /v1/jobs, sorted by job ID.
+type JobListResponse struct {
+	Jobs []JobResponse `json:"jobs"`
+}
+
 // HealthResponse is the body of GET /healthz.
 type HealthResponse struct {
 	Status        string  `json:"status"`
@@ -228,7 +284,7 @@ type ErrorResponse struct {
 // ErrorDetail carries a machine-readable code alongside the human text.
 // Codes: method_not_allowed, invalid_json, invalid_params, invalid_mode,
 // too_many_points, body_too_large, deadline_exceeded, canceled, overloaded,
-// internal.
+// internal, not_found, jobs_disabled, job_terminal.
 type ErrorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`

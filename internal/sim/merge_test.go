@@ -208,3 +208,45 @@ func TestFirstSampleRejectsNegative(t *testing.T) {
 		t.Error("D2W accepted negative FirstSample")
 	}
 }
+
+// TestMergeDegenerateInputs pins the edge cases the durable-jobs layer
+// leans on when folding checkpoints: an empty shard list is a typed
+// error, zero-sample shards are exact no-ops, and a single shard merges
+// to itself.
+func TestMergeDegenerateInputs(t *testing.T) {
+	real, err := RunW2WContext(context.Background(), Options{Params: core.Baseline(), Seed: 17, Wafers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := Result{Mode: "W2W"}
+
+	cases := []struct {
+		name    string
+		parts   []Result
+		want    Result
+		wantErr bool
+	}{
+		{"empty shard list", nil, Result{}, true},
+		{"single shard is identity", []Result{real}, real, false},
+		{"single zero-sample shard", []Result{zero}, zero, false},
+		{"zero-sample shards are no-ops", []Result{zero, real, zero}, real, false},
+		{"all zero-sample shards", []Result{zero, zero, zero}, zero, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Merge(tc.parts...)
+			if tc.wantErr {
+				if !errors.Is(err, ErrMergeIncompatible) {
+					t.Fatalf("err = %v, want ErrMergeIncompatible", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("merged %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
