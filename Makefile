@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race chaos dist jobs bench cover figures report serve clean
+.PHONY: all build vet lint test test-race chaos dist jobs stream bench cover figures report serve clean
 
 all: build vet lint test
 
@@ -54,6 +54,15 @@ jobs:
 	$(GO) test -race -run 'Job|WAL|Wal|Checkpoint|Crash|Resume|Recover' ./internal/jobs/ ./internal/service/ ./internal/client/
 	$(GO) run -race ./cmd/yapload -jobs
 
+# Streaming drill: the convergence/early-stop/SSE tests under the race
+# detector, then the live watch exercise via `yapload -stream` — a paced
+# job watched over SSE, the connection dropped mid-run and resumed from
+# the last event ID, plus an epsilon-armed job that must stop early with
+# the stop visible on /metrics.
+stream:
+	$(GO) test -race -run 'Stream|EarlyStop|Converge|Estimate|Rule|Tracker|Subscribe' ./internal/converge/ ./internal/sim/ ./internal/jobs/ ./internal/service/ ./internal/client/
+	$(GO) run -race ./cmd/yapload -stream
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -61,6 +70,13 @@ bench:
 # (checkpoint append + WAL replay), one JSON event per line.
 BENCH_jobs.json:
 	$(GO) test -json -run '^$$' -bench 'BenchmarkJobs' -benchmem ./internal/jobs/ > $@
+
+# Machine-readable benchmark record for the convergence layer (tally
+# snapshot -> estimate/CI, stop-rule evaluation, full checkpoint-ladder
+# walk), one JSON event per line. Committed so estimate-path perf
+# regressions show up in review diffs.
+BENCH_converge.json:
+	$(GO) test -json -run '^$$' -bench '.' -benchmem ./internal/converge/ > $@
 
 cover:
 	$(GO) test -cover ./...

@@ -33,6 +33,14 @@
 //
 //	yapload -jobs -jobs-wafers 120
 //
+// With -stream it drills the live convergence stream: it watches a paced
+// job over SSE, drops the connection mid-run, resumes from the last
+// event ID, and requires the streamed final result to be bit-identical
+// to the poll endpoint's — plus an epsilon-armed job that must stop
+// early with the stop visible on /metrics (see stream.go):
+//
+//	yapload -stream
+//
 // Exits 1 when any invariant is violated.
 package main
 
@@ -112,6 +120,9 @@ func main() {
 	}
 	if *jobsMode {
 		os.Exit(runJobsDrill(logger, *seed))
+	}
+	if *streamMode {
+		os.Exit(runStreamDrill(logger, *seed))
 	}
 
 	base := *target

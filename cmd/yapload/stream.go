@@ -1,0 +1,277 @@
+package main
+
+// The convergence-streaming drill (-stream): a live watch over a durable
+// job's SSE stream, with the connection deliberately dropped mid-run and
+// resumed from the last event ID. The daemon runs in-process with a job
+// store, every job slice paced by an injected jobs.run delay so the drop
+// cannot race completion, and heartbeats tightened to exercise the
+// keep-alive path. Invariants:
+//
+//   - stream events are well-formed: sequence numbers strictly increase,
+//     completed counts never regress, and every running yield estimate is
+//     exactly consistent with the raw tallies it rides with;
+//   - a watch dropped mid-stream resumes losslessly: reconnecting with
+//     the last seen sequence completes the watch, and the streamed final
+//     result is bit-identical to what GET /v1/jobs/{id} reports;
+//   - a job armed with epsilon stops early — done, not partial, with at
+//     most half its sample cap spent and the CI half-width at or under
+//     epsilon — and the stop is visible on /metrics
+//     (yapserve_early_stops_total, yapserve_samples_saved_total);
+//   - yapserve_stream_subscribers returns to zero once the watches end.
+//
+// Exits 1 when any invariant is violated.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"reflect"
+	"time"
+
+	"yap/internal/client"
+	"yap/internal/core"
+	"yap/internal/faultinject"
+	"yap/internal/jobs"
+	"yap/internal/service"
+)
+
+var streamMode = flag.Bool("stream", false, "run the convergence-streaming drill instead of the load mix")
+
+// streamDrillWafers paces phase 1: with the injected 25ms delay per
+// 2-wafer slice the job runs ~750ms — a wide window to drop the watch
+// after two checkpoints and resume long before completion.
+const (
+	streamDrillWafers     = 60
+	streamDrillEpsilon    = 1e-3
+	streamDrillSampleCap  = 20000
+	streamDrillCheckpoint = 500
+)
+
+// runStreamDrill is the -stream entrypoint; returns the process exit code.
+func runStreamDrill(logger *log.Logger, seed uint64) int {
+	d := &drill{logger: logger}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	inj, err := faultinject.ParseSpec(fmt.Sprintf("seed=1,%s=1:delay:25ms", faultinject.HookJobsRun))
+	if err != nil {
+		logger.Fatalf("stream: fault spec: %v", err)
+	}
+	dir, err := os.MkdirTemp("", "yapload-stream-*")
+	if err != nil {
+		logger.Fatalf("stream: store dir: %v", err)
+	}
+	defer os.RemoveAll(dir) //nolint:errcheck
+	jm, err := jobs.Open(jobs.Config{Dir: dir, SimWorkers: 2, Faults: inj, Logger: logger})
+	if err != nil {
+		logger.Fatalf("stream: opening job store: %v", err)
+	}
+	defer jm.Close() //nolint:errcheck
+	base, shutdown, err := startStreamServer(jm, logger)
+	if err != nil {
+		logger.Fatalf("stream: starting server: %v", err)
+	}
+	defer shutdown()
+	cli, err := client.New(client.Config{BaseURL: base, MaxAttempts: 4})
+	if err != nil {
+		logger.Fatalf("stream: client: %v", err)
+	}
+
+	// Phase 1: watch a paced job, drop the connection after two
+	// checkpoint events, resume from the last sequence seen.
+	sub, err := cli.SubmitJob(ctx, service.JobSubmitRequest{
+		Seed: seed, Wafers: streamDrillWafers, Workers: 2, CheckpointEvery: jobsCheckpointEvery,
+	})
+	if err != nil {
+		logger.Fatalf("stream: submit: %v", err)
+	}
+	logger.Printf("stream: submitted %s (%d wafers, checkpoint every %d)",
+		sub.ID, streamDrillWafers, jobsCheckpointEvery)
+
+	v := &streamValidator{d: d}
+	watchCtx, dropWatch := context.WithCancel(ctx)
+	defer dropWatch()
+	checkpoints := 0
+	_, err = cli.StreamJob(watchCtx, sub.ID, 0, func(ev *service.JobStreamEvent) error {
+		v.observe(ev)
+		if ev.Completed > 0 {
+			checkpoints++
+		}
+		if checkpoints >= 2 {
+			dropWatch() // the "dropped connection"
+		}
+		return nil
+	})
+	switch {
+	case err == nil:
+		d.violation("watch survived its canceled context; the drop landed after the job finished — widen the pacing")
+	case !errors.Is(err, context.Canceled):
+		d.violation("dropped watch surfaced %v, want a context.Canceled chain", err)
+	}
+	if v.last == nil || v.last.Completed >= streamDrillWafers {
+		d.violation("drop landed outside the run (last event %+v)", v.last)
+	}
+	dropSeq, dropCompleted := 0, 0
+	if v.last != nil {
+		dropSeq, dropCompleted = v.last.Seq, v.last.Completed
+	}
+	logger.Printf("stream: dropped watch at seq %d (%d/%d wafers); resuming",
+		dropSeq, dropCompleted, streamDrillWafers)
+
+	final, err := cli.StreamJob(ctx, sub.ID, dropSeq, func(ev *service.JobStreamEvent) error {
+		v.observe(ev)
+		return nil
+	})
+	if err != nil {
+		logger.Fatalf("stream: resumed watch: %v", err)
+	}
+	if final.State != "done" || final.Result == nil {
+		d.violation("resumed watch ended %q (error %q), want done with result", final.State, final.Error)
+	} else {
+		job, err := cli.GetJob(ctx, sub.ID)
+		if err != nil {
+			logger.Fatalf("stream: GetJob: %v", err)
+		}
+		streamed, polled := *final.Result, *job.Result
+		streamed.ElapsedMs, polled.ElapsedMs = 0, 0
+		if !reflect.DeepEqual(streamed, polled) {
+			d.violation("streamed final result diverges from GetJob:\n  streamed %+v\n  polled   %+v", streamed, polled)
+		} else {
+			logger.Printf("stream: streamed final bit-identical to GetJob: %d/%d dies, yield %.6f",
+				streamed.Survived, streamed.Dies, streamed.Yield)
+		}
+	}
+
+	// Phase 2: an epsilon-armed job must stop early, and the stop must be
+	// visible in the daemon's metrics.
+	easy := core.Baseline()
+	easy.DefectDensity = 0
+	easy.TranslationX, easy.TranslationY, easy.Rotation, easy.Warpage = 0, 0, 0, 0
+	easy.PlacementTranslationSigma, easy.PlacementRotationSigma, easy.PlacementWarpageSigma = 0, 0, 0
+	easy.RandomMisalignmentSigma = 0
+	easy.RecessSigma = 0.5e-9
+	rawEasy, err := json.Marshal(easy)
+	if err != nil {
+		logger.Fatalf("stream: encoding easy params: %v", err)
+	}
+	sub2, err := cli.SubmitJob(ctx, service.JobSubmitRequest{
+		Mode: "d2w", Params: rawEasy, Seed: seed + 1, Dies: streamDrillSampleCap,
+		Workers: 2, CheckpointEvery: streamDrillCheckpoint, Epsilon: streamDrillEpsilon,
+	})
+	if err != nil {
+		logger.Fatalf("stream: submit early-stop job: %v", err)
+	}
+	final2, err := cli.StreamJob(ctx, sub2.ID, 0, nil)
+	if err != nil {
+		logger.Fatalf("stream: early-stop watch: %v", err)
+	}
+	switch {
+	case final2.State != "done" || final2.Result == nil:
+		d.violation("early-stop job ended %q (error %q), want done", final2.State, final2.Error)
+	case !final2.StoppedEarly || !final2.Result.StoppedEarly:
+		d.violation("early-stop job not flagged stopped_early: %+v", final2.Result)
+	default:
+		r := final2.Result
+		if r.SamplesUsed <= 0 || r.SamplesUsed*2 > streamDrillSampleCap {
+			d.violation("early stop used %d of %d samples, want at most half", r.SamplesUsed, streamDrillSampleCap)
+		}
+		if r.CIHalfWidth > streamDrillEpsilon {
+			d.violation("early stop half-width %g > epsilon %g", r.CIHalfWidth, streamDrillEpsilon)
+		}
+		if r.Partial {
+			d.violation("early-stopped job marked partial")
+		}
+		logger.Printf("stream: early stop at %d/%d samples (%.1fx fewer), half-width %.2g",
+			r.SamplesUsed, streamDrillSampleCap,
+			float64(streamDrillSampleCap)/float64(r.SamplesUsed), r.CIHalfWidth)
+
+		if got := scrapeCounter(ctx, d, base, "yapserve_early_stops_total"); got < 1 {
+			d.violation("yapserve_early_stops_total %v, want >= 1", got)
+		}
+		saved := float64(streamDrillSampleCap - r.SamplesUsed)
+		if got := scrapeCounter(ctx, d, base, "yapserve_samples_saved_total"); got != saved {
+			d.violation("yapserve_samples_saved_total %v, want %v", got, saved)
+		}
+	}
+	if got := scrapeCounter(ctx, d, base, "yapserve_stream_subscribers"); got != 0 {
+		d.violation("yapserve_stream_subscribers %v after all watches ended, want 0", got)
+	}
+
+	if len(d.violations) > 0 {
+		for _, viol := range d.violations {
+			fmt.Fprintln(os.Stderr, "yapload: VIOLATION:", viol)
+		}
+		return 1
+	}
+	fmt.Printf("yapload: stream drill: %d events validated, dropped at seq %d and resumed, early stop verified\n",
+		v.events, dropSeq)
+	fmt.Println("yapload: all streaming invariants held")
+	return 0
+}
+
+// streamValidator applies the per-event invariants across both halves of
+// a dropped-and-resumed watch: sequences strictly increase, completion
+// never regresses, and estimates are consistent with their tallies.
+type streamValidator struct {
+	d      *drill
+	last   *service.JobStreamEvent
+	events int
+}
+
+func (v *streamValidator) observe(ev *service.JobStreamEvent) {
+	v.events++
+	if v.last != nil {
+		if ev.Seq <= v.last.Seq {
+			v.d.violation("stream seq %d after %d, want strictly increasing", ev.Seq, v.last.Seq)
+		}
+		if ev.Completed < v.last.Completed {
+			v.d.violation("stream completed %d after %d, want non-decreasing", ev.Completed, v.last.Completed)
+		}
+	}
+	if ev.Counts.Dies > 0 {
+		if want := float64(ev.Counts.Survived) / float64(ev.Counts.Dies); ev.Yield != want {
+			v.d.violation("event seq %d: yield %v inconsistent with tallies %d/%d",
+				ev.Seq, ev.Yield, ev.Counts.Survived, ev.Counts.Dies)
+		}
+		if ev.YieldLo > ev.Yield || ev.Yield > ev.YieldHi {
+			v.d.violation("event seq %d: yield %v outside [%v, %v]", ev.Seq, ev.Yield, ev.YieldLo, ev.YieldHi)
+		}
+	}
+	if want := (ev.YieldHi - ev.YieldLo) / 2; ev.CIHalfWidth != want {
+		v.d.violation("event seq %d: ci_halfwidth %v != (hi-lo)/2 = %v", ev.Seq, ev.CIHalfWidth, want)
+	}
+	copied := *ev
+	v.last = &copied
+}
+
+// startStreamServer boots the in-process daemon for the drill: job store
+// attached, fast heartbeats, no breaker.
+func startStreamServer(jm *jobs.Manager, logger *log.Logger) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := service.New(service.Config{
+		MaxConcurrentSims: 2,
+		RequestTimeout:    30 * time.Second,
+		BreakerThreshold:  -1,
+		Jobs:              jm,
+		StreamHeartbeat:   100 * time.Millisecond,
+		Logger:            logger,
+	})
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	go httpSrv.Serve(ln) //nolint:errcheck // closed by shutdown below
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)     //nolint:errcheck
+		httpSrv.Shutdown(ctx) //nolint:errcheck
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}

@@ -13,7 +13,7 @@
 //	         [-worker | -workers url1,url2,...]
 //	         [-shards-per-worker 2] [-heartbeat 2s] [-shard-timeout d]
 //	         [-jobs-dir dir] [-checkpoint-every n] [-job-ttl d]
-//	         [-job-runners n] [-version]
+//	         [-job-runners n] [-stream-heartbeat 15s] [-version]
 //
 // Resilience: simulate admission beyond -max-queued waiting requests is
 // shed with 503 "overloaded" plus a Retry-After hint; a deadline that
@@ -41,6 +41,16 @@
 // for -job-ttl. When -workers is set, jobs shard across the fleet like
 // synchronous simulations.
 //
+// Streaming and early stop (internal/converge): every running job's
+// convergence is watchable live on GET /v1/jobs/{id}/stream — SSE
+// events carrying the job's cumulative tallies and Wilson-interval
+// yield estimate, resumable after a dropped connection via
+// Last-Event-ID, kept alive by comment heartbeats every
+// -stream-heartbeat. Both /v1/simulate and /v1/jobs accept "epsilon"
+// (plus "min_samples") to arm the deterministic sequential early-stop
+// rule: the run finishes as soon as the 95% CI half-width reaches
+// epsilon, reporting stopped_early, samples_used and ci_halfwidth.
+//
 // Endpoints:
 //
 //	POST   /v1/evaluate   analytic W2W/D2W breakdown (Eq. 22 / Eq. 28)
@@ -50,6 +60,7 @@
 //	POST   /v1/jobs       submit a durable asynchronous simulation (needs -jobs-dir)
 //	GET    /v1/jobs       list jobs
 //	GET    /v1/jobs/{id}  poll one job (terminal jobs carry the result)
+//	GET    /v1/jobs/{id}/stream  live convergence events (SSE, resumable)
 //	DELETE /v1/jobs/{id}  cancel a pending or running job
 //	GET    /healthz       liveness
 //	GET    /metrics       Prometheus text format
@@ -105,6 +116,7 @@ func main() {
 		chkEvery     = flag.Int("checkpoint-every", 0, "samples per durable job checkpoint (0 = 200)")
 		jobTTL       = flag.Duration("job-ttl", 0, "how long finished jobs stay queryable before GC (0 = 1h, negative keeps forever)")
 		jobRunners   = flag.Int("job-runners", 0, "concurrently executing jobs (0 = 2)")
+		streamHB     = flag.Duration("stream-heartbeat", 0, "SSE keep-alive interval on /v1/jobs/{id}/stream (0 = 15s, negative disables)")
 		printVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -202,6 +214,7 @@ func main() {
 		RetryAfter:        *retryAfter,
 		BreakerThreshold:  *brkThresh,
 		BreakerCooldown:   *brkCooldown,
+		StreamHeartbeat:   *streamHB,
 		Faults:            faults,
 		Logger:            logger,
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"yap/internal/faultinject"
 	"yap/internal/jobs"
 	"yap/internal/service"
 )
@@ -57,7 +58,19 @@ func TestSubmitWaitJobMatchesSimulate(t *testing.T) {
 }
 
 func TestListAndCancelJob(t *testing.T) {
-	c := newJobsTestClient(t)
+	// Pace every job slice with an injected delay so the job cannot
+	// finish before the cancel request lands, however loaded the
+	// machine running the suite is.
+	inj, err := faultinject.ParseSpec("seed=1," + faultinject.HookJobsRun + "=1:delay:20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jm, err := jobs.Open(jobs.Config{Dir: t.TempDir(), SimWorkers: 2, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jm.Close() })
+	c, _ := newTestClient(t, service.New(service.Config{Jobs: jm}), nil)
 	ctx := context.Background()
 	sub, err := c.SubmitJob(ctx, service.JobSubmitRequest{Seed: 2, Wafers: 500, CheckpointEvery: 1})
 	if err != nil {

@@ -1,0 +1,148 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"yap/internal/resilience"
+	"yap/internal/service"
+)
+
+// This file is the client half of GET /v1/jobs/{id}/stream: a live
+// Server-Sent-Events watch over a job's convergence, resumable across
+// dropped connections. Events are cumulative snapshots, so resume is
+// lossless by construction — the client remembers the last SSE id it saw
+// and replays it as Last-Event-ID on reconnect; the server answers with a
+// fresh snapshot only if anything changed since. The consecutive-failure
+// budget resets every time an event actually arrives, so a long-running
+// watch survives any number of transient drops as long as progress is
+// being made between them.
+
+// StreamHandler observes one stream event. Returning a non-nil error
+// aborts the stream immediately (no reconnect) and surfaces that error
+// from StreamJob.
+type StreamHandler func(ev *service.JobStreamEvent) error
+
+// fnError marks a handler-requested abort so the retry loop can tell it
+// apart from transport failures.
+type fnError struct{ err error }
+
+func (e *fnError) Error() string { return e.err.Error() }
+func (e *fnError) Unwrap() error { return e.err }
+
+// StreamJob watches job id's convergence stream until the job reaches a
+// terminal state, calling fn (which may be nil) for every event, and
+// returns the terminal event — whose Result, for a done job, is
+// bit-identical to what GetJob reports. fromSeq resumes a previous watch:
+// pass the Seq of the last event already seen (0 starts fresh). Transient
+// failures — connection refused, a dropped connection mid-stream, 5xx —
+// reconnect with Last-Event-ID after the usual backoff; permanent API
+// errors (4xx) and handler errors surface immediately.
+func (c *Client) StreamJob(ctx context.Context, id string, fromSeq int, fn StreamHandler) (*service.JobStreamEvent, error) {
+	lastSeq := fromSeq
+	failures := 0
+	for {
+		final, progressed, err := c.streamOnce(ctx, id, &lastSeq, fn)
+		if err == nil {
+			return final, nil
+		}
+		var fe *fnError
+		if errors.As(err, &fe) {
+			return nil, fmt.Errorf("client: job %s stream handler: %w", id, fe.err)
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("client: job %s stream context done: %w", id, errors.Join(ctx.Err(), err))
+		}
+		if !temporary(err) {
+			return nil, err
+		}
+		if progressed {
+			failures = 0
+		}
+		failures++
+		if failures >= c.cfg.MaxAttempts {
+			return nil, fmt.Errorf("client: job %s stream: %d consecutive attempts failed: %w",
+				id, failures, errors.Join(ErrAttemptsExhausted, err))
+		}
+		delay := c.cfg.Backoff.Delay(failures - 1)
+		if hint := retryAfterOf(err); hint > delay {
+			delay = hint
+		}
+		if sleepErr := resilience.Sleep(ctx, delay); sleepErr != nil {
+			return nil, fmt.Errorf("client: job %s stream: giving up while backing off: %w",
+				id, errors.Join(sleepErr, err))
+		}
+	}
+}
+
+// streamOnce runs one SSE connection to completion: nil error means the
+// terminal event arrived. progressed reports whether at least one event
+// was decoded on this connection (it resets the caller's failure budget).
+// lastSeq advances as events arrive so the next connection resumes.
+func (c *Client) streamOnce(ctx context.Context, id string, lastSeq *int, fn StreamHandler) (final *service.JobStreamEvent, progressed bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return nil, false, fmt.Errorf("client: building stream request: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *lastSeq > 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(*lastSeq))
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("client: GET /v1/jobs/%s/stream: %w", id, err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
+		return nil, false, decodeAPIError(resp, data)
+	}
+
+	br := bufio.NewReader(resp.Body)
+	var data []byte
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			// The server ends the stream only after the terminal event,
+			// which would have returned below — this EOF (or reset) is an
+			// interruption; the caller reconnects from lastSeq.
+			return nil, progressed, fmt.Errorf("client: job %s stream interrupted: %w", id, err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if data == nil {
+				continue
+			}
+			var ev service.JobStreamEvent
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return nil, progressed, fmt.Errorf("client: decoding job %s stream event: %w", id, err)
+			}
+			data = nil
+			*lastSeq = ev.Seq
+			progressed = true
+			if fn != nil {
+				if err := fn(&ev); err != nil {
+					return nil, progressed, &fnError{err}
+				}
+			}
+			switch ev.State {
+			case "done", "failed", "canceled":
+				return &ev, progressed, nil
+			}
+		case strings.HasPrefix(line, ":"): // heartbeat comment
+		case strings.HasPrefix(line, "data:"):
+			data = []byte(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		default:
+			// id:/event: fields duplicate the payload's Seq and State;
+			// unknown fields are ignored per the SSE contract.
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"yap/internal/jobs"
+	"yap/internal/service"
+)
+
+func TestStreamJobToCompletion(t *testing.T) {
+	c := newJobsTestClient(t)
+	ctx := context.Background()
+	sub, err := c.SubmitJob(ctx, service.JobSubmitRequest{
+		Mode: "d2w", Seed: 5, Dies: 10000, Workers: 2, CheckpointEvery: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []service.JobStreamEvent
+	final, err := c.StreamJob(ctx, sub.ID, 0, func(ev *service.JobStreamEvent) error {
+		events = append(events, *ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" || final.Result == nil {
+		t.Fatalf("final event %+v, want done with result", final)
+	}
+	if len(events) == 0 || !reflect.DeepEqual(events[len(events)-1], *final) {
+		t.Fatalf("handler saw %d events; last must equal the returned final", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq || events[i].Completed < events[i-1].Completed {
+			t.Errorf("events out of order at %d: %+v after %+v", i, events[i], events[i-1])
+		}
+	}
+
+	// The streamed final result is bit-identical to the poll endpoint's.
+	job, err := c.GetJob(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := *final.Result, *job.Result
+	got.ElapsedMs, want.ElapsedMs = 0, 0
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("streamed result != GetJob result:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// A connection dropped mid-stream reconnects with Last-Event-ID carrying
+// the last sequence seen, and the watch completes on the real stream.
+func TestStreamJobReconnectsAfterDrop(t *testing.T) {
+	jm, err := jobs.Open(jobs.Config{Dir: t.TempDir(), SimWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jm.Close() })
+	svc := service.New(service.Config{Jobs: jm})
+
+	fakeFrame := func(seq int, ev service.JobStreamEvent) string {
+		ev.Seq = seq
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("id: %d\nevent: %s\ndata: %s\n\n", seq, ev.State, raw)
+	}
+
+	var streamCalls atomic.Int32
+	var resumeID atomic.Value
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/stream") {
+			switch streamCalls.Add(1) {
+			case 1:
+				// Two mid-run frames, then the connection "drops" (clean
+				// return = EOF before any terminal event).
+				w.Header().Set("Content-Type", "text/event-stream")
+				running := service.JobStreamEvent{ID: "job-000001", State: "running", Completed: 2, Samples: 4}
+				fmt.Fprint(w, fakeFrame(1, running))
+				fmt.Fprint(w, fakeFrame(2, running))
+				return
+			case 2:
+				resumeID.Store(r.Header.Get("Last-Event-ID"))
+			}
+		}
+		svc.ServeHTTP(w, r)
+	})
+	c, _ := newTestClient(t, h, nil)
+	ctx := context.Background()
+	sub, err := c.SubmitJob(ctx, service.JobSubmitRequest{Seed: 4, Wafers: 4, Workers: 2, CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var seqs []int
+	final, err := c.StreamJob(ctx, sub.ID, 0, func(ev *service.JobStreamEvent) error {
+		seqs = append(seqs, ev.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" || final.Result == nil {
+		t.Fatalf("final event %+v, want done", final)
+	}
+	if streamCalls.Load() < 2 {
+		t.Fatalf("stream connected %d times, want a reconnect", streamCalls.Load())
+	}
+	if got := resumeID.Load(); got != "2" {
+		t.Errorf("reconnect sent Last-Event-ID %v, want \"2\" (last seq before the drop)", got)
+	}
+	if len(seqs) < 3 || seqs[0] != 1 || seqs[1] != 2 {
+		t.Errorf("handler saw seqs %v, want the two pre-drop frames then the resumed stream", seqs)
+	}
+}
+
+// A handler error aborts the watch immediately — no reconnect attempts.
+func TestStreamJobHandlerAborts(t *testing.T) {
+	c := newJobsTestClient(t)
+	ctx := context.Background()
+	sub, err := c.SubmitJob(ctx, service.JobSubmitRequest{Seed: 6, Wafers: 4, Workers: 2, CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitJob(ctx, sub.ID, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	_, err = c.StreamJob(ctx, sub.ID, 0, func(*service.JobStreamEvent) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("got %v, want the handler's error", err)
+	}
+}
+
+func TestStreamJobNotFound(t *testing.T) {
+	c := newJobsTestClient(t)
+	_, err := c.StreamJob(context.Background(), "job-999999", 0, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound || apiErr.Code != "not_found" {
+		t.Errorf("got %v, want 404 not_found", err)
+	}
+}
+
+// Watching an already-finished job answers its terminal snapshot
+// immediately, and resuming from the terminal sequence still terminates
+// (the server re-sends the snapshot for a mismatched incarnation-local
+// sequence only; an exact match would hang — so the client must pass the
+// last seq it saw only when resuming an interrupted watch, which is what
+// StreamJob does internally).
+func TestStreamJobAlreadyDone(t *testing.T) {
+	c := newJobsTestClient(t)
+	ctx := context.Background()
+	sub, err := c.SubmitJob(ctx, service.JobSubmitRequest{Seed: 12, Wafers: 2, Workers: 2, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitJob(ctx, sub.ID, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.StreamJob(ctx, sub.ID, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" || final.Result == nil {
+		t.Errorf("final event %+v, want done snapshot", final)
+	}
+}

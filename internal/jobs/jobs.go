@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"yap/internal/converge"
 	"yap/internal/core"
 	"yap/internal/sim"
 )
@@ -65,6 +66,18 @@ type Spec struct {
 	// checkpoints; 0 uses the manager default. A crash loses at most one
 	// slice of work.
 	CheckpointEvery int
+	// Epsilon optionally arms the sequential early-stop rule
+	// (internal/converge): the job finishes as soon as the Wilson 95%
+	// half-width of its running yield estimate falls to Epsilon, evaluated
+	// at every durable checkpoint. Samples becomes a hard cap. Because the
+	// checkpoint boundaries are deterministic and checkpoint tallies are
+	// bit-identical across crash/resume, the stop index is too — a resumed
+	// job stops at exactly the sample the uninterrupted job would have.
+	// 0 (the default) disables early stop.
+	Epsilon float64
+	// MinSamples is the early-stop floor; 0 uses the converge default.
+	// Ignored when Epsilon is 0.
+	MinSamples int
 }
 
 // Job is a point-in-time copy of one job's state as the Manager exposes
@@ -98,6 +111,23 @@ type Job struct {
 	// Manager's injected clock; FinishedAt is zero until terminal.
 	SubmittedAt time.Time
 	FinishedAt  time.Time
+}
+
+// Event is one element of a job's convergence stream: a point-in-time
+// snapshot of the job plus the running yield estimate over its durable
+// tallies. Events are cumulative — each one supersedes all earlier ones —
+// so a subscriber that misses events (slow consumer, reconnect) loses no
+// information once it sees a newer one. Seq increases by one per published
+// event of a job within one Manager incarnation; it exists so resuming
+// subscribers can tell "nothing new" from "snapshot needed", not as a
+// durable identifier.
+type Event struct {
+	// Seq is the per-job publish ordinal (1-based).
+	Seq int
+	// Job is the job snapshot at publish time.
+	Job Job
+	// Estimate is the running yield estimate over Job.Counts.
+	Estimate converge.Estimate
 }
 
 // resultMode maps a spec mode to the sim.Result.Mode convention.
@@ -145,6 +175,8 @@ type specWire struct {
 	Samples         int             `json:"samples"`
 	Workers         int             `json:"workers,omitempty"`
 	CheckpointEvery int             `json:"checkpoint_every,omitempty"`
+	Epsilon         float64         `json:"epsilon,omitempty"`
+	MinSamples      int             `json:"min_samples,omitempty"`
 }
 
 func specToWire(s Spec) (specWire, error) {
@@ -159,6 +191,8 @@ func specToWire(s Spec) (specWire, error) {
 		Samples:         s.Samples,
 		Workers:         s.Workers,
 		CheckpointEvery: s.CheckpointEvery,
+		Epsilon:         s.Epsilon,
+		MinSamples:      s.MinSamples,
 	}, nil
 }
 
@@ -177,6 +211,8 @@ func (w specWire) toSpec() (Spec, error) {
 		Samples:         w.Samples,
 		Workers:         w.Workers,
 		CheckpointEvery: w.CheckpointEvery,
+		Epsilon:         w.Epsilon,
+		MinSamples:      w.MinSamples,
 	}, nil
 }
 

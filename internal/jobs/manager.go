@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"yap/internal/converge"
 	"yap/internal/faultinject"
 	"yap/internal/sim"
 )
@@ -129,6 +130,12 @@ type jobState struct {
 	// cancelRequested distinguishes a user cancel from a manager shutdown
 	// when the runner's context fires.
 	cancelRequested bool
+	// seq counts events published for this job in this Manager incarnation;
+	// subs holds the live subscriber channels (buffered; sends drop the
+	// oldest event under backpressure — events are cumulative, so only the
+	// newest matters).
+	seq  int
+	subs map[chan Event]struct{}
 }
 
 // Stats is a point-in-time counter/gauge snapshot for /metrics.
@@ -143,10 +150,13 @@ type Stats struct {
 	WALRecords   uint64 // total records appended
 	WALTruncated uint64 // corrupt/torn tail bytes discarded at Open (0 or 1 events)
 	GCRemoved    uint64 // terminal jobs dropped by TTL GC
+	EarlyStops   uint64 // jobs finished by the sequential early-stop rule
+	SamplesSaved uint64 // samples skipped by early stops (requested − used)
 	// Gauges.
-	Pending  int
-	Running  int
-	Terminal int
+	Pending     int
+	Running     int
+	Terminal    int
+	Subscribers int // live convergence-stream subscriptions
 }
 
 // Manager owns one durability directory and a bounded runner pool. All
@@ -257,6 +267,12 @@ func Open(cfg Config) (*Manager, error) {
 			if err != nil {
 				m.logf("recovery: job %s result reconstruction: %v", js.job.ID, err)
 				continue
+			}
+			// A done job short of its cap can only have stopped early; the
+			// flag is reconstructible from durable state alone.
+			if js.job.Completed < js.job.Spec.Samples {
+				res.Requested = js.job.Spec.Samples
+				res.StoppedEarly = true
 			}
 			js.job.Result = &res
 		}
@@ -460,6 +476,9 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 	if spec.Workers < 0 || spec.CheckpointEvery < 0 {
 		return Job{}, errors.New("jobs: workers and checkpoint_every must be non-negative")
 	}
+	if spec.Epsilon < 0 || spec.MinSamples < 0 {
+		return Job{}, errors.New("jobs: epsilon and min_samples must be non-negative")
+	}
 	if err := spec.Params.Validate(); err != nil {
 		return Job{}, fmt.Errorf("jobs: invalid params: %w", err)
 	}
@@ -566,8 +585,84 @@ func (m *Manager) Stats() Stats {
 		default:
 			s.Terminal++
 		}
+		s.Subscribers += len(js.subs) //yaplint:allow determinism commutative integer gauge; telemetry only, never feeds control flow
 	}
 	return s
+}
+
+// eventBuffer is each subscriber channel's capacity. A consumer that falls
+// further behind loses the oldest events first; since events are cumulative
+// snapshots, catching up never requires history.
+const eventBuffer = 16
+
+// Subscribe registers a convergence-stream subscriber for a job and
+// returns its event channel plus a cancel func that must be called when
+// done. afterSeq is the last event Seq the caller has already seen (0 for
+// a fresh subscription): unless the job's current sequence is exactly
+// afterSeq, the current snapshot is delivered immediately, so a
+// reconnecting subscriber — even one whose seq numbers came from a
+// previous daemon incarnation — always converges on current state without
+// replaying history. The channel is never closed; a terminal Job in an
+// event tells the consumer the stream is complete.
+func (m *Manager) Subscribe(id string, afterSeq int) (<-chan Event, func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, nil, ErrClosed
+	}
+	js, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ch := make(chan Event, eventBuffer)
+	if js.subs == nil {
+		js.subs = make(map[chan Event]struct{})
+	}
+	js.subs[ch] = struct{}{}
+	if js.seq != afterSeq {
+		ch <- m.eventLocked(js) // buffered and freshly created: never blocks
+	}
+	cancel := func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if cur, ok := m.jobs[id]; ok {
+			delete(cur.subs, ch)
+		}
+	}
+	return ch, cancel, nil
+}
+
+// eventLocked builds the job's current snapshot event without bumping seq.
+// Callers hold m.mu.
+func (m *Manager) eventLocked(js *jobState) Event {
+	return Event{
+		Seq:      js.seq,
+		Job:      js.job,
+		Estimate: converge.EstimateOf(js.job.Counts.Survived, js.job.Counts.Dies),
+	}
+}
+
+// publishLocked emits the job's current state to every subscriber,
+// dropping each channel's oldest event under backpressure. Callers hold
+// m.mu.
+func (m *Manager) publishLocked(js *jobState) {
+	js.seq++
+	ev := m.eventLocked(js)
+	for ch := range js.subs {
+		select {
+		case ch <- ev:
+			continue
+		default:
+		}
+		select { // full: evict the oldest (superseded) event and retry
+		case <-ch:
+		default:
+		}
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
 }
 
 // Close stops the runner pool and the GC loop, waits for them, syncs the
@@ -658,6 +753,7 @@ func (m *Manager) finishLocked(js *jobState, state State, errText string, res *s
 	case StateCanceled:
 		m.stats.Canceled++
 	}
+	m.publishLocked(js)
 }
 
 // runner is one worker of the bounded pool: dequeue, execute in
@@ -706,6 +802,7 @@ func (m *Manager) runJob(id string) {
 			m.mu.Unlock()
 			return
 		}
+		m.publishLocked(js)
 	}
 	jobCtx, cancel := context.WithCancel(m.runCtx)
 	defer cancel()
@@ -723,6 +820,17 @@ func (m *Manager) runJob(id string) {
 	if workers <= 0 {
 		workers = m.cfg.SimWorkers
 	}
+	// The early-stop rule is evaluated at durable checkpoint boundaries,
+	// which are deterministic (multiples of checkpointEvery, capped at
+	// Samples) and carry bit-identical cumulative tallies across
+	// crash/resume — so a resumed job stops at exactly the sample index the
+	// uninterrupted one would have. CheckEvery is the checkpoint cadence
+	// purely for documentation; ShouldStop only reads Epsilon/MinSamples.
+	rule := converge.Rule{
+		Epsilon:    spec.Epsilon,
+		MinSamples: spec.MinSamples,
+		CheckEvery: checkpointEvery,
+	}.Normalized()
 
 	// acc accumulates the merged partial Result; base is the durable
 	// prefix (empty for a fresh job).
@@ -814,6 +922,27 @@ func (m *Manager) runJob(id string) {
 		}
 		js.job.Completed = completed
 		js.job.Counts = acc.Counts
+		m.publishLocked(js)
+		if completed < spec.Samples && rule.Enabled() &&
+			rule.ShouldStop(completed, converge.EstimateOf(acc.Counts.Survived, acc.Counts.Dies)) {
+			final, err := sim.Merge(acc)
+			if err != nil {
+				js.cancel = nil
+				m.finishLocked(js, StateFailed, fmt.Sprintf("finalizing early stop: %v", err), nil)
+				m.mu.Unlock()
+				return
+			}
+			// Requested stays the submitted cap: the skipped samples were
+			// saved, not lost, and the flag records why Completed is short.
+			final.Requested = spec.Samples
+			final.StoppedEarly = true
+			js.cancel = nil
+			m.stats.EarlyStops++
+			m.stats.SamplesSaved += uint64(spec.Samples - completed)
+			m.finishLocked(js, StateDone, "", &final)
+			m.mu.Unlock()
+			return
+		}
 		m.mu.Unlock()
 	}
 

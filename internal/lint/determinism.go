@@ -22,6 +22,12 @@ import (
 // ambient randomness could steer a resumed job away from the tallies the
 // uninterrupted run would have produced. Timestamps there are telemetry
 // from an injected Clock, never control flow.
+//
+// yap/internal/converge is in the tree because the sequential early-stop
+// rule IS a determinism claim: same seed + same epsilon must stop at the
+// same sample index on every run, worker count and crash/resume path. A
+// stop decision influenced by wall clock or ambient randomness would
+// silently change which samples a result contains.
 var deterministicPaths = []string{
 	"yap/internal/sim",
 	"yap/internal/randx",
@@ -29,6 +35,7 @@ var deterministicPaths = []string{
 	"yap/internal/faultinject",
 	"yap/internal/dist",
 	"yap/internal/jobs",
+	"yap/internal/converge",
 }
 
 // inTree reports whether path is root itself or a subpackage of it.

@@ -42,6 +42,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			"wafers, dies, workers and checkpoint_every must be non-negative")
 		return
 	}
+	if req.Epsilon < 0 || req.MinSamples < 0 {
+		writeError(w, http.StatusBadRequest, "invalid_params",
+			"epsilon and min_samples must be non-negative")
+		return
+	}
 	p, _, err := s.resolveParams(req.Params)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_params", err.Error())
@@ -63,6 +68,8 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		Samples:         samples,
 		Workers:         req.Workers,
 		CheckpointEvery: req.CheckpointEvery,
+		Epsilon:         req.Epsilon,
+		MinSamples:      req.MinSamples,
 	})
 	switch {
 	case err == nil:

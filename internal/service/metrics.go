@@ -30,6 +30,15 @@ type metrics struct {
 	shedTotal       atomic.Uint64
 	panicsRecovered atomic.Uint64
 	partialResults  atomic.Uint64
+
+	// Convergence instrumentation: synchronous simulations finished by the
+	// sequential early-stop rule, the samples that rule saved (requested
+	// cap minus samples actually run), and SSE stream connections open
+	// right now. Job-side early stops are counted by the jobs manager and
+	// merged at exposition time.
+	earlyStops        atomic.Uint64
+	samplesSaved      atomic.Uint64
+	streamSubscribers atomic.Int64
 }
 
 func newMetrics(endpoints []string) *metrics {

@@ -5,6 +5,7 @@
 //	POST /v1/evaluate  analytic W2W/D2W breakdown (Eq. 22 / Eq. 28)
 //	POST /v1/simulate  Monte-Carlo run on a bounded worker pool
 //	POST /v1/sweep     batch of parameter points, concurrent, partial-failure
+//	GET  /v1/jobs/{id}/stream  live convergence events (SSE), resumable
 //	GET  /healthz      liveness + uptime
 //	GET  /metrics      Prometheus text-format instrumentation
 //
@@ -39,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"yap/internal/converge"
 	"yap/internal/core"
 	"yap/internal/faultinject"
 	"yap/internal/jobs"
@@ -96,6 +98,10 @@ type Config struct {
 	// own the manager's lifecycle — whoever opened it closes it, after the
 	// HTTP server has stopped.
 	Jobs *jobs.Manager
+	// StreamHeartbeat is the idle keep-alive interval of the SSE job
+	// stream (comment frames that defeat proxy idle timeouts); 0 means
+	// 15s, negative disables heartbeats.
+	StreamHeartbeat time.Duration
 	// Faults optionally arms deterministic fault injection in the cache,
 	// pool-admission and simulation paths (see internal/faultinject); nil
 	// — the production default — disables injection.
@@ -142,12 +148,15 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
 	}
+	if c.StreamHeartbeat == 0 {
+		c.StreamHeartbeat = 15 * time.Second
+	}
 	return c
 }
 
 // endpoints are the instrumented routes (the label set of the request
 // metrics).
-var endpoints = []string{"evaluate", "simulate", "shard", "sweep", "jobs", "healthz", "metrics"}
+var endpoints = []string{"evaluate", "simulate", "shard", "sweep", "jobs", "stream", "healthz", "metrics"}
 
 // Server is the yield-as-a-service HTTP handler. Create with New; safe
 // for concurrent use; graceful shutdown is the embedding http.Server's
@@ -189,6 +198,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.instrument("jobs", http.MethodPost, s.handleJobSubmit))
 	s.mux.HandleFunc("GET /v1/jobs", s.instrument("jobs", http.MethodGet, s.handleJobList))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", http.MethodGet, s.handleJobGet))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.instrument("stream", http.MethodGet, s.handleJobStream))
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("jobs", http.MethodDelete, s.handleJobCancel))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
@@ -217,6 +227,15 @@ func (w *statusWriter) WriteHeader(code int) {
 func (w *statusWriter) Write(b []byte) (int, error) {
 	w.wrote = true
 	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so the SSE stream handler can
+// flush through the instrumentation wrapper; a non-flushing underlying
+// writer degrades to buffered writes.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with method enforcement, body limiting,
@@ -428,17 +447,23 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			"wafers, dies and workers must be non-negative")
 		return
 	}
+	if req.Epsilon < 0 || req.MinSamples < 0 {
+		writeError(w, http.StatusBadRequest, "invalid_params",
+			"epsilon and min_samples must be non-negative")
+		return
+	}
 	workers := req.Workers
 	if workers <= 0 {
 		workers = s.cfg.SimWorkers
 	}
 	opts := sim.Options{
-		Params:  p,
-		Seed:    req.Seed,
-		Wafers:  req.Wafers,
-		Dies:    req.Dies,
-		Workers: workers,
-		Faults:  s.cfg.Faults,
+		Params:    p,
+		Seed:      req.Seed,
+		Wafers:    req.Wafers,
+		Dies:      req.Dies,
+		Workers:   workers,
+		Faults:    s.cfg.Faults,
+		EarlyStop: converge.Rule{Epsilon: req.Epsilon, MinSamples: req.MinSamples},
 	}
 
 	// The breaker guards the simulation engine, so it is consulted only
@@ -461,7 +486,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	var res sim.Result
 	var info DistInfo
-	distributed := s.cfg.Distributor != nil && !req.Local
+	// An early-stop run always executes locally: the sequential rule's
+	// checkpoint ladder is what makes the stop index deterministic, and
+	// the shard fan-out has no such ladder. Fixed-N requests still shard.
+	distributed := s.cfg.Distributor != nil && !req.Local && !opts.EarlyStop.Enabled()
 	runErr := s.pool.Run(ctx, func() {
 		switch {
 		case distributed:
@@ -494,6 +522,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.metrics.partialResults.Add(1)
+	}
+	if res.StoppedEarly {
+		s.metrics.earlyStops.Add(1)
+		s.metrics.samplesSaved.Add(uint64(res.Requested - res.Completed))
 	}
 	s.metrics.simSamples.get(mode).Add(uint64(res.Counts.Dies))
 	resp := simulateResponseFrom(res, p.HashString(), req.Seed, workers)
@@ -596,13 +628,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		Mode:       res.Mode,
 		Start:      req.Start,
 		Count:      req.Count,
-		Counts: ShardCounts{
-			Dies:        res.Counts.Dies,
-			OverlayPass: res.Counts.OverlayPass,
-			DefectPass:  res.Counts.DefectPass,
-			RecessPass:  res.Counts.RecessPass,
-			Survived:    res.Counts.Survived,
-		},
+		Counts:    shardCountsFrom(res.Counts),
 		Partial:   res.Partial,
 		Completed: res.Completed,
 		Requested: res.Requested,
@@ -768,7 +794,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"yapserve_pool_queued":         s.pool.Queued(),
 		"yapserve_breaker_state":       int64(s.breaker.State()),
 		"yapserve_uptime_seconds":      int64(time.Since(s.started).Seconds()),
+		"yapserve_stream_subscribers":  s.metrics.streamSubscribers.Load(),
 	}
+	// Early-stop accounting sums the synchronous simulate path (service
+	// atomics) with the asynchronous job path (manager stats).
+	earlyStops := s.metrics.earlyStops.Load()
+	samplesSaved := s.metrics.samplesSaved.Load()
 	counters := map[string]uint64{}
 	if d := s.cfg.Distributor; d != nil {
 		st := d.Stats()
@@ -792,7 +823,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counters["yapserve_jobs_wal_records_total"] = st.WALRecords
 		counters["yapserve_jobs_wal_truncations_total"] = st.WALTruncated
 		counters["yapserve_jobs_gc_removed_total"] = st.GCRemoved
+		earlyStops += st.EarlyStops
+		samplesSaved += st.SamplesSaved
 	}
+	counters["yapserve_early_stops_total"] = earlyStops
+	counters["yapserve_samples_saved_total"] = samplesSaved
 	s.metrics.writePrometheus(w, gauges, counters)
 	version, goVersion := BuildInfo()
 	fmt.Fprintln(w, "# HELP yapserve_build_info Build metadata; the value is always 1.")

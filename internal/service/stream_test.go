@@ -1,0 +1,331 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"yap/internal/core"
+)
+
+// easyParamsJSON renders a deliberately high-margin parameter set (every
+// die survives) as a full params override, so early-stop tests converge
+// at the Wilson-interval rate.
+func easyParamsJSON(t *testing.T) string {
+	t.Helper()
+	p := core.Baseline()
+	p.DefectDensity = 0
+	p.TranslationX, p.TranslationY, p.Rotation, p.Warpage = 0, 0, 0, 0
+	p.PlacementTranslationSigma, p.PlacementRotationSigma, p.PlacementWarpageSigma = 0, 0, 0
+	p.RandomMisalignmentSigma = 0
+	p.RecessSigma = 0.5e-9
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// openStream opens GET /v1/jobs/{id}/stream over a real connection (the
+// recorder cannot model an incremental body) with an optional
+// Last-Event-ID.
+func openStream(t *testing.T, ts *httptest.Server, id, lastEventID string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// nextFrame reads one SSE event frame, skipping comment heartbeats.
+// ok is false once the stream ends.
+func nextFrame(t *testing.T, br *bufio.Reader) (ev JobStreamEvent, sseID int, sseEvent string, ok bool) {
+	t.Helper()
+	sseID = -1
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			if err != io.EOF {
+				t.Fatalf("reading stream: %v", err)
+			}
+			return JobStreamEvent{}, 0, "", false
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if sseID >= 0 { // end of a frame (not a lone heartbeat)
+				return ev, sseID, sseEvent, true
+			}
+		case strings.HasPrefix(line, ":"): // heartbeat comment
+		case strings.HasPrefix(line, "id: "):
+			n, err := strconv.Atoi(strings.TrimPrefix(line, "id: "))
+			if err != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, err)
+			}
+			sseID = n
+		case strings.HasPrefix(line, "event: "):
+			sseEvent = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad SSE data line %q: %v", line, err)
+			}
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+}
+
+func TestStreamDisabledWithoutManager(t *testing.T) {
+	s := New(Config{})
+	w := get(t, s, "/v1/jobs/job-000001/stream")
+	if w.Code != http.StatusNotFound || errorCode(t, w) != "jobs_disabled" {
+		t.Errorf("status %d code %q, want 404 jobs_disabled", w.Code, errorCode(t, w))
+	}
+}
+
+func TestStreamNotFound(t *testing.T) {
+	s := newJobsServer(t, Config{})
+	w := get(t, s, "/v1/jobs/job-999999/stream")
+	if w.Code != http.StatusNotFound || errorCode(t, w) != "not_found" {
+		t.Errorf("status %d code %q, want 404 not_found", w.Code, errorCode(t, w))
+	}
+}
+
+func TestStreamRejectsBadLastEventID(t *testing.T) {
+	s := newJobsServer(t, Config{})
+	for _, bad := range []string{"abc", "-1", "1.5"} {
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest(http.MethodGet, "/v1/jobs/job-000001/stream", nil)
+		r.Header.Set("Last-Event-ID", bad)
+		s.ServeHTTP(w, r)
+		if w.Code != http.StatusBadRequest || errorCode(t, w) != "invalid_params" {
+			t.Errorf("Last-Event-ID %q: status %d code %q, want 400 invalid_params", bad, w.Code, errorCode(t, w))
+		}
+	}
+}
+
+// The stream follows a job from submission to completion: sequence numbers
+// strictly increase, progress is non-decreasing, the terminal frame is a
+// done event whose result is bit-identical to GET /v1/jobs/{id}.
+func TestStreamWatchesJobToCompletion(t *testing.T) {
+	s := newJobsServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	w := post(t, s, "/v1/jobs", `{"mode": "d2w", "seed": 3, "dies": 20000, "workers": 2, "checkpoint_every": 2000}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", w.Code, w.Body)
+	}
+	id := decodeBody[JobResponse](t, w).ID
+
+	resp := openStream(t, ts, id, "")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	br := bufio.NewReader(resp.Body)
+	var frames []JobStreamEvent
+	for {
+		ev, sseID, sseEvent, ok := nextFrame(t, br)
+		if !ok {
+			break
+		}
+		if sseID != ev.Seq {
+			t.Errorf("SSE id %d != payload seq %d", sseID, ev.Seq)
+		}
+		if sseEvent != ev.State {
+			t.Errorf("SSE event %q != payload state %q", sseEvent, ev.State)
+		}
+		if ev.ID != id {
+			t.Errorf("event for job %q, want %q", ev.ID, id)
+		}
+		frames = append(frames, ev)
+	}
+	if len(frames) == 0 {
+		t.Fatal("stream delivered no frames")
+	}
+	for i := 1; i < len(frames); i++ {
+		if frames[i].Seq <= frames[i-1].Seq {
+			t.Errorf("seq not increasing: %d after %d", frames[i].Seq, frames[i-1].Seq)
+		}
+		if frames[i].Completed < frames[i-1].Completed {
+			t.Errorf("completed regressed: %d after %d", frames[i].Completed, frames[i-1].Completed)
+		}
+	}
+	final := frames[len(frames)-1]
+	if final.State != "done" || final.Result == nil {
+		t.Fatalf("final frame %+v, want done with result", final)
+	}
+	if final.Completed != 20000 || final.Counts.Dies != 20000 {
+		t.Errorf("final frame completed %d dies %d, want 20000", final.Completed, final.Counts.Dies)
+	}
+	if half := (final.YieldHi - final.YieldLo) / 2; final.CIHalfWidth != half {
+		t.Errorf("ci_halfwidth %g != (hi-lo)/2 = %g", final.CIHalfWidth, half)
+	}
+
+	// Bit-identity with the poll endpoint (elapsed is telemetry).
+	polled := pollJob(t, s, id)
+	want := *polled.Result
+	got := *final.Result
+	got.ElapsedMs, want.ElapsedMs = 0, 0
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("streamed result != polled result:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// Resuming a finished job's stream with a stale Last-Event-ID answers one
+// terminal snapshot immediately; resuming with the current sequence
+// answers nothing but heartbeats.
+func TestStreamResumeAfterDone(t *testing.T) {
+	s := newJobsServer(t, Config{StreamHeartbeat: 20 * time.Millisecond})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	w := post(t, s, "/v1/jobs", `{"mode": "w2w", "seed": 8, "wafers": 4, "workers": 2, "checkpoint_every": 2}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", w.Code, w.Body)
+	}
+	id := decodeBody[JobResponse](t, w).ID
+	pollJob(t, s, id)
+
+	resp := openStream(t, ts, id, "0")
+	br := bufio.NewReader(resp.Body)
+	ev, _, _, ok := nextFrame(t, br)
+	resp.Body.Close()
+	if !ok || ev.State != "done" || ev.Result == nil {
+		t.Fatalf("stale resume: frame %+v ok=%v, want immediate done snapshot", ev, ok)
+	}
+
+	// Same sequence — nothing new. The first line must be a heartbeat
+	// comment, not an event frame.
+	resp = openStream(t, ts, id, strconv.Itoa(ev.Seq))
+	defer resp.Body.Close()
+	br = bufio.NewReader(resp.Body)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading current-seq resume: %v", err)
+	}
+	if !strings.HasPrefix(line, ":") {
+		t.Errorf("current-seq resume sent %q, want a heartbeat comment", line)
+	}
+}
+
+// An early-stop job streams to a terminal done event flagged stopped_early,
+// and the daemon's /metrics accounts the stop and the samples it saved.
+func TestStreamEarlyStopJobAndMetrics(t *testing.T) {
+	s := newJobsServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body := fmt.Sprintf(
+		`{"mode": "d2w", "seed": 11, "dies": 20000, "workers": 2, "checkpoint_every": 500, "epsilon": 1e-3, "params": %s}`,
+		easyParamsJSON(t))
+	w := post(t, s, "/v1/jobs", body)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", w.Code, w.Body)
+	}
+	id := decodeBody[JobResponse](t, w).ID
+
+	resp := openStream(t, ts, id, "")
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	var final JobStreamEvent
+	for {
+		ev, _, _, ok := nextFrame(t, br)
+		if !ok {
+			break
+		}
+		final = ev
+	}
+	if final.State != "done" || final.Result == nil {
+		t.Fatalf("final frame %+v, want done", final)
+	}
+	if !final.StoppedEarly || !final.Result.StoppedEarly {
+		t.Errorf("final frame not flagged stopped_early: %+v", final)
+	}
+	if final.Result.SamplesUsed == 0 || final.Result.SamplesUsed*2 > 20000 {
+		t.Errorf("samples_used %d, want ≤ half the 20000 cap", final.Result.SamplesUsed)
+	}
+	if final.Result.CIHalfWidth > 1e-3 {
+		t.Errorf("ci_halfwidth %g > epsilon", final.Result.CIHalfWidth)
+	}
+
+	metrics := get(t, s, "/metrics").Body.String()
+	for _, want := range []string{
+		"yapserve_early_stops_total 1",
+		"yapserve_stream_subscribers 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	saved := 20000 - final.Result.SamplesUsed
+	if want := fmt.Sprintf("yapserve_samples_saved_total %d", saved); !strings.Contains(metrics, want) {
+		t.Errorf("metrics missing %q", want)
+	}
+}
+
+// The synchronous simulate path honors epsilon/min_samples: the response
+// is flagged stopped_early with the samples it actually used, and the
+// service counters account it.
+func TestSimulateEarlyStop(t *testing.T) {
+	s := New(Config{})
+	body := fmt.Sprintf(`{"mode": "d2w", "seed": 21, "dies": 20000, "workers": 2, "epsilon": 1e-3, "params": %s}`,
+		easyParamsJSON(t))
+	w := post(t, s, "/v1/simulate", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("simulate status %d: %s", w.Code, w.Body)
+	}
+	resp := decodeBody[SimulateResponse](t, w)
+	if !resp.StoppedEarly {
+		t.Fatalf("response not stopped_early: %+v", resp)
+	}
+	if resp.SamplesUsed == 0 || resp.SamplesUsed != resp.Completed || resp.SamplesUsed*2 > 20000 {
+		t.Errorf("samples_used %d completed %d, want equal and ≤ half of 20000", resp.SamplesUsed, resp.Completed)
+	}
+	if resp.Requested != 20000 {
+		t.Errorf("requested %d, want the 20000 cap", resp.Requested)
+	}
+	if resp.CIHalfWidth > 1e-3 || resp.CIHalfWidth != (resp.YieldHi-resp.YieldLo)/2 {
+		t.Errorf("ci_halfwidth %g inconsistent with [%g, %g]", resp.CIHalfWidth, resp.YieldLo, resp.YieldHi)
+	}
+	if resp.Partial {
+		t.Error("early-stopped response marked partial")
+	}
+
+	metrics := get(t, s, "/metrics").Body.String()
+	if !strings.Contains(metrics, "yapserve_early_stops_total 1") {
+		t.Errorf("metrics missing early-stop counter:\n%s", metrics)
+	}
+	saved := 20000 - resp.SamplesUsed
+	if want := fmt.Sprintf("yapserve_samples_saved_total %d", saved); !strings.Contains(metrics, want) {
+		t.Errorf("metrics missing %q", want)
+	}
+
+	if w := post(t, s, "/v1/simulate", `{"epsilon": -0.1}`); w.Code != http.StatusBadRequest {
+		t.Errorf("negative epsilon: status %d, want 400", w.Code)
+	}
+	if w := post(t, s, "/v1/simulate", `{"min_samples": -1}`); w.Code != http.StatusBadRequest {
+		t.Errorf("negative min_samples: status %d, want 400", w.Code)
+	}
+}

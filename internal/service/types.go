@@ -64,6 +64,15 @@ type SimulateRequest struct {
 	// bit-identical either way — the flag exists for A/B verification and
 	// for keeping tiny runs off the fleet.
 	Local bool `json:"local,omitempty"`
+	// Epsilon arms the sequential early-stop rule: the run finishes as
+	// soon as the Wilson 95% half-width of the running yield estimate
+	// falls to epsilon, making wafers/dies a hard cap instead of a fixed
+	// count. Same seed + same epsilon ⇒ same stop index at any worker
+	// count. 0 (the default) keeps fixed-N behavior bit-identical.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// MinSamples is the early-stop floor (never stop before this many
+	// samples); 0 uses the engine default. Ignored when Epsilon is 0.
+	MinSamples int `json:"min_samples,omitempty"`
 }
 
 // SimulateResponse is the body of a successful POST /v1/simulate.
@@ -102,6 +111,15 @@ type SimulateResponse struct {
 	Distributed bool   `json:"distributed,omitempty"`
 	Shards      int    `json:"shards,omitempty"`
 	Reassigned  uint64 `json:"reassigned,omitempty"`
+	// StoppedEarly reports that the sequential early-stop rule fired: the
+	// CI half-width reached the requested epsilon before the sample cap,
+	// and SamplesUsed (== Completed) of the Requested cap were simulated.
+	// Unlike Partial, an early-stopped result is a finished answer.
+	StoppedEarly bool `json:"stopped_early,omitempty"`
+	SamplesUsed  int  `json:"samples_used,omitempty"`
+	// CIHalfWidth is (yield_hi − yield_lo)/2, always set — the quantity
+	// the early-stop rule thresholds against epsilon.
+	CIHalfWidth float64 `json:"ci_halfwidth"`
 }
 
 func simulateResponseFrom(r sim.Result, hash string, seed uint64, workers int) SimulateResponse {
@@ -119,9 +137,16 @@ func simulateResponseFrom(r sim.Result, hash string, seed uint64, workers int) S
 		YieldHi:      r.YieldHi,
 		ElapsedMs:    float64(r.Elapsed.Microseconds()) / 1e3,
 		Workers:      workers,
+		CIHalfWidth:  (r.YieldHi - r.YieldLo) / 2,
 	}
 	if r.Partial {
 		resp.Partial = true
+		resp.Completed = r.Completed
+		resp.Requested = r.Requested
+	}
+	if r.StoppedEarly {
+		resp.StoppedEarly = true
+		resp.SamplesUsed = r.Completed
 		resp.Completed = r.Completed
 		resp.Requested = r.Requested
 	}
@@ -161,6 +186,16 @@ type ShardCounts struct {
 	DefectPass  int `json:"defect_pass"`
 	RecessPass  int `json:"recess_pass"`
 	Survived    int `json:"survived"`
+}
+
+func shardCountsFrom(c sim.Counts) ShardCounts {
+	return ShardCounts{
+		Dies:        c.Dies,
+		OverlayPass: c.OverlayPass,
+		DefectPass:  c.DefectPass,
+		RecessPass:  c.RecessPass,
+		Survived:    c.Survived,
+	}
 }
 
 // ShardResponse is the body of a successful POST /v1/shard.
@@ -236,6 +271,13 @@ type JobSubmitRequest struct {
 	// CheckpointEvery overrides the daemon's checkpoint interval in
 	// samples; a crash re-runs at most this many samples.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Epsilon arms sequential early stop, evaluated at every durable
+	// checkpoint: the job finishes done as soon as the Wilson 95%
+	// half-width falls to epsilon, with wafers/dies as a hard cap. The
+	// stop index is deterministic even across crash/resume. 0 disables.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// MinSamples is the early-stop floor; 0 uses the engine default.
+	MinSamples int `json:"min_samples,omitempty"`
 }
 
 // JobResponse describes one job: the body of GET /v1/jobs/{id}, the 202
@@ -268,6 +310,40 @@ type JobResponse struct {
 // JobListResponse is the body of GET /v1/jobs, sorted by job ID.
 type JobListResponse struct {
 	Jobs []JobResponse `json:"jobs"`
+}
+
+// JobStreamEvent is the data payload of one Server-Sent Event on
+// GET /v1/jobs/{id}/stream: a cumulative snapshot of the job plus the
+// running yield estimate over its durable tallies. Each event supersedes
+// all earlier ones, so a subscriber that reconnects (sending the last
+// SSE id as Last-Event-ID) loses nothing once it sees a newer event.
+type JobStreamEvent struct {
+	ID string `json:"id"`
+	// Seq is the per-job event ordinal within one daemon incarnation —
+	// the SSE id field, echoed back as Last-Event-ID to resume.
+	Seq int `json:"seq"`
+	// State is pending, running, done, failed or canceled; the stream
+	// ends after the first terminal event.
+	State string `json:"state"`
+	// Completed counts durably checkpointed samples of the Samples cap.
+	Completed int `json:"completed"`
+	Samples   int `json:"samples"`
+	// Counts holds the raw integer tallies over the Completed samples.
+	Counts ShardCounts `json:"counts"`
+	// Yield with its Wilson 95% interval over the Completed samples;
+	// CIHalfWidth is (yield_hi − yield_lo)/2, the early-stop quantity.
+	Yield       float64 `json:"yield"`
+	YieldLo     float64 `json:"yield_lo"`
+	YieldHi     float64 `json:"yield_hi"`
+	CIHalfWidth float64 `json:"ci_halfwidth"`
+	// StoppedEarly is set on the terminal done event of a job whose
+	// sequential early-stop rule fired before the sample cap.
+	StoppedEarly bool `json:"stopped_early,omitempty"`
+	// Error is the failure detail of a terminal failed event.
+	Error string `json:"error,omitempty"`
+	// Result is the final merged result, set only on the terminal done
+	// event — bit-identical to the Result a GET /v1/jobs/{id} returns.
+	Result *SimulateResponse `json:"result,omitempty"`
 }
 
 // HealthResponse is the body of GET /healthz.

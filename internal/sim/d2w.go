@@ -84,6 +84,13 @@ func RunD2WContext(ctx context.Context, opts Options) (Result, error) {
 	if opts.FirstSample < 0 {
 		return Result{}, fmt.Errorf("sim: negative FirstSample %d", opts.FirstSample)
 	}
+	if opts.EarlyStop.Enabled() {
+		dies := opts.Dies
+		if dies <= 0 {
+			dies = 20000
+		}
+		return runEarlyStop(ctx, "D2W", opts, dies)
+	}
 	env, err := newD2WEnv(opts)
 	if err != nil {
 		return Result{}, err

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"context"
+	"time"
+
+	"yap/internal/converge"
+)
+
+// runEarlyStop executes a run under Options.EarlyStop by slicing it into
+// contiguous sample ranges aligned with the rule's checkpoint ladder: run
+// the slice [completed, next) through the ordinary fixed-N engine, Merge
+// the tally, evaluate the rule, repeat. The slices reuse the FirstSample
+// sharding property (sample k always draws from stream Derive(Seed, k)), so
+// the tally after any boundary is bit-identical to a fixed-N run of that
+// many samples — and since the boundaries themselves depend only on (rule,
+// total), the stop index is deterministic at any Workers value.
+//
+// mode is "W2W" or "D2W" and selects the slice engine; total is the run's
+// hard sample cap (the resolved Wafers/Dies default).
+func runEarlyStop(ctx context.Context, mode string, opts Options, total int) (Result, error) {
+	rule := opts.EarlyStop.Normalized()
+	tracker := converge.NewTracker(rule)
+	start := time.Now() //yaplint:allow determinism runtime telemetry only; never feeds the sampled streams
+
+	sub := opts
+	sub.EarlyStop = converge.Rule{} // slices run fixed-N; no recursion
+	var acc Result
+	completed, stopped := 0, false
+	for completed < total {
+		next := rule.NextCheckpoint(completed, total)
+		sub.FirstSample = opts.FirstSample + completed
+		if mode == "D2W" {
+			sub.Dies = next - completed
+		} else {
+			sub.Wafers = next - completed
+		}
+		var res Result
+		var err error
+		if mode == "D2W" {
+			res, err = RunD2WContext(ctx, sub)
+		} else {
+			res, err = RunW2WContext(ctx, sub)
+		}
+		if err != nil {
+			if completed > 0 && ctx.Err() != nil {
+				// The context fired before any sample of this slice finished;
+				// the completed prefix is still a valid partial result, the
+				// same graceful degradation the fixed-N path offers.
+				return earlyStopResult(acc, total, false, time.Since(start)), nil //yaplint:allow determinism runtime telemetry only; never feeds the sampled streams
+			}
+			return Result{}, err
+		}
+		if completed == 0 {
+			acc = res
+		} else if acc, err = Merge(acc, res); err != nil {
+			return Result{}, err
+		}
+		completed += res.Completed
+		if res.Partial {
+			// Mid-slice cancellation: the merged prefix is partial.
+			break
+		}
+		snap, err := tracker.Observe(completed, total, acc.Counts.Survived, acc.Counts.Dies)
+		if err != nil {
+			return Result{}, err
+		}
+		if snap.Stop && completed < total {
+			stopped = true
+			break
+		}
+	}
+	return earlyStopResult(acc, total, stopped, time.Since(start)), nil //yaplint:allow determinism runtime telemetry only; never feeds the sampled streams
+}
+
+// earlyStopResult rewrites the merged slice accumulator into the Result of
+// the whole (capped) run: Requested is the cap, Partial means the context
+// fired short of both the cap and a stop verdict, StoppedEarly means the
+// rule ended the run. Elapsed covers the whole slicing loop.
+func earlyStopResult(acc Result, requested int, stopped bool, elapsed time.Duration) Result {
+	acc.Requested = requested
+	acc.StoppedEarly = stopped
+	acc.Partial = !stopped && acc.Completed < requested
+	acc.Elapsed = elapsed
+	return acc
+}

@@ -31,6 +31,7 @@ import (
 	"runtime"
 	"time"
 
+	"yap/internal/converge"
 	"yap/internal/core"
 	"yap/internal/faultinject"
 	"yap/internal/num"
@@ -51,6 +52,17 @@ type Options struct {
 	Dies int
 	// Workers bounds the parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// EarlyStop optionally arms the deterministic sequential-stopping rule
+	// of internal/converge: the run executes in contiguous sample slices
+	// and ends as soon as the Wilson 95% half-width of the running yield
+	// estimate falls to EarlyStop.Epsilon (never before
+	// EarlyStop.MinSamples, never after Wafers/Dies — the fixed N becomes
+	// a hard cap). Because the rule is evaluated only at sample-count
+	// boundaries that are deterministic functions of the rule and the cap,
+	// the stop index — and therefore the entire Result — is bit-identical
+	// across runs with equal Seed, Params and rule, at any Workers value.
+	// The zero Rule (Epsilon <= 0) preserves fixed-N behavior exactly.
+	EarlyStop converge.Rule
 	// FirstSample is the global index of this run's first sample (bonded
 	// wafer for W2W, bonded die for D2W). Sample k of the run draws from
 	// the stream Derive(Seed, FirstSample+k), so a run over the index
@@ -175,12 +187,20 @@ type Result struct {
 	// bonded dies for D2W. A run that finishes normally has
 	// Completed == Requested and Partial unset.
 	Completed, Requested int
+	// StoppedEarly reports that Options.EarlyStop ended the run at
+	// Completed < Requested samples because the yield CI converged. Unlike
+	// Partial, an early-stopped Result is a finished answer — the estimator
+	// met its requested precision; the remaining samples were skipped, not
+	// lost. Partial and StoppedEarly are mutually exclusive.
+	StoppedEarly bool
 }
 
 func (r Result) String() string {
 	partial := ""
 	if r.Partial {
 		partial = fmt.Sprintf(" partial %d/%d samples,", r.Completed, r.Requested)
+	} else if r.StoppedEarly {
+		partial = fmt.Sprintf(" early-stop %d/%d samples,", r.Completed, r.Requested)
 	}
 	return fmt.Sprintf("%s sim:%s Y_ovl=%.6f Y_df=%.6f Y_cr=%.6f Y=%.6f (95%% CI [%.6f, %.6f], %d dies, %v)",
 		r.Mode, partial, r.OverlayYield, r.DefectYield, r.RecessYield, r.Yield,

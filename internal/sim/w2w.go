@@ -120,6 +120,13 @@ func RunW2WContext(ctx context.Context, opts Options) (Result, error) {
 	if opts.FirstSample < 0 {
 		return Result{}, fmt.Errorf("sim: negative FirstSample %d", opts.FirstSample)
 	}
+	if opts.EarlyStop.Enabled() {
+		wafers := opts.Wafers
+		if wafers <= 0 {
+			wafers = 1000
+		}
+		return runEarlyStop(ctx, "W2W", opts, wafers)
+	}
 	env, err := newW2WEnv(opts)
 	if err != nil {
 		return Result{}, err
