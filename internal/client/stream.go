@@ -20,7 +20,8 @@ import (
 // dropped connections. Events are cumulative snapshots, so resume is
 // lossless by construction — the client remembers the last SSE id it saw
 // and replays it as Last-Event-ID on reconnect; the server answers with a
-// fresh snapshot only if anything changed since. The consecutive-failure
+// fresh snapshot only if anything changed since (always, once the job is
+// terminal, so a late or resumed watch can never hang). The consecutive-failure
 // budget resets every time an event actually arrives, so a long-running
 // watch survives any number of transient drops as long as progress is
 // being made between them.
@@ -106,7 +107,7 @@ func (c *Client) streamOnce(ctx context.Context, id string, lastSeq *int, fn Str
 	}
 
 	br := bufio.NewReader(resp.Body)
-	var data []byte
+	var data []string
 	for {
 		line, err := br.ReadString('\n')
 		if err != nil {
@@ -121,11 +122,15 @@ func (c *Client) streamOnce(ctx context.Context, id string, lastSeq *int, fn Str
 			if data == nil {
 				continue
 			}
+			// Per the SSE contract a frame's data: lines concatenate with
+			// newlines; our server emits one line per frame, but a proxy may
+			// re-chunk.
+			payload := strings.Join(data, "\n")
+			data = nil
 			var ev service.JobStreamEvent
-			if err := json.Unmarshal(data, &ev); err != nil {
+			if err := json.Unmarshal([]byte(payload), &ev); err != nil {
 				return nil, progressed, fmt.Errorf("client: decoding job %s stream event: %w", id, err)
 			}
-			data = nil
 			*lastSeq = ev.Seq
 			progressed = true
 			if fn != nil {
@@ -139,7 +144,7 @@ func (c *Client) streamOnce(ctx context.Context, id string, lastSeq *int, fn Str
 			}
 		case strings.HasPrefix(line, ":"): // heartbeat comment
 		case strings.HasPrefix(line, "data:"):
-			data = []byte(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
 		default:
 			// id:/event: fields duplicate the payload's Seq and State;
 			// unknown fields are ignored per the SSE contract.

@@ -153,11 +153,9 @@ func TestStreamJobNotFound(t *testing.T) {
 }
 
 // Watching an already-finished job answers its terminal snapshot
-// immediately, and resuming from the terminal sequence still terminates
-// (the server re-sends the snapshot for a mismatched incarnation-local
-// sequence only; an exact match would hang — so the client must pass the
-// last seq it saw only when resuming an interrupted watch, which is what
-// StreamJob does internally).
+// immediately — the server always re-sends a terminal job's snapshot,
+// whatever Last-Event-ID is presented, so a watch resumed at any sequence
+// (even one from a previous daemon incarnation) terminates.
 func TestStreamJobAlreadyDone(t *testing.T) {
 	c := newJobsTestClient(t)
 	ctx := context.Background()
@@ -174,5 +172,36 @@ func TestStreamJobAlreadyDone(t *testing.T) {
 	}
 	if final.State != "done" || final.Result == nil {
 		t.Errorf("final event %+v, want done snapshot", final)
+	}
+
+	// Resuming from the terminal event's own sequence terminates too.
+	again, err := c.StreamJob(ctx, sub.ID, final.Seq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.State != "done" || again.Result == nil {
+		t.Errorf("terminal-seq resume event %+v, want done snapshot", again)
+	}
+}
+
+// The SSE parser joins a frame's data: lines with newlines, as the SSE
+// contract requires — a proxy between client and daemon may re-chunk a
+// frame into several data: lines even though our server emits one.
+func TestStreamJobMultiLineData(t *testing.T) {
+	frame := "id: 1\nevent: done\n" +
+		"data: {\"id\": \"job-000001\",\n" +
+		"data:  \"seq\": 1, \"state\": \"done\",\n" +
+		"data:  \"completed\": 4, \"samples\": 4}\n\n"
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, frame)
+	})
+	c, _ := newTestClient(t, h, nil)
+	final, err := c.StreamJob(context.Background(), "job-000001", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" || final.Completed != 4 || final.Seq != 1 {
+		t.Errorf("final event %+v, want done at 4/4 seq 1", final)
 	}
 }

@@ -63,8 +63,10 @@ type Spec struct {
 	// 0 uses the manager default.
 	Workers int
 	// CheckpointEvery is the slice size in samples between durable
-	// checkpoints; 0 uses the manager default. A crash loses at most one
-	// slice of work.
+	// checkpoints; 0 asks for the manager default, which Submit resolves
+	// into the persisted spec so the checkpoint ladder — and with it the
+	// early-stop index — cannot shift if the daemon's default changes
+	// across a crash/restart. A crash loses at most one slice of work.
 	CheckpointEvery int
 	// Epsilon optionally arms the sequential early-stop rule
 	// (internal/converge): the job finishes as soon as the Wilson 95%

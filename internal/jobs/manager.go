@@ -45,7 +45,9 @@ type Config struct {
 	// Runners bounds concurrently executing jobs (default 2).
 	Runners int
 	// CheckpointEvery is the default slice size in samples between durable
-	// checkpoints for jobs that don't set their own (default 200).
+	// checkpoints for jobs that don't set their own (default 200). Submit
+	// resolves it into each job's persisted spec, so changing it only
+	// affects jobs submitted afterwards.
 	CheckpointEvery int
 	// ResultTTL is how long terminal jobs stay queryable after finishing
 	// before the GC pass drops them (default 1h; negative disables GC).
@@ -482,6 +484,13 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 	if err := spec.Params.Validate(); err != nil {
 		return Job{}, fmt.Errorf("jobs: invalid params: %w", err)
 	}
+	// Resolve the checkpoint cadence now and persist it with the spec: the
+	// checkpoint ladder decides where the early-stop rule is evaluated, so
+	// it must not shift if the manager default changes between a crash and
+	// the resume.
+	if spec.CheckpointEvery == 0 {
+		spec.CheckpointEvery = m.cfg.checkpointEvery()
+	}
 	wire, err := specToWire(spec)
 	if err != nil {
 		return Job{}, err
@@ -602,8 +611,12 @@ const eventBuffer = 16
 // afterSeq, the current snapshot is delivered immediately, so a
 // reconnecting subscriber — even one whose seq numbers came from a
 // previous daemon incarnation — always converges on current state without
-// replaying history. The channel is never closed; a terminal Job in an
-// event tells the consumer the stream is complete.
+// replaying history. A terminal job always delivers its snapshot, whatever
+// afterSeq: a terminal job never publishes again (and one recovered from
+// disk has seq 0, indistinguishable from "nothing seen"), so skipping the
+// snapshot would leave the subscriber waiting forever; the duplicate frame
+// is harmless because events are cumulative. The channel is never closed;
+// a terminal Job in an event tells the consumer the stream is complete.
 func (m *Manager) Subscribe(id string, afterSeq int) (<-chan Event, func(), error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -619,7 +632,7 @@ func (m *Manager) Subscribe(id string, afterSeq int) (<-chan Event, func(), erro
 		js.subs = make(map[chan Event]struct{})
 	}
 	js.subs[ch] = struct{}{}
-	if js.seq != afterSeq {
+	if js.seq != afterSeq || js.job.State.Terminal() {
 		ch <- m.eventLocked(js) // buffered and freshly created: never blocks
 	}
 	cancel := func() {
@@ -770,6 +783,24 @@ func (m *Manager) runner() {
 	}
 }
 
+// stopEarlyLocked finishes a job the sequential rule just stopped: the
+// accumulated Result over the durable prefix becomes the final one, with
+// Requested kept at the submitted cap — the skipped samples were saved,
+// not lost, and the StoppedEarly flag records why Completed is short.
+// Callers hold m.mu.
+func (m *Manager) stopEarlyLocked(js *jobState, acc sim.Result, cap int) {
+	final, err := sim.Merge(acc)
+	if err != nil {
+		m.finishLocked(js, StateFailed, fmt.Sprintf("finalizing early stop: %v", err), nil)
+		return
+	}
+	final.Requested = cap
+	final.StoppedEarly = true
+	m.stats.EarlyStops++
+	m.stats.SamplesSaved += uint64(cap - final.Completed)
+	m.finishLocked(js, StateDone, "", &final)
+}
+
 // runJob executes one job from its last durable checkpoint to the end,
 // appending a cumulative checkpoint record after every slice. The slice
 // results are folded through sim.Merge — the same arithmetic as the dist
@@ -812,6 +843,8 @@ func (m *Manager) runJob(id string) {
 	counts := js.job.Counts
 	m.mu.Unlock()
 
+	// Submit resolves CheckpointEvery into the persisted spec; the fallback
+	// only covers records written before it did so.
 	checkpointEvery := spec.CheckpointEvery
 	if checkpointEvery <= 0 {
 		checkpointEvery = m.cfg.checkpointEvery()
@@ -840,6 +873,22 @@ func (m *Manager) runJob(id string) {
 		js.cancel = nil
 		m.finishLocked(js, StateFailed, text, nil)
 		m.mu.Unlock()
+	}
+
+	// A resumed job may already sit at the checkpoint where the rule fires:
+	// a crash can land between appending that checkpoint record and the
+	// terminal record. Re-evaluate the durable prefix before running any
+	// further slice, so the resumed job stops at exactly the sample index —
+	// and with the Result — the uninterrupted one would have.
+	if completed > 0 && completed < spec.Samples && rule.Enabled() &&
+		rule.ShouldStop(completed, converge.EstimateOf(counts.Survived, counts.Dies)) {
+		m.mu.Lock()
+		js.cancel = nil
+		if !js.job.State.Terminal() {
+			m.stopEarlyLocked(js, acc, spec.Samples)
+		}
+		m.mu.Unlock()
+		return
 	}
 
 	// interrupted ends the run when jobCtx fired: a user cancel becomes a
@@ -925,21 +974,8 @@ func (m *Manager) runJob(id string) {
 		m.publishLocked(js)
 		if completed < spec.Samples && rule.Enabled() &&
 			rule.ShouldStop(completed, converge.EstimateOf(acc.Counts.Survived, acc.Counts.Dies)) {
-			final, err := sim.Merge(acc)
-			if err != nil {
-				js.cancel = nil
-				m.finishLocked(js, StateFailed, fmt.Sprintf("finalizing early stop: %v", err), nil)
-				m.mu.Unlock()
-				return
-			}
-			// Requested stays the submitted cap: the skipped samples were
-			// saved, not lost, and the flag records why Completed is short.
-			final.Requested = spec.Samples
-			final.StoppedEarly = true
 			js.cancel = nil
-			m.stats.EarlyStops++
-			m.stats.SamplesSaved += uint64(spec.Samples - completed)
-			m.finishLocked(js, StateDone, "", &final)
+			m.stopEarlyLocked(js, acc, spec.Samples)
 			m.mu.Unlock()
 			return
 		}

@@ -69,6 +69,38 @@ func waitTerminal(t *testing.T, m *Manager, id string) Job {
 	return Job{}
 }
 
+// Submit resolves a zero CheckpointEvery into the manager default and
+// persists it, so a resumed job keeps its original checkpoint ladder (and
+// with it the early-stop index) even when the daemon's configured default
+// changes across a restart.
+func TestSubmitPersistsCheckpointCadence(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(Config{Dir: dir, CheckpointEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m.Submit(testSpec(6, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Spec.CheckpointEvery != 3 {
+		t.Errorf("submitted spec cadence %d, want the resolved default 3", j.Spec.CheckpointEvery)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(Config{Dir: dir, CheckpointEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	got := waitTerminal(t, m2, j.ID)
+	if got.Spec.CheckpointEvery != 3 {
+		t.Errorf("recovered spec cadence %d, want the submit-time 3", got.Spec.CheckpointEvery)
+	}
+}
+
 func TestJobRunsToCompletion(t *testing.T) {
 	spec := testSpec(6, 2)
 	want := baseline(t, spec)

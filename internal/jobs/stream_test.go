@@ -2,6 +2,9 @@ package jobs
 
 import (
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sync/atomic"
 	"testing"
@@ -126,8 +129,9 @@ func TestStreamResumeSnapshot(t *testing.T) {
 		cancel()
 	}
 
-	// afterSeq equal to the current sequence means "nothing new": no
-	// snapshot is delivered.
+	// A terminal job delivers its snapshot even at the current sequence:
+	// it will never publish again, so "nothing new" would strand the
+	// subscriber, and seq numbers don't survive daemon restarts anyway.
 	m.mu.Lock()
 	seq := m.jobs[j.ID].seq
 	m.mu.Unlock()
@@ -138,8 +142,52 @@ func TestStreamResumeSnapshot(t *testing.T) {
 	defer cancel()
 	select {
 	case ev := <-ch:
-		t.Errorf("up-to-date subscriber got event %+v", ev)
-	case <-time.After(50 * time.Millisecond):
+		if ev.Job.State != StateDone {
+			t.Errorf("current-seq snapshot state %s, want done", ev.Job.State)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("current-seq subscriber of a terminal job got no snapshot")
+	}
+}
+
+// A subscription to a job recovered from disk in a terminal state must
+// still deliver the snapshot: the recovered job's sequence restarted at 0
+// and it will never publish again, so a fresh subscriber (afterSeq 0)
+// would otherwise wait forever.
+func TestStreamSubscribeRecoveredTerminalJob(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m.Submit(testSpec(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, j.ID)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	for _, afterSeq := range []int{0, 3} {
+		ch, cancel, err := m2.Subscribe(j.ID, afterSeq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case ev := <-ch:
+			if ev.Job.State != StateDone || ev.Job.Result == nil {
+				t.Errorf("afterSeq=%d: recovered snapshot %+v, want done with result", afterSeq, ev.Job)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("afterSeq=%d: no snapshot for recovered terminal job", afterSeq)
+		}
+		cancel()
 	}
 }
 
@@ -301,6 +349,86 @@ func TestJobEarlyStopAcrossResumeBitIdentical(t *testing.T) {
 	if !reflect.DeepEqual(stripElapsed(*done.Result), stripElapsed(*want.Result)) {
 		t.Errorf("resumed early-stop result differs:\n got %+v\nwant %+v",
 			*done.Result, *want.Result)
+	}
+}
+
+// A crash can land between appending the checkpoint record where the rule
+// fires and appending the terminal done record: the job is then durably
+// "running" at exactly the stop index. The resume must finish it from the
+// durable prefix without running another slice — otherwise it would stop
+// later than the uninterrupted job, breaking the determinism contract.
+func TestJobEarlyStopResumeAtFiredCheckpoint(t *testing.T) {
+	spec := easySpec(20000, 500)
+	spec.Epsilon = 1e-3
+
+	// Uninterrupted reference for the expected stop index and tallies.
+	ref, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr, err := ref.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitTerminal(t, ref, jr.ID)
+	ref.Close()
+	if !want.Result.StoppedEarly {
+		t.Fatalf("reference job did not stop early: %+v", want.Result)
+	}
+
+	// Durable state exactly as the lost-terminal-record crash leaves it:
+	// the firing checkpoint's cumulative tallies are on disk, the done
+	// record is not.
+	dir := t.TempDir()
+	wire, err := specToWire(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := persistedState{NextID: 2, Jobs: []persistedJob{{
+		ID:        "job-000001",
+		Spec:      wire,
+		State:     StateRunning,
+		Completed: want.Completed,
+		Counts:    want.Counts,
+	}}}
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var slices atomic.Int32
+	run := func(ctx context.Context, mode string, opts sim.Options) (sim.Result, error) {
+		slices.Add(1)
+		return defaultRun(ctx, mode, opts)
+	}
+	m, err := Open(Config{Dir: dir, Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	done := waitTerminal(t, m, "job-000001")
+	if done.State != StateDone {
+		t.Fatalf("state %s (error %q), want done", done.State, done.Error)
+	}
+	if n := slices.Load(); n != 0 {
+		t.Errorf("resume ran %d slices past the fired checkpoint, want 0", n)
+	}
+	if done.Completed != want.Completed {
+		t.Errorf("resumed stop index %d != uninterrupted %d", done.Completed, want.Completed)
+	}
+	if done.Result == nil || !done.Result.StoppedEarly {
+		t.Fatalf("result %+v, want StoppedEarly", done.Result)
+	}
+	if !reflect.DeepEqual(stripElapsed(*done.Result), stripElapsed(*want.Result)) {
+		t.Errorf("resumed result differs:\n got %+v\nwant %+v", *done.Result, *want.Result)
+	}
+	stats := m.Stats()
+	if stats.EarlyStops != 1 || stats.SamplesSaved != uint64(spec.Samples-want.Completed) {
+		t.Errorf("stats EarlyStops=%d SamplesSaved=%d, want 1/%d",
+			stats.EarlyStops, stats.SamplesSaved, spec.Samples-want.Completed)
 	}
 }
 

@@ -17,8 +17,10 @@ import (
 // tallies), so a client needs no history — the newest frame supersedes
 // everything before it. The SSE id field is the event's Seq; a client
 // that reconnects echoes it back as Last-Event-ID and is answered with a
-// fresh snapshot only if anything changed, which is what makes resume
-// after a dropped connection cheap and duplicate-tolerant. The stream
+// fresh snapshot only if anything changed — always, once the job is
+// terminal, since a terminal job never publishes again (and one recovered
+// after a daemon restart restarts its sequence) — which is what makes
+// resume after a dropped connection cheap and duplicate-tolerant. The stream
 // ends after the first terminal event (done/failed/canceled), whose
 // payload for a done job carries the final result bit-identical to
 // GET /v1/jobs/{id}. Idle periods are bridged by SSE comment heartbeats

@@ -193,9 +193,10 @@ func TestStreamWatchesJobToCompletion(t *testing.T) {
 	}
 }
 
-// Resuming a finished job's stream with a stale Last-Event-ID answers one
-// terminal snapshot immediately; resuming with the current sequence
-// answers nothing but heartbeats.
+// Resuming a finished job's stream answers one terminal snapshot
+// immediately and ends, whatever Last-Event-ID the client presents — the
+// job will never publish again, and sequence numbers don't survive daemon
+// restarts, so "nothing new" would leave the client hanging on heartbeats.
 func TestStreamResumeAfterDone(t *testing.T) {
 	s := newJobsServer(t, Config{StreamHeartbeat: 20 * time.Millisecond})
 	ts := httptest.NewServer(s)
@@ -216,17 +217,17 @@ func TestStreamResumeAfterDone(t *testing.T) {
 		t.Fatalf("stale resume: frame %+v ok=%v, want immediate done snapshot", ev, ok)
 	}
 
-	// Same sequence — nothing new. The first line must be a heartbeat
-	// comment, not an event frame.
+	// Even the terminal event's own sequence re-delivers the snapshot, and
+	// the stream then ends.
 	resp = openStream(t, ts, id, strconv.Itoa(ev.Seq))
 	defer resp.Body.Close()
 	br = bufio.NewReader(resp.Body)
-	line, err := br.ReadString('\n')
-	if err != nil {
-		t.Fatalf("reading current-seq resume: %v", err)
+	ev, _, _, ok = nextFrame(t, br)
+	if !ok || ev.State != "done" || ev.Result == nil {
+		t.Fatalf("current-seq resume: frame %+v ok=%v, want the done snapshot again", ev, ok)
 	}
-	if !strings.HasPrefix(line, ":") {
-		t.Errorf("current-seq resume sent %q, want a heartbeat comment", line)
+	if _, _, _, ok := nextFrame(t, br); ok {
+		t.Error("stream did not end after re-delivered terminal snapshot")
 	}
 }
 
