@@ -5,14 +5,16 @@
 //
 // exiting non-zero when anything is found. It is stdlib-only and wired
 // into `make lint` and CI, so every PR is gated on the repo's determinism,
-// unit-safety, cancellation, error-wrapping and panic invariants.
+// unit-safety, cancellation, error-wrapping, panic, lock-order,
+// guarded-field, goroutine-lifetime and WAL-durability invariants.
 //
 // Usage:
 //
-//	yaplint [-rules] [packages...]   # default ./...
+//	yaplint [-rules] [-json] [packages...]   # default ./...
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,19 +22,30 @@ import (
 	"yap/internal/lint"
 )
 
+// jsonFinding is the machine-readable rendering behind -json; the field
+// set mirrors the GitHub problem matcher in .github/yaplint-matcher.json.
+type jsonFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
 func main() {
 	rules := flag.Bool("rules", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of file:line text")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: yaplint [-rules] [packages...]\n\n"+
+		fmt.Fprintf(os.Stderr, "usage: yaplint [-rules] [-json] [packages...]\n\n"+
 			"Runs YAP's repo-specific analyzers (default patterns: ./...).\n"+
-			"Suppress a legitimate site with //yaplint:allow <rule> [reason].\n\n")
+			"Suppress a legitimate site with //yaplint:allow <rule>[, <rule>...] [reason].\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *rules {
 		for _, a := range lint.All() {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -52,8 +65,27 @@ func main() {
 		os.Exit(2)
 	}
 	findings := lint.Run(pkgs, lint.All())
-	for _, f := range findings {
-		fmt.Println(f)
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File: f.Pos.Filename,
+				Line: f.Pos.Line,
+				Col:  f.Pos.Column,
+				Rule: f.Rule,
+				Msg:  f.Msg,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "yaplint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if n := len(findings); n > 0 {
 		fmt.Fprintf(os.Stderr, "yaplint: %d finding(s)\n", n)

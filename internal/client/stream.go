@@ -108,6 +108,7 @@ func (c *Client) streamOnce(ctx context.Context, id string, lastSeq *int, fn Str
 
 	br := bufio.NewReader(resp.Body)
 	var data []string
+	first := true
 	for {
 		line, err := br.ReadString('\n')
 		if err != nil {
@@ -117,6 +118,12 @@ func (c *Client) streamOnce(ctx context.Context, id string, lastSeq *int, fn Str
 			return nil, progressed, fmt.Errorf("client: job %s stream interrupted: %w", id, err)
 		}
 		line = strings.TrimRight(line, "\r\n")
+		if first {
+			// The SSE spec requires stripping one leading U+FEFF from the
+			// stream; some proxies and middleware prepend it.
+			line = strings.TrimPrefix(line, "\ufeff")
+			first = false
+		}
 		switch {
 		case line == "":
 			if data == nil {

@@ -184,6 +184,44 @@ func TestStreamJobAlreadyDone(t *testing.T) {
 	}
 }
 
+// TestStreamJobWireFormatEdgeCases pins wire shapes real proxies and
+// middleware produce, all of which must decode to the same event: CRLF
+// line endings, `data:` with no space after the colon (the space is
+// optional per the SSE grammar), and a UTF-8 BOM before the first frame
+// (the spec strips exactly one leading U+FEFF from the stream).
+func TestStreamJobWireFormatEdgeCases(t *testing.T) {
+	payload := `{"id": "job-000001", "seq": 1, "state": "done", "completed": 4, "samples": 4}`
+	cases := []struct {
+		name  string
+		frame string
+	}{
+		{"crlf", "id: 1\r\nevent: done\r\ndata: " + payload + "\r\n\r\n"},
+		{"data-no-space", "id: 1\nevent: done\ndata:" + payload + "\n\n"},
+		{"utf8-bom", "\ufeffid: 1\nevent: done\ndata: " + payload + "\n\n"},
+		{"bom-crlf-no-space", "\ufeffid: 1\r\nevent: done\r\ndata:" + payload + "\r\n\r\n"},
+		// Only ONE leading BOM is stripped: the second turns the id: line
+		// into an unknown field, which the parser ignores — the frame still
+		// completes off its data line.
+		{"double-bom", "\ufeff\ufeffid: 1\nevent: done\ndata: " + payload + "\n\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "text/event-stream")
+				fmt.Fprint(w, tc.frame)
+			})
+			c, _ := newTestClient(t, h, nil)
+			final, err := c.StreamJob(context.Background(), "job-000001", 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if final.State != "done" || final.Completed != 4 || final.Seq != 1 {
+				t.Errorf("final event %+v, want done at 4/4 seq 1", final)
+			}
+		})
+	}
+}
+
 // The SSE parser joins a frame's data: lines with newlines, as the SSE
 // contract requires — a proxy between client and daemon may re-chunk a
 // frame into several data: lines even though our server emits one.

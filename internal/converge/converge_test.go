@@ -92,14 +92,14 @@ func TestRuleEnabledAndNormalized(t *testing.T) {
 func TestRuleNextCheckpoint(t *testing.T) {
 	r := Rule{Epsilon: 0.01, MinSamples: 100, CheckEvery: 50}
 	cases := []struct{ completed, total, want int }{
-		{0, 1000, 100},    // first boundary is the floor
-		{99, 1000, 100},   // still the floor
-		{100, 1000, 150},  // then floor + stride
-		{101, 1000, 150},  // mid-stride rounds up to the boundary
+		{0, 1000, 100},   // first boundary is the floor
+		{99, 1000, 100},  // still the floor
+		{100, 1000, 150}, // then floor + stride
+		{101, 1000, 150}, // mid-stride rounds up to the boundary
 		{149, 1000, 150},
 		{150, 1000, 200},
-		{0, 60, 60},       // floor clamped to the cap
-		{120, 130, 130},   // stride clamped to the cap
+		{0, 60, 60},        // floor clamped to the cap
+		{120, 130, 130},    // stride clamped to the cap
 		{1000, 1000, 1000}, // at the cap: nothing left
 	}
 	for _, c := range cases {
@@ -143,8 +143,8 @@ func TestRuleCheckpointLadderDeterministic(t *testing.T) {
 
 func TestRuleShouldStop(t *testing.T) {
 	r := Rule{Epsilon: 0.01, MinSamples: 100, CheckEvery: 50}
-	tight := EstimateOf(990, 1000)   // half-width ≈ 0.0065 < ε
-	loose := EstimateOf(50, 100)     // half-width ≈ 0.097 > ε
+	tight := EstimateOf(990, 1000) // half-width ≈ 0.0065 < ε
+	loose := EstimateOf(50, 100)   // half-width ≈ 0.097 > ε
 	if r.ShouldStop(99, tight) {
 		t.Error("stopped below the min-samples floor")
 	}

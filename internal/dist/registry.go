@@ -21,9 +21,9 @@ type workerHandle struct {
 	cli *client.Client
 
 	mu       sync.Mutex
-	up       bool
-	lastSeen time.Time
-	failures uint64 // cumulative dispatch failures, telemetry only
+	up       bool      //yaplint:guardedby mu
+	lastSeen time.Time //yaplint:guardedby mu
+	failures uint64    //yaplint:guardedby mu — cumulative dispatch failures, telemetry only
 }
 
 func (w *workerHandle) isUp() bool {

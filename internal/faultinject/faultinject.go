@@ -316,7 +316,7 @@ func (inj *Injector) Stats() map[string]Stats {
 	inj.mu.Lock()
 	defer inj.mu.Unlock()
 	out := make(map[string]Stats, len(inj.stats))
-	for hook, st := range inj.stats {
+	for hook, st := range inj.stats { //yaplint:allow determinism map-to-map copy; per-key writes are order-independent
 		out[hook] = *st
 	}
 	return out
@@ -345,7 +345,7 @@ func (inj *Injector) StatsString() string {
 	}
 	hooks := make([]string, len(stats))
 	i := 0
-	for h := range stats {
+	for h := range stats { //yaplint:allow determinism key collection feeds the sort below; the result is order-independent
 		hooks[i] = h
 		i++
 	}

@@ -177,10 +177,10 @@ type Manager struct {
 	wg        sync.WaitGroup
 
 	mu     sync.Mutex
-	closed bool
-	nextID uint64
-	jobs   map[string]*jobState
-	stats  Stats
+	closed bool                 //yaplint:guardedby mu
+	nextID uint64               //yaplint:guardedby mu
+	jobs   map[string]*jobState //yaplint:guardedby mu
+	stats  Stats                //yaplint:guardedby mu
 }
 
 // Open recovers the directory's durable state and starts the runner pool.
@@ -262,8 +262,9 @@ func Open(cfg Config) (*Manager, error) {
 	}
 
 	// Reconstruct terminal results (yields, Wilson CI) from durable
-	// tallies for done jobs recovered from disk.
-	for _, js := range m.jobs {
+	// tallies for done jobs recovered from disk. Iterate in ID order so
+	// any reconstruction log lines replay identically run to run.
+	for _, js := range m.ordered() {
 		if js.job.State == StateDone && js.job.Result == nil {
 			res, err := finishedResult(js.job.Spec.Mode, js.job.Counts, js.job.Completed)
 			if err != nil {
@@ -457,7 +458,7 @@ func formatID(n uint64) string { return fmt.Sprintf("job-%06d", n) }
 func (m *Manager) ordered() []*jobState {
 	out := make([]*jobState, len(m.jobs))
 	i := 0
-	for _, js := range m.jobs {
+	for _, js := range m.jobs { //yaplint:allow determinism collection feeds the sort below; the result is order-independent
 		out[i] = js
 		i++
 	}
@@ -525,7 +526,7 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 // live counts non-terminal jobs. Callers hold m.mu.
 func (m *Manager) live() int {
 	n := 0
-	for _, js := range m.jobs {
+	for _, js := range m.jobs { //yaplint:allow determinism commutative integer count; no order-dependent effect
 		if !js.job.State.Terminal() {
 			n++
 		}
@@ -585,7 +586,7 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := m.stats
-	for _, js := range m.jobs {
+	for _, js := range m.jobs { //yaplint:allow determinism commutative counter folds; telemetry only
 		switch js.job.State {
 		case StatePending:
 			s.Pending++
@@ -661,7 +662,7 @@ func (m *Manager) eventLocked(js *jobState) Event {
 func (m *Manager) publishLocked(js *jobState) {
 	js.seq++
 	ev := m.eventLocked(js)
-	for ch := range js.subs {
+	for ch := range js.subs { //yaplint:allow determinism subscriber channels are independent; delivery order between them is unobservable
 		select {
 		case ch <- ev:
 			continue
@@ -742,19 +743,23 @@ func (m *Manager) fireWALHook() (err error) {
 // losing a terminal record is re-running the tail of the job after a
 // restart, never wrong results.
 func (m *Manager) finishLocked(js *jobState, state State, errText string, res *sim.Result) {
-	js.job.State = state
-	js.job.Error = errText
-	js.job.FinishedAt = m.clock()
-	js.job.Result = res
-	rec := walRecord{Type: recState, ID: js.job.ID, State: state, Error: errText, At: js.job.FinishedAt.UnixNano()}
+	finishedAt := m.clock()
+	rec := walRecord{Type: recState, ID: js.job.ID, State: state, Error: errText, At: finishedAt.UnixNano()}
 	if state == StateDone {
 		rec.Completed = js.job.Completed
 		c := js.job.Counts
 		rec.Counts = &c
 	}
+	// Durable record first, in-memory transition second: a crash between
+	// the two replays the same terminal state instead of forgetting it.
+	// (On append failure the state still advances — see the policy above.)
 	if err := m.appendLocked(rec); err != nil {
 		m.logf("job %s: recording %s state: %v", js.job.ID, state, err)
 	}
+	js.job.State = state
+	js.job.Error = errText
+	js.job.FinishedAt = finishedAt
+	js.job.Result = res
 	switch state {
 	case StateDone:
 		m.stats.Done++
@@ -827,12 +832,14 @@ func (m *Manager) runJob(id string) {
 		return // canceled (or GC'd) while queued
 	}
 	if js.job.State == StatePending {
-		js.job.State = StateRunning
+		// Durable append before the in-memory transition: a crash in
+		// between replays pending→running from the WAL instead of losing it.
 		if err := m.appendLocked(walRecord{Type: recState, ID: id, State: StateRunning}); err != nil {
 			m.finishLocked(js, StateFailed, fmt.Sprintf("recording running state: %v", err), nil)
 			m.mu.Unlock()
 			return
 		}
+		js.job.State = StateRunning
 		m.publishLocked(js)
 	}
 	jobCtx, cancel := context.WithCancel(m.runCtx)

@@ -55,7 +55,7 @@ const walHeaderSize = 8
 // durable survives a crash immediately after.
 type wal struct {
 	mu sync.Mutex
-	f  *os.File
+	f  *os.File //yaplint:guardedby mu
 }
 
 // openWAL opens (creating if absent) the log at path for appending,

@@ -1,0 +1,36 @@
+package lint
+
+import "testing"
+
+// BenchmarkLintLoad measures package loading: `go list -export` for the
+// dependency export data plus parsing and type-checking. This is the
+// dominant fixed cost of a yaplint run.
+func BenchmarkLintLoad(b *testing.B) {
+	root := moduleRoot()
+	for i := 0; i < b.N; i++ {
+		pkgs, err := LoadPackages(root, "./internal/jobs/", "./internal/resilience/")
+		if err != nil {
+			b.Fatalf("LoadPackages: %v", err)
+		}
+		if len(pkgs) == 0 {
+			b.Fatal("no packages loaded")
+		}
+	}
+}
+
+// BenchmarkLintAnalyze measures pure analysis over the whole module with
+// loading amortized out: every iteration rebuilds the flow core (CFGs,
+// call graph, interprocedural fixpoints) and runs all nine analyzers.
+func BenchmarkLintAnalyze(b *testing.B) {
+	pkgs, err := LoadPackages(moduleRoot(), "./...")
+	if err != nil {
+		b.Fatalf("LoadPackages: %v", err)
+	}
+	analyzers := All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if findings := Run(pkgs, analyzers); len(findings) != 0 {
+			b.Fatalf("expected a clean repo, got %d findings", len(findings))
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package lint
+
+// This file is the first layer of the flow-aware analysis core: a
+// per-function control-flow graph over go/ast. Blocks hold the statements
+// and control expressions of one straight-line run in evaluation order;
+// edges follow Go's structured control flow (if/for/range/switch/select,
+// break/continue with labels, goto, fallthrough). Precision goals are
+// those of a linter, not a compiler: the graph must be sound enough that
+// a must-analysis over it (see flow.go) never claims a fact that can be
+// false on a real execution path through the function.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// block is one straight-line run of the CFG. nodes are statements and
+// control expressions in evaluation order; flow.go expands each into the
+// fine-grained events (calls, accesses, comparisons) the analyzers watch.
+type block struct {
+	nodes []cfgNode
+	succs []*block
+	preds []*block
+}
+
+// cfgNode is one coarse node of a block: a statement or a control
+// expression, with a flag for nodes evaluated under a defer (a deferred
+// Unlock holds to function end, so the lock walker must not clear it).
+type cfgNode struct {
+	n        ast.Node
+	deferred bool
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry  *block
+	blocks []*block
+}
+
+// buildCFG constructs the CFG of one function body. A nil body (extern
+// declarations) yields an empty single-block graph.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{g: &funcCFG{}, labels: map[string]*block{}}
+	b.g.entry = b.newBlock()
+	b.cur = b.g.entry
+	if body != nil {
+		b.walkStmts(body.List)
+	}
+	return b.g
+}
+
+// frame is one enclosing breakable/continuable construct.
+type frame struct {
+	label      string
+	breakTo    *block
+	continueTo *block // nil for switch/select
+}
+
+type cfgBuilder struct {
+	g      *funcCFG
+	cur    *block
+	frames []frame
+	labels map[string]*block // label name -> target block (goto / labeled stmt)
+	// pendingLabel is the label of an immediately preceding LabeledStmt; a
+	// loop or switch that begins next consumes it for labeled break/continue.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	bl := &block{}
+	b.g.blocks = append(b.g.blocks, bl)
+	return bl
+}
+
+func (b *cfgBuilder) edge(from, to *block) {
+	from.succs = append(from.succs, to)
+	to.preds = append(to.preds, from)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.nodes = append(b.cur.nodes, cfgNode{n: n})
+	}
+}
+
+// terminate ends the current block without successors (return/branch) and
+// resumes building in a fresh unreachable block, so trailing dead code
+// never merges its state back into live paths.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+// labelBlock returns (creating on demand) the block a label names, so
+// forward and backward gotos both resolve.
+func (b *cfgBuilder) labelBlock(name string) *block {
+	if bl, ok := b.labels[name]; ok {
+		return bl
+	}
+	bl := b.newBlock()
+	b.labels[name] = bl
+	return bl
+}
+
+// takeLabel consumes the pending statement label for the construct that
+// is about to open.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) walkStmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.walk(s)
+	}
+}
+
+func (b *cfgBuilder) walk(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	pending := b.pendingLabel
+	if _, isLabeled := s.(*ast.LabeledStmt); !isLabeled {
+		switch s.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// the construct consumes it below via takeLabel
+		default:
+			b.pendingLabel = ""
+		}
+	}
+	_ = pending
+
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.walkStmts(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.walk(s.Stmt)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.walk(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		then := b.newBlock()
+		after := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.walk(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.walk(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.walk(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(b.cur, after) // condition false
+		}
+		b.edge(b.cur, body)
+		b.frames = append(b.frames, frame{label: label, breakTo: after, continueTo: post})
+		b.cur = body
+		b.walk(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, post)
+		b.cur = post
+		if s.Post != nil {
+			b.walk(s.Post)
+		}
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.add(s)             // the range expression + per-iteration key/value binding
+		b.edge(b.cur, after) // range exhausted (possibly immediately)
+		b.edge(b.cur, body)
+		b.frames = append(b.frames, frame{label: label, breakTo: after, continueTo: head})
+		b.cur = body
+		b.walk(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.walk(s.Init)
+		}
+		b.add(s.Tag)
+		b.walkCases(label, s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.walk(s.Init)
+		}
+		b.add(s.Assign)
+		b.walkCases(label, s.Body, nil)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		after := b.newBlock()
+		b.frames = append(b.frames, frame{label: label, breakTo: after})
+		hasClause := false
+		for _, cc := range s.Body.List {
+			comm, ok := cc.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			hasClause = true
+			cb := b.newBlock()
+			b.edge(head, cb)
+			b.cur = cb
+			if comm.Comm != nil {
+				b.walk(comm.Comm)
+			}
+			b.walkStmts(comm.Body)
+			b.edge(b.cur, after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		if !hasClause {
+			// `select {}` blocks forever; after is unreachable, which the
+			// must-analysis treats as top.
+			_ = hasClause
+		}
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findFrame(s.Label, false); t != nil {
+				b.edge(b.cur, t)
+			}
+			b.terminate()
+		case token.CONTINUE:
+			if t := b.findFrame(s.Label, true); t != nil {
+				b.edge(b.cur, t)
+			}
+			b.terminate()
+		case token.GOTO:
+			b.edge(b.cur, b.labelBlock(s.Label.Name))
+			b.terminate()
+		case token.FALLTHROUGH:
+			// walkCases wires the edge to the next case body.
+		}
+
+	case *ast.DeferStmt:
+		b.cur.nodes = append(b.cur.nodes, cfgNode{n: s.Call, deferred: true})
+
+	default:
+		// Assign, IncDec, Expr, Send, Decl, Go, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+// walkCases builds the clause blocks of a switch/type-switch body.
+func (b *cfgBuilder) walkCases(label string, body *ast.BlockStmt, _ *block) {
+	head := b.cur
+	after := b.newBlock()
+	var clauses []*ast.CaseClause
+	for _, cc := range body.List {
+		if c, ok := cc.(*ast.CaseClause); ok {
+			clauses = append(clauses, c)
+		}
+	}
+	bodies := make([]*block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		bodies[i] = b.newBlock()
+		if c.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.frames = append(b.frames, frame{label: label, breakTo: after})
+	for i, c := range clauses {
+		b.edge(head, bodies[i])
+		b.cur = bodies[i]
+		for _, e := range c.List {
+			b.add(e)
+		}
+		b.walkStmts(c.Body)
+		if n := len(c.Body); n > 0 {
+			if br, ok := c.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(bodies) {
+				b.edge(b.cur, bodies[i+1])
+				b.terminate()
+				continue
+			}
+		}
+		b.edge(b.cur, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// findFrame resolves a break/continue target. An unresolvable labeled
+// branch (malformed code) terminates the path conservatively.
+func (b *cfgBuilder) findFrame(label *ast.Ident, needContinue bool) *block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if needContinue && f.continueTo == nil {
+			continue
+		}
+		if label != nil && f.label != label.Name {
+			continue
+		}
+		if needContinue {
+			return f.continueTo
+		}
+		return f.breakTo
+	}
+	return nil
+}

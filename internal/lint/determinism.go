@@ -71,7 +71,7 @@ var randConstructors = map[string]bool{
 // accumulation — float sums are order-dependent — varies run to run).
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "forbid global rand, wall-clock reads and map-order-dependent accumulation in seeded packages",
+	Doc:  "forbid global rand, wall-clock reads and map-iteration-order dependence in seeded packages",
 	Run:  runDeterminism,
 }
 
@@ -88,6 +88,9 @@ func runDeterminism(pkg *Package) []Finding {
 					out = append(out, *f)
 				}
 			case *ast.RangeStmt:
+				if f := checkMapRange(pkg, n); f != nil {
+					out = append(out, *f)
+				}
 				out = append(out, checkMapRangeAccumulation(pkg, n)...)
 			}
 			return true
@@ -116,6 +119,24 @@ func checkDeterministicCall(pkg *Package, call *ast.CallExpr) *Finding {
 		}
 	}
 	return nil
+}
+
+// checkMapRange flags any `range` over a map in the deterministic tree:
+// Go randomizes map iteration order, so every observable effect of the
+// loop body — accumulation, first-match selection, log emission — can
+// differ run to run. Order-independent bodies (pure per-key counting into
+// another map, say) are legitimate and carry an allow directive saying why.
+func checkMapRange(pkg *Package, rng *ast.RangeStmt) *Finding {
+	tv, ok := pkg.Info.Types[rng.X]
+	if !ok {
+		return nil
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	f := pkg.finding(rng, "determinism",
+		"range over a map iterates in randomized order in a deterministic package; iterate sorted keys (or justify order-independence with //yaplint:allow determinism)")
+	return &f
 }
 
 // checkMapRangeAccumulation flags order-dependent accumulation (compound

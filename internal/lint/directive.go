@@ -8,10 +8,14 @@ import (
 
 // allowPrefix is the comment directive that suppresses findings:
 //
-//	//yaplint:allow rule[,rule...] [free-form reason]
+//	//yaplint:allow rule[, rule...] [free-form reason]
 //
 // The directive covers its own line (trailing comment) and the line
-// immediately below it (standalone comment above a statement).
+// immediately below it (standalone comment above a statement). A directive
+// on a line where no statement starts — a `}`-only or `}()`-only closer
+// line — additionally covers the start line of the statement that ends
+// there, so multi-line constructs (go statements with function literals,
+// deferred closures) can carry their justification at the closing brace.
 const allowPrefix = "//yaplint:allow"
 
 // buildAllow scans every comment in the package's files and records which
@@ -19,6 +23,7 @@ const allowPrefix = "//yaplint:allow"
 func buildAllow(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
 	allow := make(map[string]map[int]map[string]bool)
 	for _, f := range files {
+		starts, spans := stmtLines(fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				rules, ok := parseAllow(c.Text)
@@ -31,7 +36,17 @@ func buildAllow(fset *token.FileSet, files []*ast.File) map[string]map[int]map[s
 					byLine = make(map[int]map[string]bool)
 					allow[pos.Filename] = byLine
 				}
-				for _, line := range []int{pos.Line, pos.Line + 1} {
+				lines := []int{pos.Line, pos.Line + 1}
+				if !starts[pos.Line] {
+					// Closer line: extend coverage to the statement whose
+					// closing token this is. The smallest such statement wins,
+					// so a directive on an inner closer does not silence the
+					// whole enclosing block.
+					if start := closerStart(spans, pos.Line); start > 0 {
+						lines = append(lines, start)
+					}
+				}
+				for _, line := range lines {
 					set := byLine[line]
 					if set == nil {
 						set = make(map[string]bool)
@@ -47,8 +62,53 @@ func buildAllow(fset *token.FileSet, files []*ast.File) map[string]map[int]map[s
 	return allow
 }
 
+// stmtSpan is one multi-line statement's line extent; size orders nested
+// statements innermost-first.
+type stmtSpan struct {
+	start, end int
+	size       int
+}
+
+// stmtLines records, for one file, the set of lines where a statement
+// starts and the spans of all multi-line statements.
+func stmtLines(fset *token.FileSet, f *ast.File) (map[int]bool, []stmtSpan) {
+	starts := make(map[int]bool)
+	var spans []stmtSpan
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(ast.Stmt); !ok {
+			return true
+		}
+		sp := fset.Position(n.Pos())
+		ep := fset.Position(n.End())
+		starts[sp.Line] = true
+		if ep.Line > sp.Line {
+			spans = append(spans, stmtSpan{start: sp.Line, end: ep.Line, size: int(n.End() - n.Pos())})
+		}
+		return true
+	})
+	return starts, spans
+}
+
+// closerStart returns the start line of the smallest multi-line statement
+// ending on the given line, or 0 when none does.
+func closerStart(spans []stmtSpan, line int) int {
+	best, bestSize := 0, int(^uint(0)>>1)
+	for _, s := range spans {
+		if s.end == line && s.size < bestSize {
+			best, bestSize = s.start, s.size
+		}
+	}
+	return best
+}
+
 // parseAllow extracts the rule list from one comment, reporting whether the
-// comment is an allow directive at all.
+// comment is an allow directive at all. The rule list is one or more
+// comma-separated rule names — whitespace after a comma is tolerated, so
+// `//yaplint:allow a, b reason` suppresses both a and b — and everything
+// after it is a free-form reason.
 func parseAllow(text string) ([]string, bool) {
 	if !strings.HasPrefix(text, allowPrefix) {
 		return nil, false
@@ -57,11 +117,10 @@ func parseAllow(text string) ([]string, bool) {
 	if rest == "" {
 		return nil, false
 	}
-	// The rule list is the first whitespace-delimited token; anything after
-	// it is a free-form reason.
-	ruleList := rest
-	if i := strings.IndexAny(rest, " \t"); i >= 0 {
-		ruleList = rest[:i]
+	fields := strings.Fields(rest)
+	ruleList := fields[0]
+	for i := 1; i < len(fields) && strings.HasSuffix(ruleList, ","); i++ {
+		ruleList += fields[i]
 	}
 	var rules []string
 	for _, r := range strings.Split(ruleList, ",") {

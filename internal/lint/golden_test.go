@@ -26,6 +26,12 @@ var goldenCases = []struct {
 	{"ctxprop", "yap/internal/service", CtxPropagation},
 	{"errwrap", "yap/example/errwrap", ErrWrap},
 	{"panicrule", "yap/example/panicrule", NoNakedPanic},
+	{"lockorder", "yap/example/lockorder", LockOrder},
+	{"guardedby", "yap/example/guardedby", GuardedBy},
+	{"golifetime", "yap/example/golifetime", GoroutineLifetime},
+	// waldur is path-scoped: the golden package pretends to live in an
+	// internal/jobs tree so the durability contract applies.
+	{"waldur", "yap/example/internal/jobs", WALDurability},
 }
 
 // TestGolden runs each analyzer over its testdata package and checks the
@@ -131,7 +137,7 @@ func testExports(t *testing.T) map[string]string {
 	goldenExports.once.Do(func() {
 		listed, err := goList(moduleRoot(), []string{
 			"fmt", "errors", "context", "time", "math/rand", "math/rand/v2",
-			"yap/internal/units",
+			"sync", "yap/internal/units",
 		})
 		if err != nil {
 			goldenExports.err = err

@@ -1,0 +1,258 @@
+package lint
+
+// goroutine-lifetime: every `go` statement must start a goroutine that can
+// actually finish. The analyzer resolves the spawned entry through the
+// call graph (function literals and module-local functions), then examines
+// every unbounded loop (`for {}` / constant-true condition) in the
+// goroutine's synchronous call extent:
+//
+//   - a loop with no return/break/goto can never be joined — finding;
+//   - a loop that exits, but never consults a shutdown signal (select,
+//     channel receive, range over a channel, ctx.Done/ctx.Err, Wait) exits
+//     only by accident, not by design — finding.
+//
+// Bounded loops and loop-free goroutines terminate on their own and are
+// clean. Spawns of non-module functions (e.g. http.Server.Serve) are out
+// of analysis reach and skipped.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLifetime reports goroutines that cannot be shut down.
+var GoroutineLifetime = &Analyzer{
+	Name:      "goroutine-lifetime",
+	Doc:       "every go statement must reach a ctx/done/channel-driven exit on all paths — no unjoinable goroutines",
+	RunModule: runGoroutineLifetime,
+}
+
+func runGoroutineLifetime(mod *Module) []Finding {
+	fc := mod.flow()
+	// Memoized per-node loop verdicts: the same helper spawned from many
+	// sites is scanned once.
+	verdicts := map[*cgNode][]loopVerdict{}
+	var findings []Finding
+	for _, gs := range fc.graph.goSites {
+		if gs.entry == nil {
+			continue
+		}
+		for _, n := range reachableFrom(gs.entry) {
+			for _, v := range loopVerdictsOf(n, verdicts) {
+				switch {
+				case !v.exits:
+					findings = append(findings, gs.pkg.finding(gs.stmt, "goroutine-lifetime",
+						"goroutine runs an unbounded loop (%s in %s) with no return or break — it can never be joined or shut down",
+						shortPos(v.pos), n.name))
+				case !v.signal && n == gs.entry:
+					// The signal-driven requirement binds the goroutine's own
+					// main loop; algorithmic loops in helpers (rejection
+					// sampling and the like) exit by returning a value.
+					findings = append(findings, gs.pkg.finding(gs.stmt, "goroutine-lifetime",
+						"goroutine's unbounded loop (%s in %s) exits without watching a ctx/done/channel signal — shutdown cannot reach it",
+						shortPos(v.pos), n.name))
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// loopVerdict is the analysis of one unbounded loop.
+type loopVerdict struct {
+	pos    token.Position
+	exits  bool
+	signal bool
+}
+
+// reachableFrom collects the nodes a goroutine executes synchronously:
+// the entry plus everything reachable over non-go call edges.
+func reachableFrom(entry *cgNode) []*cgNode {
+	seen := map[*cgNode]bool{entry: true}
+	order := []*cgNode{entry}
+	for i := 0; i < len(order); i++ {
+		for _, e := range order[i].out {
+			if e.goCall || seen[e.callee] {
+				continue
+			}
+			seen[e.callee] = true
+			order = append(order, e.callee)
+		}
+	}
+	return order
+}
+
+// loopVerdictsOf scans one function body for unbounded loops.
+func loopVerdictsOf(n *cgNode, memo map[*cgNode][]loopVerdict) []loopVerdict {
+	if v, ok := memo[n]; ok {
+		return v
+	}
+	var out []loopVerdict
+	body := n.body()
+	if body == nil {
+		memo[n] = out
+		return out
+	}
+	// Track the label attached to each loop so labeled breaks resolve.
+	labels := map[ast.Stmt]string{}
+	ast.Inspect(body, func(x ast.Node) bool {
+		if ls, ok := x.(*ast.LabeledStmt); ok {
+			labels[ls.Stmt] = ls.Label.Name
+		}
+		return true
+	})
+	ast.Inspect(body, func(x ast.Node) bool {
+		if fl, ok := x.(*ast.FuncLit); ok && fl != n.lit {
+			return false
+		}
+		fs, ok := x.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		if !unboundedCond(n.pkg, fs.Cond) {
+			return true
+		}
+		out = append(out, loopVerdict{
+			pos:    n.pkg.position(fs),
+			exits:  loopExits(fs.Body, labels[ast.Stmt(fs)]),
+			signal: loopHasSignal(n.pkg, fs.Body, n.lit),
+		})
+		return true
+	})
+	memo[n] = out
+	return out
+}
+
+// unboundedCond reports a loop that can only end via an explicit exit:
+// no condition, or a condition that is constantly true.
+func unboundedCond(pkg *Package, cond ast.Expr) bool {
+	if cond == nil {
+		return true
+	}
+	if tv, ok := pkg.Info.Types[cond]; ok && tv.Value != nil {
+		return constant.BoolVal(tv.Value)
+	}
+	return false
+}
+
+// loopExits reports whether the loop body contains a statement that leaves
+// the loop: a return, a break targeting this loop, or any goto.
+func loopExits(body *ast.BlockStmt, label string) bool {
+	return stmtsExit(body.List, 0, label)
+}
+
+func stmtsExit(list []ast.Stmt, depth int, label string) bool {
+	for _, s := range list {
+		if stmtExits(s, depth, label) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtExits(s ast.Stmt, depth int, label string) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label == nil {
+				return depth == 0
+			}
+			return label != "" && s.Label.Name == label
+		case token.GOTO:
+			// A goto may leave the loop; assume it does (conservative
+			// toward fewer findings, and gotos are vanishingly rare here).
+			return true
+		}
+	case *ast.BlockStmt:
+		return stmtsExit(s.List, depth, label)
+	case *ast.IfStmt:
+		if stmtExits(s.Body, depth, label) {
+			return true
+		}
+		if s.Else != nil {
+			return stmtExits(s.Else, depth, label)
+		}
+	case *ast.LabeledStmt:
+		return stmtExits(s.Stmt, depth, label)
+	case *ast.ForStmt:
+		return stmtsExit(s.Body.List, depth+1, label)
+	case *ast.RangeStmt:
+		return stmtsExit(s.Body.List, depth+1, label)
+	case *ast.SwitchStmt:
+		return caseBodiesExit(s.Body, depth+1, label)
+	case *ast.TypeSwitchStmt:
+		return caseBodiesExit(s.Body, depth+1, label)
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if comm, ok := cc.(*ast.CommClause); ok {
+				if stmtsExit(comm.Body, depth+1, label) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func caseBodiesExit(body *ast.BlockStmt, depth int, label string) bool {
+	for _, cc := range body.List {
+		if c, ok := cc.(*ast.CaseClause); ok {
+			if stmtsExit(c.Body, depth, label) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// loopHasSignal reports whether the loop body consults any shutdown
+// signal: a select, a channel receive, a range over a channel, a
+// ctx.Done()/ctx.Err() call, or a sync Wait.
+func loopHasSignal(pkg *Package, body *ast.BlockStmt, ownLit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			if x != ownLit {
+				return false
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+					switch fn.Pkg().Path() {
+					case "context":
+						if fn.Name() == "Done" || fn.Name() == "Err" {
+							found = true
+						}
+					case "sync":
+						if fn.Name() == "Wait" {
+							found = true
+						}
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,398 @@
+package lint
+
+// guardedby: a struct field protected by a mutex must be accessed with
+// that mutex held, everywhere. The contract comes from two sources:
+//
+//   - explicit //yaplint:guardedby <mutexField> annotations on struct
+//     fields, and
+//   - inference — a field written at least once while a sibling mutex is
+//     provably write-held is treated as guarded by that mutex.
+//
+// The must-held walk (with the interprocedural entry-held sets, so
+// "callers hold mu" helpers check without annotations) then verifies every
+// other access: writes need the mutex write-held, reads need at least
+// read-held. Values still private to their constructor — locals built from
+// composite literals, and functions reached only through such receivers —
+// are exempt: unpublished memory cannot race.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GuardedBy verifies mutex-guarded field access, by annotation and by
+// inference from locked writes.
+var GuardedBy = &Analyzer{
+	Name:      "guardedby",
+	Doc:       "fields written under a mutex (or annotated //yaplint:guardedby mu) must never be accessed without it",
+	RunModule: runGuardedBy,
+}
+
+// guardedPrefix annotates a struct field with its guarding mutex field.
+const guardedPrefix = "//yaplint:guardedby"
+
+// gbStruct is one struct type owning at least one mutex field.
+type gbStruct struct {
+	key     string // pkgPath.TypeName
+	display string // pkgBase.TypeName
+	// mutexes maps each mutex field name to its lock class.
+	mutexes map[string]lockClass
+	// guards maps data field name -> guarding class id.
+	guards map[string]*gbGuard
+	fields map[string]bool // all field names, to validate annotations
+}
+
+type gbGuard struct {
+	classID   string
+	annotated bool
+	witness   token.Position // for inferred guards: the locked write
+}
+
+// gbAccess is one field access with the lock state in effect.
+type gbAccess struct {
+	node  *cgNode
+	sel   *ast.SelectorExpr
+	sKey  string
+	field string
+	write bool
+	held  map[string]int
+	// excused: the receiver is provably unpublished here (constructor
+	// exemption), so lock-free access cannot race.
+	excused bool
+}
+
+func runGuardedBy(mod *Module) []Finding {
+	fc := mod.flow()
+	structs, findings := collectGuardedStructs(mod, fc)
+	if len(structs) == 0 {
+		return findings
+	}
+
+	// One pass over every function: record each tracked-field access with
+	// the must-held state at that point.
+	var accesses []gbAccess
+	for _, n := range fc.graph.nodes {
+		n := n
+		writes := collectWrites(n)
+		fc.visitFlow(n, fc.entryState(n), func(ev flowEvent, st *flowState) {
+			sel, ok := ev.n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			s := n.pkg.Info.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return
+			}
+			owner := namedOf(s.Recv())
+			if owner == nil {
+				return
+			}
+			si, ok := structs[structKey(owner)]
+			if !ok {
+				return
+			}
+			field := s.Obj().Name()
+			if _, isMutex := si.mutexes[field]; isMutex {
+				return
+			}
+			a := gbAccess{
+				node:  n,
+				sel:   sel,
+				sKey:  si.key,
+				field: field,
+				write: writes[sel],
+			}
+			if base := baseIdent(sel.X); base != nil {
+				if obj := n.pkg.Info.Uses[base]; obj != nil && fc.ownedVars[n][obj] {
+					a.excused = true
+				}
+			}
+			if fc.entryOwned[n] {
+				a.excused = true
+			}
+			if len(st.held) > 0 {
+				a.held = make(map[string]int, len(st.held))
+				for k, v := range st.held {
+					a.held[k] = v
+				}
+			}
+			accesses = append(accesses, a)
+		})
+	}
+
+	// Inference: a genuine locked write establishes the guard for fields
+	// without an annotation.
+	for _, a := range accesses {
+		if !a.write || a.excused {
+			continue
+		}
+		si := structs[a.sKey]
+		if _, ok := si.guards[a.field]; ok {
+			continue
+		}
+		for _, cls := range sortedMutexes(si) {
+			if a.held[cls.id] == modeWrite {
+				si.guards[a.field] = &gbGuard{
+					classID: cls.id,
+					witness: a.node.pkg.position(a.sel),
+				}
+				break
+			}
+		}
+	}
+
+	// Verification: every non-excused access to a guarded field must hold
+	// the guard (write mode for writes, at least read mode for reads).
+	for _, a := range accesses {
+		if a.excused {
+			continue
+		}
+		si := structs[a.sKey]
+		g, ok := si.guards[a.field]
+		if !ok {
+			continue
+		}
+		need := modeRead
+		verb := "read"
+		if a.write {
+			need = modeWrite
+			verb = "written"
+		}
+		if a.held[g.classID] >= need {
+			continue
+		}
+		want := fc.displayOf(g.classID)
+		if g.annotated {
+			findings = append(findings, a.node.pkg.finding(a.sel, "guardedby",
+				"field %s.%s is annotated //yaplint:guardedby %s but is %s in %s without holding it",
+				si.display, a.field, mutexFieldName(want), verb, a.node.name))
+		} else {
+			findings = append(findings, a.node.pkg.finding(a.sel, "guardedby",
+				"field %s.%s is written under %s (at %s) but %s in %s without holding it",
+				si.display, a.field, want, shortPos(g.witness), verb, a.node.name))
+		}
+	}
+	return findings
+}
+
+// collectGuardedStructs finds every struct with a mutex field and parses
+// its //yaplint:guardedby annotations. Malformed annotations (naming a
+// non-existent or non-mutex sibling) are findings themselves.
+func collectGuardedStructs(mod *Module, fc *flowCore) (map[string]*gbStruct, []Finding) {
+	structs := map[string]*gbStruct{}
+	var findings []Finding
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					named, ok := obj.Type().(*types.Named)
+					if !ok {
+						continue
+					}
+					findings = append(findings, registerStruct(pkg, fc, structs, named, st)...)
+				}
+			}
+		}
+	}
+	return structs, findings
+}
+
+// registerStruct records one struct's mutex fields, all field names and
+// any field annotations.
+func registerStruct(pkg *Package, fc *flowCore, structs map[string]*gbStruct, named *types.Named, st *ast.StructType) []Finding {
+	si := &gbStruct{
+		mutexes: map[string]lockClass{},
+		guards:  map[string]*gbGuard{},
+		fields:  map[string]bool{},
+	}
+	type pendingAnnot struct {
+		field ast.Node
+		names []string
+		mutex string
+	}
+	var annots []pendingAnnot
+	for _, f := range st.Fields.List {
+		var names []string
+		if len(f.Names) == 0 {
+			// Embedded field: its name is the type's base name.
+			if n := namedOfExpr(pkg, f.Type); n != nil {
+				names = []string{n.Obj().Name()}
+				si.fields[n.Obj().Name()] = true
+				if isSyncLockType(n) {
+					si.mutexes[n.Obj().Name()] = fieldClass(named, n.Obj().Name())
+				}
+			}
+		} else {
+			for _, id := range f.Names {
+				names = append(names, id.Name)
+				si.fields[id.Name] = true
+			}
+			if n := namedOfExpr(pkg, f.Type); n != nil && isSyncLockType(n) {
+				for _, id := range f.Names {
+					si.mutexes[id.Name] = fieldClass(named, id.Name)
+				}
+			}
+		}
+		if mu := guardAnnotation(f); mu != "" {
+			annots = append(annots, pendingAnnot{field: f, names: names, mutex: mu})
+		}
+	}
+	if len(si.mutexes) == 0 && len(annots) == 0 {
+		return nil
+	}
+	si.key = structKey(named)
+	base := ""
+	if p := named.Obj().Pkg(); p != nil {
+		base = pathBase(p.Path()) + "."
+	}
+	si.display = base + named.Obj().Name()
+	var findings []Finding
+	for _, an := range annots {
+		cls, ok := si.mutexes[an.mutex]
+		if !ok {
+			findings = append(findings, pkg.finding(an.field, "guardedby",
+				"//yaplint:guardedby names %q, which is not a mutex field of %s", an.mutex, si.display))
+			continue
+		}
+		for _, name := range an.names {
+			si.guards[name] = &gbGuard{classID: cls.id, annotated: true}
+		}
+	}
+	for id, cls := range si.mutexes {
+		fc.classes[cls.id] = cls
+		_ = id
+	}
+	structs[si.key] = si
+	return findings
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment.
+func guardAnnotation(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, guardedPrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, guardedPrefix))
+			if i := strings.IndexAny(rest, " \t"); i >= 0 {
+				rest = rest[:i]
+			}
+			if rest != "" {
+				return rest
+			}
+		}
+	}
+	return ""
+}
+
+// collectWrites marks the selector expressions that mutate their field:
+// assignment targets (including through index/star/compound assignment),
+// IncDec operands and address-taken fields.
+func collectWrites(n *cgNode) map[*ast.SelectorExpr]bool {
+	writes := map[*ast.SelectorExpr]bool{}
+	body := n.body()
+	if body == nil {
+		return writes
+	}
+	var markTarget func(e ast.Expr)
+	markTarget = func(e ast.Expr) {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			writes[x] = true
+		case *ast.IndexExpr:
+			markTarget(x.X) // m.field[k] = v mutates the map/slice field
+		case *ast.StarExpr:
+			markTarget(x.X)
+		}
+	}
+	ast.Inspect(body, func(x ast.Node) bool {
+		if fl, ok := x.(*ast.FuncLit); ok && fl != n.lit {
+			return false
+		}
+		switch s := x.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				markTarget(lhs)
+			}
+		case *ast.IncDecStmt:
+			markTarget(s.X)
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				// Taking a field's address lets it escape the lock; treat
+				// as a write-strength access.
+				markTarget(s.X)
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+func structKey(n *types.Named) string {
+	p := ""
+	if n.Obj().Pkg() != nil {
+		p = n.Obj().Pkg().Path()
+	}
+	return p + "." + n.Obj().Name()
+}
+
+// namedOfExpr resolves a field type expression to its named type.
+func namedOfExpr(pkg *Package, e ast.Expr) *types.Named {
+	if tv, ok := pkg.Info.Types[e]; ok {
+		return namedOf(tv.Type)
+	}
+	return nil
+}
+
+// sortedMutexes yields a struct's mutex classes in deterministic order.
+func sortedMutexes(si *gbStruct) []lockClass {
+	names := make([]string, 0, len(si.mutexes))
+	for name := range si.mutexes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]lockClass, len(names))
+	for i, name := range names {
+		out[i] = si.mutexes[name]
+	}
+	return out
+}
+
+// mutexFieldName strips a display class down to the field name for the
+// annotation-style message.
+func mutexFieldName(display string) string {
+	if i := strings.LastIndex(display, "."); i >= 0 {
+		return display[i+1:]
+	}
+	return display
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

@@ -48,11 +48,51 @@ func (f Finding) String() string {
 }
 
 // Analyzer is one lint rule: a name (the rule id used in findings and allow
-// directives), a one-line description, and the pass itself.
+// directives), a one-line description, and the pass itself. Syntactic
+// analyzers set Run and see one package at a time; flow-aware analyzers
+// set RunModule and see the whole module plus the shared flow core (CFGs,
+// call graph, interprocedural lock summaries). Exactly one must be set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Package) []Finding
+	Name      string
+	Doc       string
+	Run       func(*Package) []Finding
+	RunModule func(*Module) []Finding
+}
+
+// Module is every analyzed package plus the lazily-built flow-aware
+// analysis core shared by the concurrency/durability analyzers.
+type Module struct {
+	Pkgs []*Package
+
+	byFile map[string]*Package
+	core   *flowCore
+}
+
+// NewModule wraps a set of loaded packages for module-level analysis.
+func NewModule(pkgs []*Package) *Module {
+	m := &Module{Pkgs: pkgs, byFile: make(map[string]*Package)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			m.byFile[pkg.Fset.Position(f.Pos()).Filename] = pkg
+		}
+	}
+	return m
+}
+
+// flow builds (once) and returns the shared flow core: per-function CFGs,
+// the FNV-keyed call graph and the interprocedural lock/durability
+// summaries. Cost is paid only when a flow-aware analyzer runs.
+func (m *Module) flow() *flowCore {
+	if m.core == nil {
+		m.core = newFlowCore(m.Pkgs)
+	}
+	return m.core
+}
+
+// allowed dispatches a suppression query to the package owning the file.
+func (m *Module) allowed(pos token.Position, rule string) bool {
+	pkg := m.byFile[pos.Filename]
+	return pkg != nil && pkg.allowed(pos, rule)
 }
 
 // Package is one type-checked package ready for analysis.
@@ -69,7 +109,9 @@ type Package struct {
 	allow map[string]map[int]map[string]bool
 }
 
-// All returns the full analyzer suite in reporting order.
+// All returns the full analyzer suite in reporting order: the five
+// syntactic analyzers from the first generation, then the four flow-aware
+// concurrency/durability analyzers built on the shared core.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
@@ -77,15 +119,36 @@ func All() []*Analyzer {
 		CtxPropagation,
 		ErrWrap,
 		NoNakedPanic,
+		LockOrder,
+		GuardedBy,
+		GoroutineLifetime,
+		WALDurability,
 	}
 }
 
 // Run applies every analyzer to every package, drops findings suppressed by
 // allow directives, and returns the rest sorted by file, line and rule.
+// Module-level analyzers run once over the whole package set and share one
+// flow core.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	mod := NewModule(pkgs)
 	var out []Finding
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		for _, f := range a.RunModule(mod) {
+			if mod.allowed(f.Pos, a.Name) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			for _, f := range a.Run(pkg) {
 				if pkg.allowed(f.Pos, a.Name) {
 					continue

@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"go/ast"
+	"go/parser"
 	"go/token"
 	"reflect"
 	"testing"
@@ -40,16 +42,20 @@ func TestFindingString(t *testing.T) {
 func TestAllAnalyzersHaveDistinctNames(t *testing.T) {
 	seen := map[string]bool{}
 	for _, a := range All() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" {
 			t.Errorf("analyzer %+v incomplete", a)
+		}
+		// Exactly one pass shape: per-package Run or module-wide RunModule.
+		if (a.Run == nil) == (a.RunModule == nil) {
+			t.Errorf("analyzer %q must set exactly one of Run and RunModule", a.Name)
 		}
 		if seen[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 5 {
-		t.Errorf("suite has %d analyzers, want 5", len(seen))
+	if len(seen) != 9 {
+		t.Errorf("suite has %d analyzers, want 9", len(seen))
 	}
 }
 
@@ -62,6 +68,10 @@ func TestParseAllow(t *testing.T) {
 		{"//yaplint:allow determinism", []string{"determinism"}, true},
 		{"//yaplint:allow determinism runtime telemetry only", []string{"determinism"}, true},
 		{"//yaplint:allow err-wrap,no-naked-panic reason here", []string{"err-wrap", "no-naked-panic"}, true},
+		// Whitespace after a comma still belongs to the rule list.
+		{"//yaplint:allow err-wrap, no-naked-panic reason here", []string{"err-wrap", "no-naked-panic"}, true},
+		{"//yaplint:allow determinism, lockorder, waldur why not", []string{"determinism", "lockorder", "waldur"}, true},
+		{"//yaplint:allow determinism, ", []string{"determinism"}, true},
 		{"//yaplint:allow", nil, false},
 		{"// yaplint:allow determinism", nil, false}, // directives are machine comments: no space
 		{"// plain comment", nil, false},
@@ -71,6 +81,64 @@ func TestParseAllow(t *testing.T) {
 		if ok != c.ok || !reflect.DeepEqual(rules, c.rules) {
 			t.Errorf("parseAllow(%q) = (%v, %v), want (%v, %v)", c.text, rules, ok, c.rules, c.ok)
 		}
+	}
+}
+
+// TestAllowDirectiveOnCloserLine pins the brace-line extension: a directive
+// on a line where no statement starts (a `}()`-only closer) covers the
+// start line of the statement it closes — where flow findings anchor — but
+// not unrelated lines.
+func TestAllowDirectiveOnCloserLine(t *testing.T) {
+	src := `package p
+
+func f(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}() //yaplint:allow goroutine-lifetime drains ch until the sender closes it
+	_ = ch
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg := &Package{allow: buildAllow(fset, []*ast.File{file})}
+	pos := func(line int) token.Position { return token.Position{Filename: "p.go", Line: line} }
+	if !pkg.allowed(pos(4), "goroutine-lifetime") {
+		t.Error("closer-line directive should cover the go statement's start line (4)")
+	}
+	if !pkg.allowed(pos(7), "goroutine-lifetime") {
+		t.Error("directive should still cover its own line (7)")
+	}
+	if pkg.allowed(pos(3), "goroutine-lifetime") {
+		t.Error("directive must not leak to the enclosing function (line 3)")
+	}
+	if pkg.allowed(pos(4), "lockorder") {
+		t.Error("directive must stay rule-scoped")
+	}
+
+	// A trailing directive on a line where a statement starts must NOT
+	// extend anywhere else (the pre-existing two-line contract).
+	src2 := `package p
+
+func g() {
+	x := 1
+	_ = x //yaplint:allow determinism example
+}
+`
+	file2, err := parser.ParseFile(fset, "q.go", src2, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg2 := &Package{allow: buildAllow(fset, []*ast.File{file2})}
+	qpos := func(line int) token.Position { return token.Position{Filename: "q.go", Line: line} }
+	if !pkg2.allowed(qpos(5), "determinism") || !pkg2.allowed(qpos(6), "determinism") {
+		t.Error("trailing directive should cover its line and the next")
+	}
+	if pkg2.allowed(qpos(4), "determinism") || pkg2.allowed(qpos(3), "determinism") {
+		t.Error("trailing directive on a statement line must not reach backwards")
 	}
 }
 

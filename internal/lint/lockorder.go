@@ -1,0 +1,206 @@
+package lint
+
+// lockorder: every pair of mutexes must be acquired in one consistent
+// order module-wide. The analyzer runs the must-held walk over every
+// function (seeded with the interprocedural entry-held sets), records an
+// ordering edge A→B whenever B is acquired — directly or transitively
+// through a module-local call — while A is provably held, and reports one
+// finding per lock-order cycle: the classical ABBA deadlock shape. It also
+// flags re-acquisition of a lock already held, since sync mutexes are not
+// reentrant and self-deadlock is just the one-lock cycle.
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// LockOrder reports inconsistent mutex acquisition orders (ABBA deadlocks)
+// and non-reentrant re-acquisition.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "mutex pairs must be acquired in one consistent order module-wide; re-acquiring a held sync mutex self-deadlocks",
+	RunModule: runLockOrder,
+}
+
+// orderEdge is one witnessed "acquired while holding" fact.
+type orderEdge struct {
+	pos    token.Position
+	fnName string
+}
+
+func runLockOrder(mod *Module) []Finding {
+	fc := mod.flow()
+	edges := map[[2]string]orderEdge{} // [held, acquired] -> first witness
+	var findings []Finding
+
+	record := func(held, acquired string, pkg *Package, at ast.Node, fn string) {
+		key := [2]string{held, acquired}
+		if _, ok := edges[key]; !ok {
+			edges[key] = orderEdge{pos: pkg.position(at), fnName: fn}
+		}
+	}
+
+	for _, n := range fc.graph.nodes {
+		n := n
+		fc.visitFlow(n, fc.entryState(n), func(ev flowEvent, st *flowState) {
+			call, ok := ev.n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if cls, op := fc.lockOpOf(n.pkg, call); op == opLock || op == opRLock {
+				for h, mode := range st.held {
+					if h == cls.id {
+						// Second Lock on a held mutex always deadlocks;
+						// RLock after RLock is legal, RLock after Lock is not.
+						if op == opLock || mode == modeWrite {
+							findings = append(findings, n.pkg.finding(call, "lockorder",
+								"%s re-acquires %s while it is already held — sync mutexes are not reentrant (self-deadlock)",
+								n.name, fc.displayOf(h)))
+						}
+						continue
+					}
+					record(h, cls.id, n.pkg, call, n.name)
+				}
+				return
+			}
+			// A module-local call may acquire locks deeper in the call tree;
+			// every such acquisition orders after everything held here.
+			e := fc.graph.byCall[call]
+			if e == nil || e.goCall {
+				return
+			}
+			for aID := range fc.acquires[e.callee] {
+				for h := range st.held {
+					if h == aID {
+						findings = append(findings, n.pkg.finding(call, "lockorder",
+							"%s calls %s while holding %s, and that call acquires %s again — sync mutexes are not reentrant (self-deadlock)",
+							n.name, e.callee.name, fc.displayOf(h), fc.displayOf(h)))
+						continue
+					}
+					record(h, aID, n.pkg, call, n.name)
+				}
+			}
+		})
+	}
+
+	findings = append(findings, cycleFindings(fc, edges)...)
+	return findings
+}
+
+// cycleFindings walks the ordering graph and reports one finding per
+// distinct lock-order cycle.
+func cycleFindings(fc *flowCore, edges map[[2]string]orderEdge) []Finding {
+	adj := map[string][]string{}
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	for _, succs := range adj {
+		sort.Strings(succs)
+	}
+	var keys [][2]string
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	reported := map[string]bool{}
+	var findings []Finding
+	for _, key := range keys {
+		path := findPath(adj, key[1], key[0])
+		if path == nil {
+			continue
+		}
+		// Full cycle without the repeated endpoint: key[0] -> key[1] -> ...
+		cycle := append([]string{key[0]}, path[:len(path)-1]...)
+		ck := canonicalCycle(cycle)
+		if reported[ck] {
+			continue
+		}
+		reported[ck] = true
+		w := edges[key]
+		// The witness for the return direction is the first edge of the
+		// path back (key[1] -> path[1]).
+		back := edges[[2]string{key[1], path[1]}]
+		names := make([]string, len(cycle)+1)
+		for i, id := range cycle {
+			names[i] = fc.displayOf(id)
+		}
+		names[len(cycle)] = fc.displayOf(cycle[0])
+		findings = append(findings, Finding{
+			Pos:  w.pos,
+			Rule: "lockorder",
+			Msg: "lock-order cycle " + joinArrow(names) + ": " + w.fnName + " acquires " +
+				fc.displayOf(key[1]) + " while holding " + fc.displayOf(key[0]) +
+				", but the opposite order exists at " + shortPos(back.pos) +
+				" (potential ABBA deadlock)",
+		})
+	}
+	return findings
+}
+
+// findPath returns a path from 'from' to 'to' in the ordering graph
+// (inclusive of both endpoints), or nil.
+func findPath(adj map[string][]string, from, to string) []string {
+	prev := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == to {
+			var path []string
+			for n := to; ; n = prev[n] {
+				path = append([]string{n}, path...)
+				if n == from {
+					return path
+				}
+			}
+		}
+		for _, next := range adj[cur] {
+			if _, seen := prev[next]; !seen {
+				prev[next] = cur
+				queue = append(queue, next)
+			}
+		}
+	}
+	return nil
+}
+
+// canonicalCycle keys a cycle independent of its starting point.
+func canonicalCycle(cycle []string) string {
+	// cycle is [a, b, ..., a-last-excluded]: rotate so the smallest id leads.
+	min := 0
+	for i, id := range cycle {
+		if id < cycle[min] {
+			min = i
+		}
+	}
+	out := ""
+	for i := range cycle {
+		out += cycle[(min+i)%len(cycle)] + "→"
+	}
+	return out
+}
+
+func joinArrow(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " → "
+		}
+		out += n
+	}
+	return out
+}
+
+// shortPos renders a position as base-filename:line for messages.
+func shortPos(pos token.Position) string {
+	return filepath.Base(pos.Filename) + ":" + strconv.Itoa(pos.Line)
+}

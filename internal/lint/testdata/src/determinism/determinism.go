@@ -40,11 +40,21 @@ func AllowedTelemetry() time.Time {
 func MapAccumulation(m map[string]float64) ([]float64, float64) {
 	var order []float64
 	var sum float64
-	for _, v := range m {
+	for _, v := range m { // want `\[determinism\] range over a map iterates in randomized order`
 		sum += v                 // want `\[determinism\] accumulation inside a map range`
 		order = append(order, v) // want `\[determinism\] append inside a map range`
 	}
 	return order, sum
+}
+
+// AllowedMapRange is the order-independent shape the map-range rule lets
+// through with a justification: a commutative count.
+func AllowedMapRange(m map[string]float64) int {
+	n := 0
+	for range m { //yaplint:allow determinism commutative count; iteration order unobservable
+		n++
+	}
+	return n
 }
 
 // SliceAccumulation is order-stable: ranging a slice is deterministic.

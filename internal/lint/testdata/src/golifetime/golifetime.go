@@ -1,0 +1,94 @@
+// Package golifetime is golden-test input for the goroutine-lifetime
+// analyzer: a spin loop with no exit, a loop that exits without consulting
+// any shutdown signal, signal-driven loops (clean), a bounded helper loop
+// reached through the call graph (clean) and a suppressed daemon.
+package golifetime
+
+import "context"
+
+func work() {}
+
+// Spin starts a goroutine nothing can ever stop.
+func Spin() {
+	go func() { // want `\[goroutine-lifetime\] goroutine runs an unbounded loop .* no return or break`
+		for {
+			work()
+		}
+	}()
+}
+
+// Leaky exits its loop, but only by polling a plain bool: no ctx, done
+// channel or receive ever reaches it, so shutdown is accidental.
+func Leaky(stop *bool) {
+	go func() { // want `\[goroutine-lifetime\] goroutine's unbounded loop .* exits without watching a ctx/done/channel signal`
+		for {
+			if *stop {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+// spinner is a named spawn target; the finding still lands on the go
+// statement that started it.
+func spinner() {
+	for {
+		work()
+	}
+}
+
+// SpawnNamed resolves the entry through the call graph.
+func SpawnNamed() {
+	go spinner() // want `\[goroutine-lifetime\] goroutine runs an unbounded loop .* in .*spinner\) with no return or break`
+}
+
+// CtxDriven watches ctx.Done: clean.
+func CtxDriven(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// RangeDriven drains a channel until its sender closes it: clean.
+func RangeDriven(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// bounded converges by loop arithmetic; reached synchronously from a
+// goroutine it stays clean — the signal rule binds only the entry loop.
+func bounded(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// SpawnHelper runs a helper whose loops are all bounded: clean.
+func SpawnHelper(done chan struct{}) {
+	go func() {
+		_ = bounded(32)
+		<-done
+	}()
+}
+
+// Daemon is a deliberate process-lifetime goroutine.
+func Daemon() {
+	go func() { //yaplint:allow goroutine-lifetime process-lifetime sampler; dies with the process by design
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,61 @@
+// Package guardedby is golden-test input for the guardedby analyzer: an
+// annotated field read without the lock, an inferred guard violated by an
+// unlocked write, the constructor exemption, entry-held helpers and a
+// suppressed snapshot read.
+package guardedby
+
+import "sync"
+
+// counter guards n by annotation; m has no annotation and is inferred from
+// the locked write in Inc.
+type counter struct {
+	mu sync.Mutex
+	n  int //yaplint:guardedby mu
+	m  int
+}
+
+// Inc is the well-behaved writer: both fields mutate under mu. The locked
+// write to m is the inference witness that puts m under mu's guard.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.m++
+	c.mu.Unlock()
+}
+
+// BadRead violates the annotated contract.
+func (c *counter) BadRead() int {
+	return c.n // want `\[guardedby\] field guardedby\.counter\.n is annotated //yaplint:guardedby mu but is read in .*BadRead without holding it`
+}
+
+// BadWrite violates the inferred contract.
+func (c *counter) BadWrite() {
+	c.m = 0 // want `\[guardedby\] field guardedby\.counter\.m is written under .* but written in .*BadWrite without holding it`
+}
+
+// NewCounter writes lock-free, legally: the value is still private to its
+// constructor, so unpublished memory cannot race.
+func NewCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	c.m = 2
+	return c
+}
+
+// lockedBump relies on its callers holding mu: every call site provably
+// does, so the entry-held seeding checks it clean without an annotation.
+func (c *counter) lockedBump() {
+	c.n++
+}
+
+// Bump is lockedBump's only caller.
+func (c *counter) Bump() {
+	c.mu.Lock()
+	c.lockedBump()
+	c.mu.Unlock()
+}
+
+// Snapshot documents a deliberately racy read.
+func (c *counter) Snapshot() int {
+	return c.n //yaplint:allow guardedby monitoring snapshot; staleness is acceptable
+}

@@ -1,0 +1,79 @@
+// Package lockorder is golden-test input for the lockorder analyzer: the
+// ABBA cycle between a and b, non-reentrant re-acquisition (direct,
+// transitive through a call, and proven inside the callee by entry-held
+// seeding), a suppressed site and a pair of functions that agree on the
+// order (clean).
+package lockorder
+
+import "sync"
+
+var a sync.Mutex
+var b sync.Mutex
+
+// AB acquires a then b — the cycle finding is anchored at the acquisition
+// that completes the lexically-first edge.
+func AB() {
+	a.Lock()
+	b.Lock() // want `\[lockorder\] lock-order cycle .*potential ABBA deadlock`
+	b.Unlock()
+	a.Unlock()
+}
+
+// BA acquires the same pair in the opposite order, completing the cycle.
+func BA() {
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}
+
+// Reacquire locks a mutex it already holds: guaranteed self-deadlock.
+func Reacquire() {
+	a.Lock()
+	a.Lock() // want `\[lockorder\] .*Reacquire re-acquires .*not reentrant \(self-deadlock\)`
+	a.Unlock()
+	a.Unlock()
+}
+
+var c sync.Mutex
+
+// lockC's own acquisition fires too: its only caller provably holds c, so
+// the interprocedural entry-held seeding proves the deadlock inside the
+// callee as well as at the call site.
+func lockC() {
+	c.Lock() // want `\[lockorder\] .*lockC re-acquires .*self-deadlock`
+	c.Unlock()
+}
+
+// TransitiveSelf holds c across a call that acquires c again.
+func TransitiveSelf() {
+	c.Lock()
+	lockC() // want `\[lockorder\] .*TransitiveSelf calls .*lockC while holding .*self-deadlock`
+	c.Unlock()
+}
+
+// Suppressed documents a deliberate (test-only) re-acquisition.
+func Suppressed() {
+	a.Lock()
+	a.Lock() //yaplint:allow lockorder deliberate deadlock fixture for the watchdog test
+	a.Unlock()
+	a.Unlock()
+}
+
+// Consistent helpers agree on the e-then-f order everywhere: clean.
+var e sync.Mutex
+var f sync.Mutex
+
+func ConsistentOne() {
+	e.Lock()
+	f.Lock()
+	f.Unlock()
+	e.Unlock()
+}
+
+func ConsistentTwo() {
+	e.Lock()
+	f.Lock()
+	f.Unlock()
+	e.Unlock()
+}

@@ -1,0 +1,83 @@
+// Package jobs is golden-test input for the waldur analyzer. It is
+// type-checked as if it lived under .../internal/jobs — the durability
+// contract is scoped to that tree. A State-typed write (or a Job.Completed
+// write) must be dominated on every path by a durable WAL append (a call
+// that reaches an fsync) or by a record-rank comparison; everything else
+// loses or double-applies the transition on crash.
+package jobs
+
+// State is the job lifecycle enum the rule keys on.
+type State int
+
+const (
+	Pending State = iota
+	Running
+	Done
+)
+
+// Job is the in-memory record; Completed is the monotone sample counter.
+type Job struct {
+	State     State
+	Completed uint64
+}
+
+// file stands in for the fsync target (*os.File in the real package).
+type file struct{}
+
+func (file) Sync() error { return nil }
+
+// wal reaches the fsync directly, so callers of Append are durably
+// protected past the call.
+type wal struct{ f file }
+
+func (w *wal) Append(rec []byte) error {
+	return w.f.Sync()
+}
+
+type mgr struct {
+	w   *wal
+	job *Job
+}
+
+// BadApply mutates state with nothing durable on the path.
+func (m *mgr) BadApply() {
+	m.job.State = Running // want `\[waldur\] .*BadApply applies a state transition \(Job\.State = <State>\) with no durable WAL append`
+}
+
+// BadCount advances the completion counter before anything is logged.
+func (m *mgr) BadCount() {
+	m.job.Completed++ // want `\[waldur\] .*BadCount applies a state transition \(Job\.Completed\) with no durable WAL append`
+}
+
+// HalfGuarded appends on one branch only; the unprotected else-path is
+// enough for the must-analysis to report the apply site.
+func (m *mgr) HalfGuarded(durable bool) {
+	if durable {
+		_ = m.w.Append([]byte("running"))
+	}
+	m.job.State = Running // want `\[waldur\] .*HalfGuarded applies a state transition`
+}
+
+// GoodApply is the append-then-apply ordering the contract wants.
+func (m *mgr) GoodApply() error {
+	if err := m.w.Append([]byte("running")); err != nil {
+		return err
+	}
+	m.job.State = Running
+	return nil
+}
+
+// ApplyRecord is the replay path: the record-rank guard makes the apply
+// idempotent, so no fresh append is needed.
+func (m *mgr) ApplyRecord(recCompleted uint64) {
+	if recCompleted <= m.job.Completed {
+		return
+	}
+	m.job.Completed = recCompleted
+	m.job.State = Done
+}
+
+// ResetForTest documents a transition that is deliberately not durable.
+func (m *mgr) ResetForTest() {
+	m.job.State = Pending //yaplint:allow waldur test-only reset; durability is out of scope here
+}

@@ -1,0 +1,107 @@
+package lint
+
+// waldur: WAL durability ordering for internal/jobs. A job state
+// transition in memory (a write to a State-typed field, or to Job's
+// Completed counter) is only crash-safe if, on every path reaching it,
+// either
+//
+//   - a durable append already ran — a call that transitively reaches an
+//     fsync (*.Sync()), i.e. the WAL append the transition is recorded in —
+//     so a crash after the in-memory apply replays the same transition; or
+//   - the record's rank/Completed/Seq was compared first, the monotone
+//     apply guard that makes replay idempotent.
+//
+// The must-walk computes "protected" as a dominance fact: it is set by
+// durable-append calls and rank comparisons and intersected at merges, so
+// one unprotected path through an apply site is enough to report. The
+// analyzer is scoped to the jobs tree — that is where PR 5/6 established
+// the ordering contract this rule pins.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WALDurability reports in-memory state transitions not dominated by a
+// durable WAL append or a record-rank guard.
+var WALDurability = &Analyzer{
+	Name:      "waldur",
+	Doc:       "in internal/jobs, state-transition application must be dominated by a durable append+fsync or a record-rank comparison",
+	RunModule: runWALDurability,
+}
+
+// waldurTree scopes the rule to the jobs package (and its golden twin).
+func inWALDurTree(importPath string) bool {
+	return importPath == "yap/internal/jobs" || strings.HasSuffix(importPath, "/internal/jobs")
+}
+
+func runWALDurability(mod *Module) []Finding {
+	fc := mod.flow()
+	var findings []Finding
+	for _, n := range fc.graph.nodes {
+		if !inWALDurTree(n.pkg.ImportPath) {
+			continue
+		}
+		n := n
+		fc.visitFlow(n, fc.entryState(n), func(ev flowEvent, st *flowState) {
+			var targets []ast.Expr
+			switch x := ev.n.(type) {
+			case *ast.AssignStmt:
+				targets = x.Lhs
+			case *ast.IncDecStmt:
+				targets = []ast.Expr{x.X}
+			default:
+				return
+			}
+			if st.protected {
+				return
+			}
+			for _, t := range targets {
+				sel, ok := ast.Unparen(t).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				kind := transitionKind(n.pkg, sel)
+				if kind == "" {
+					continue
+				}
+				findings = append(findings, n.pkg.finding(ev.n, "waldur",
+					"%s applies a state transition (%s) with no durable WAL append (fsync) or record-rank guard dominating this path — a crash here loses or double-applies the transition",
+					n.name, kind))
+			}
+		})
+	}
+	return findings
+}
+
+// transitionKind classifies a write target as a job state transition:
+// a field whose type is the jobs State enum, or Job.Completed. Returns a
+// short description, or "" when the write is not a transition.
+func transitionKind(pkg *Package, sel *ast.SelectorExpr) string {
+	s := pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return ""
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return ""
+	}
+	if named := namedOf(field.Type()); named != nil && named.Obj().Name() == "State" {
+		if p := named.Obj().Pkg(); p != nil && inWALDurTree(p.Path()) {
+			owner := "?"
+			if o := namedOf(s.Recv()); o != nil {
+				owner = o.Obj().Name()
+			}
+			return owner + "." + field.Name() + " = <State>"
+		}
+	}
+	if field.Name() == "Completed" {
+		if o := namedOf(s.Recv()); o != nil && o.Obj().Name() == "Job" {
+			if p := o.Obj().Pkg(); p != nil && inWALDurTree(p.Path()) {
+				return "Job.Completed"
+			}
+		}
+	}
+	return ""
+}

@@ -74,11 +74,11 @@ type Breaker struct {
 	cfg BreakerConfig
 
 	mu       sync.Mutex
-	state    BreakerState
-	fails    int
-	openedAt time.Time
-	probing  bool
-	opens    uint64
+	state    BreakerState //yaplint:guardedby mu
+	fails    int          //yaplint:guardedby mu
+	openedAt time.Time    //yaplint:guardedby mu
+	probing  bool         //yaplint:guardedby mu
+	opens    uint64       //yaplint:guardedby mu
 }
 
 // NewBreaker returns a closed Breaker with cfg's defaults applied.

@@ -23,10 +23,9 @@ import (
 type resultCache struct {
 	capacity int
 
-	// guarded by mu
 	mu sync.Mutex
-	ll *list.List // front = most recently used
-	m  map[cacheKey]*list.Element
+	ll *list.List                 //yaplint:guardedby mu — front = most recently used
+	m  map[cacheKey]*list.Element //yaplint:guardedby mu
 }
 
 type cacheKey struct {

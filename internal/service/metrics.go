@@ -63,7 +63,7 @@ func (m *metrics) observeRequest(endpoint string, code int, d time.Duration) {
 // counterVec is a grow-only family of named atomic counters.
 type counterVec struct {
 	mu sync.RWMutex
-	m  map[string]*atomic.Uint64
+	m  map[string]*atomic.Uint64 //yaplint:guardedby mu — the map; the *Uint64 values are atomics
 }
 
 func (v *counterVec) get(label string) *atomic.Uint64 {

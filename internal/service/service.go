@@ -628,11 +628,11 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		Mode:       res.Mode,
 		Start:      req.Start,
 		Count:      req.Count,
-		Counts:    shardCountsFrom(res.Counts),
-		Partial:   res.Partial,
-		Completed: res.Completed,
-		Requested: res.Requested,
-		ElapsedMs: float64(res.Elapsed.Microseconds()) / 1e3,
+		Counts:     shardCountsFrom(res.Counts),
+		Partial:    res.Partial,
+		Completed:  res.Completed,
+		Requested:  res.Requested,
+		ElapsedMs:  float64(res.Elapsed.Microseconds()) / 1e3,
 	})
 }
 
