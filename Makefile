@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race chaos dist jobs stream bench cover figures report serve clean
+.PHONY: all build vet lint test test-race chaos dist jobs stream ha bench cover figures report serve clean
 
 all: build vet lint test
 
@@ -62,6 +62,17 @@ jobs:
 stream:
 	$(GO) test -race -run 'Stream|EarlyStop|Converge|Estimate|Rule|Tracker|Subscribe' ./internal/converge/ ./internal/sim/ ./internal/jobs/ ./internal/service/ ./internal/client/
 	$(GO) run -race ./cmd/yapload -stream
+
+# High-availability drill: the replication/election tests under the race
+# detector, then the true failover exercise via `yapload -ha` — a
+# three-member cluster of re-exec'd daemons with replica-ship faults
+# armed, the leader SIGKILLed mid-job, a follower required to win the
+# election, resume the job from its replicated WAL and finish with a
+# result bit-identical to an uninterrupted run, and a quorumless cluster
+# required to refuse submissions rather than accept them.
+ha:
+	$(GO) test -race -run 'Replica|Election|Leader|Quorum|Failover|Sweep|Priority' ./internal/replica/ ./internal/jobs/ ./internal/service/ ./internal/client/
+	$(GO) run -race ./cmd/yapload -ha
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -41,6 +41,16 @@
 //
 //	yapload -stream
 //
+// With -ha it drills the replicated job control plane: it re-execs
+// itself as a three-member replica cluster, submits a paced job through
+// a follower (exercising the client's leader-following redirect),
+// SIGKILLs the LEADER after the first durable checkpoint, and requires a
+// surviving follower to finish the job with a bit-identical result —
+// then kills a second member and requires quorumless submits to be
+// refused (see ha.go):
+//
+//	yapload -ha -ha-wafers 120
+//
 // Exits 1 when any invariant is violated.
 package main
 
@@ -71,7 +81,8 @@ var knownErrorCodes = map[string]bool{
 	"invalid_mode": true, "too_many_points": true, "body_too_large": true,
 	"deadline_exceeded": true, "canceled": true, "overloaded": true,
 	"internal": true, "not_found": true, "jobs_disabled": true,
-	"job_terminal": true,
+	"job_terminal": true, "not_leader": true, "replica_disabled": true,
+	"no_quorum": true,
 }
 
 // tally aggregates outcomes across workers.
@@ -115,6 +126,10 @@ func main() {
 		runJobsServer(logger)
 		return
 	}
+	if *haServerX {
+		runHAServer(logger)
+		return
+	}
 	if *distMode {
 		os.Exit(runDistDrill(logger, *seed, *wafers, *dies))
 	}
@@ -123,6 +138,9 @@ func main() {
 	}
 	if *streamMode {
 		os.Exit(runStreamDrill(logger, *seed))
+	}
+	if *haMode {
+		os.Exit(runHADrill(logger, *seed))
 	}
 
 	base := *target

@@ -13,7 +13,9 @@
 //	         [-worker | -workers url1,url2,...]
 //	         [-shards-per-worker 2] [-heartbeat 2s] [-shard-timeout d]
 //	         [-jobs-dir dir] [-checkpoint-every n] [-job-ttl d]
-//	         [-job-runners n] [-stream-heartbeat 15s] [-version]
+//	         [-job-runners n] [-stream-heartbeat 15s]
+//	         [-peers url1,url2 -advertise url] [-election-lease 2s]
+//	         [-election-heartbeat d] [-quorum-timeout d] [-version]
 //
 // Resilience: simulate admission beyond -max-queued waiting requests is
 // shed with 503 "overloaded" plus a Retry-After hint; a deadline that
@@ -51,6 +53,17 @@
 // rule: the run finishes as soon as the 95% CI half-width reaches
 // epsilon, reporting stopped_early, samples_used and ci_halfwidth.
 //
+// High availability (internal/replica): -peers makes the daemon one
+// member of a replicated job control plane. Every durable job-store
+// record ships to the peers over POST /v1/replica and a submit is only
+// reported accepted once a quorum holds it; the members run a
+// deterministic leader election (term + heartbeat lease; ties break by
+// member rank, and a stale replica can never win), so when the leader
+// dies a follower promotes itself within about one lease and resumes
+// every unfinished job from its last replicated checkpoint —
+// bit-identically. Job mutations on a follower answer 409 "not_leader"
+// with the leader's URL; the Go client follows it automatically.
+//
 // Endpoints:
 //
 //	POST   /v1/evaluate   analytic W2W/D2W breakdown (Eq. 22 / Eq. 28)
@@ -62,6 +75,7 @@
 //	GET    /v1/jobs/{id}  poll one job (terminal jobs carry the result)
 //	GET    /v1/jobs/{id}/stream  live convergence events (SSE, resumable)
 //	DELETE /v1/jobs/{id}  cancel a pending or running job
+//	POST   /v1/replica    control-plane replication (peer append/vote RPCs)
 //	GET    /healthz       liveness
 //	GET    /metrics       Prometheus text format
 //
@@ -86,6 +100,7 @@ import (
 	"yap/internal/dist"
 	"yap/internal/faultinject"
 	"yap/internal/jobs"
+	"yap/internal/replica"
 	"yap/internal/service"
 	"yap/internal/sim"
 )
@@ -112,11 +127,18 @@ func main() {
 		heartbeat    = flag.Duration("heartbeat", 0, "worker liveness probe interval (0 = 2s, negative disables)")
 		shardTimeout = flag.Duration("shard-timeout", 0, "per-shard dispatch deadline; slower workers get their shard reassigned (0 = run deadline only)")
 
-		jobsDir      = flag.String("jobs-dir", "", "directory for the durable job store; enables POST /v1/jobs (empty disables)")
-		chkEvery     = flag.Int("checkpoint-every", 0, "samples per durable job checkpoint (0 = 200)")
-		jobTTL       = flag.Duration("job-ttl", 0, "how long finished jobs stay queryable before GC (0 = 1h, negative keeps forever)")
-		jobRunners   = flag.Int("job-runners", 0, "concurrently executing jobs (0 = 2)")
-		streamHB     = flag.Duration("stream-heartbeat", 0, "SSE keep-alive interval on /v1/jobs/{id}/stream (0 = 15s, negative disables)")
+		jobsDir    = flag.String("jobs-dir", "", "directory for the durable job store; enables POST /v1/jobs (empty disables)")
+		chkEvery   = flag.Int("checkpoint-every", 0, "samples per durable job checkpoint (0 = 200)")
+		jobTTL     = flag.Duration("job-ttl", 0, "how long finished jobs stay queryable before GC (0 = 1h, negative keeps forever)")
+		jobRunners = flag.Int("job-runners", 0, "concurrently executing jobs (0 = 2)")
+		streamHB   = flag.Duration("stream-heartbeat", 0, "SSE keep-alive interval on /v1/jobs/{id}/stream (0 = 15s, negative disables)")
+
+		peers         = flag.String("peers", "", "comma-separated base URLs of the OTHER members of a replicated job control plane (requires -jobs-dir and -advertise)")
+		advertise     = flag.String("advertise", "", "this daemon's own base URL as the other members reach it (its identity in the replica set)")
+		electionLease = flag.Duration("election-lease", 0, "how long a follower trusts the leader after its last heartbeat (0 = 2s)")
+		electionBeat  = flag.Duration("election-heartbeat", 0, "leader heartbeat cadence (0 = lease/8)")
+		quorumTimeout = flag.Duration("quorum-timeout", 0, "how long a submit waits for quorum acknowledgement (0 = 2×lease)")
+
 		printVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -172,7 +194,25 @@ func main() {
 		logger.Print("worker mode: serving shards for a coordinator")
 	}
 
+	var peerURLs []string
+	if *peers != "" {
+		for _, u := range strings.Split(*peers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				peerURLs = append(peerURLs, u)
+			}
+		}
+	}
+	if len(peerURLs) > 0 {
+		if *jobsDir == "" {
+			logger.Fatal("-peers replicates the durable job store; it requires -jobs-dir")
+		}
+		if *advertise == "" {
+			logger.Fatal("-peers requires -advertise: the URL this member is reached at is its identity in the replica set")
+		}
+	}
+
 	var jm *jobs.Manager
+	var node *replica.Node
 	if *jobsDir != "" {
 		jcfg := jobs.Config{
 			Dir:             *jobsDir,
@@ -191,9 +231,31 @@ func main() {
 				return res, err
 			}
 		}
-		jm, err = jobs.Open(jcfg)
-		if err != nil {
-			logger.Fatalf("invalid -jobs-dir: %v", err)
+		if len(peerURLs) > 0 {
+			// The replica node owns the manager: it opens the store in
+			// follower mode and activates it only on winning an election.
+			node, err = replica.Open(replica.Config{
+				Dir:           *jobsDir,
+				Self:          *advertise,
+				Peers:         peerURLs,
+				Transport:     &replica.HTTPTransport{},
+				Jobs:          jcfg,
+				Lease:         *electionLease,
+				Heartbeat:     *electionBeat,
+				QuorumTimeout: *quorumTimeout,
+				Faults:        faults,
+				Logger:        logger,
+			})
+			if err != nil {
+				logger.Fatalf("invalid replica configuration: %v", err)
+			}
+			jm = node.Jobs()
+			logger.Printf("replicated control plane: %s + %d peers, store %s", *advertise, len(peerURLs), *jobsDir)
+		} else {
+			jm, err = jobs.Open(jcfg)
+			if err != nil {
+				logger.Fatalf("invalid -jobs-dir: %v", err)
+			}
 		}
 		every := *chkEvery
 		if every <= 0 {
@@ -223,6 +285,9 @@ func main() {
 	}
 	if jm != nil {
 		cfg.Jobs = jm
+	}
+	if node != nil {
+		cfg.Replica = node
 	}
 	srv := service.New(cfg)
 	logger.Printf("resilience: %s", srv.ResilienceSummary())
@@ -266,7 +331,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if jm != nil {
+	switch {
+	case node != nil:
+		// The node owns the manager: closing it stops the election loop and
+		// peer senders, then snapshots the store. A surviving peer takes
+		// over leadership one lease later and resumes unfinished jobs.
+		if err := node.Close(); err != nil {
+			logger.Printf("replica close: %v", err)
+		}
+	case jm != nil:
 		// After HTTP has drained: snapshot the store and stop the runners.
 		// Mid-run jobs stay durably running and resume at the next start.
 		if err := jm.Close(); err != nil {

@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"yap/internal/resilience"
@@ -45,8 +46,18 @@ type Config struct {
 }
 
 // Client calls the yapserve API. Safe for concurrent use.
+//
+// Against a replicated control plane (yapserve -peers), the client
+// follows the leader automatically: a 409 "not_leader" response carries
+// the leader's advertised URL, the client re-aims subsequent requests at
+// it within the normal retry schedule, and a transport failure against a
+// learned leader falls back to the configured BaseURL (whichever member
+// it names will name the new leader).
 type Client struct {
 	cfg Config
+
+	mu     sync.Mutex
+	leader string // learned leader base URL; "" means cfg.BaseURL
 }
 
 // New validates cfg and returns a ready Client.
@@ -84,6 +95,9 @@ type APIError struct {
 	// RetryAfter is the server's back-off hint (retry_after_ms body field
 	// preferred, Retry-After header otherwise), zero when absent.
 	RetryAfter time.Duration
+	// LeaderURL is the replica leader's advertised URL from a 409
+	// "not_leader" response; empty while an election is in flight.
+	LeaderURL string
 }
 
 func (e *APIError) Error() string {
@@ -91,9 +105,11 @@ func (e *APIError) Error() string {
 }
 
 // Temporary reports whether retrying the identical request can succeed:
-// 429 and every 5xx qualify, other 4xx are permanent.
+// 429, every 5xx and "not_leader" (the retry lands on the leader the
+// response named, or on a freshly elected one) qualify; other 4xx are
+// permanent.
 func (e *APIError) Temporary() bool {
-	return e.Status == http.StatusTooManyRequests || e.Status >= 500
+	return e.Status == http.StatusTooManyRequests || e.Status >= 500 || e.Code == "not_leader"
 }
 
 // ErrAttemptsExhausted wraps the final failure after MaxAttempts tries.
@@ -283,7 +299,8 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 	if payload != nil {
 		body = bytes.NewReader(payload)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, body)
+	base := c.baseURL()
+	req, err := http.NewRequestWithContext(ctx, method, base+path, body)
 	if err != nil {
 		c.cfg.Breaker.Record(true) // construction failure says nothing about the server
 		return fmt.Errorf("client: building request: %w", err)
@@ -298,6 +315,10 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 			// server side; a context-killed exchange is neutral.
 			c.cfg.Breaker.Record(false)
 		}
+		// A learned leader that stopped answering is stale (it may be the
+		// member that just died); fall back to the configured base URL,
+		// whose member will name the new leader.
+		c.forgetLeader(base)
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close() //nolint:errcheck
@@ -309,6 +330,9 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 	if resp.StatusCode >= 300 {
 		apiErr := decodeAPIError(resp, data)
 		c.cfg.Breaker.Record(resp.StatusCode < 500)
+		if apiErr.Code == "not_leader" {
+			c.learnLeader(apiErr.LeaderURL)
+		}
 		return apiErr
 	}
 	c.cfg.Breaker.Record(true)
@@ -316,6 +340,45 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 		return fmt.Errorf("client: decoding %s response: %w", path, err)
 	}
 	return nil
+}
+
+// baseURL is the current request target: the learned leader when one is
+// known, the configured BaseURL otherwise.
+func (c *Client) baseURL() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.leader != "" {
+		return c.leader
+	}
+	return c.cfg.BaseURL
+}
+
+// learnLeader records the leader URL a 409 "not_leader" response named,
+// so the retry loop's next attempt goes straight there. An empty URL
+// (election in flight) changes nothing — the retry's backoff gives the
+// cluster time to elect.
+func (c *Client) learnLeader(url string) {
+	url = strings.TrimRight(url, "/")
+	if url == "" || (!strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://")) {
+		return
+	}
+	c.mu.Lock()
+	if url == c.cfg.BaseURL {
+		url = "" // the configured member IS the leader; no override needed
+	}
+	c.leader = url
+	c.mu.Unlock()
+}
+
+// forgetLeader drops the learned leader, but only if it is the base the
+// failed exchange actually used — a racing success against a newer
+// leader must not be wiped out.
+func (c *Client) forgetLeader(base string) {
+	c.mu.Lock()
+	if c.leader == base {
+		c.leader = ""
+	}
+	c.mu.Unlock()
 }
 
 // decodeAPIError turns a non-2xx response into an *APIError, extracting
@@ -330,6 +393,7 @@ func decodeAPIError(resp *http.Response, data []byte) *APIError {
 		if wire.Error.RetryAfterMs > 0 {
 			apiErr.RetryAfter = time.Duration(wire.Error.RetryAfterMs) * time.Millisecond
 		}
+		apiErr.LeaderURL = wire.Error.LeaderURL
 	}
 	if apiErr.RetryAfter == 0 {
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {

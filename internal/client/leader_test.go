@@ -1,0 +1,129 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"yap/internal/service"
+)
+
+// notLeader answers a 409 "not_leader" pointing at leaderURL.
+func notLeader(w http.ResponseWriter, leaderURL string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusConflict)
+	json.NewEncoder(w).Encode(service.ErrorResponse{Error: service.ErrorDetail{ //nolint:errcheck
+		Code:      "not_leader",
+		Message:   "this node is a follower",
+		LeaderURL: leaderURL,
+	}})
+}
+
+// TestSubmitFollowsLeaderRedirect: a submit that lands on a follower is
+// retried against the leader the 409 named, within one SubmitJob call.
+func TestSubmitFollowsLeaderRedirect(t *testing.T) {
+	var leaderCalls atomic.Int64
+	leader := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		leaderCalls.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"job-000001","state":"pending"}`)) //nolint:errcheck
+	}))
+	defer leader.Close()
+	var followerCalls atomic.Int64
+	follower := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		followerCalls.Add(1)
+		notLeader(w, leader.URL)
+	}))
+	defer follower.Close()
+
+	c, err := New(Config{BaseURL: follower.URL, Backoff: fastBackoff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.SubmitJob(context.Background(), service.JobSubmitRequest{Wafers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "job-000001" {
+		t.Fatalf("job %+v", job)
+	}
+	if followerCalls.Load() != 1 || leaderCalls.Load() != 1 {
+		t.Fatalf("follower %d leader %d calls, want 1 each", followerCalls.Load(), leaderCalls.Load())
+	}
+	// Later calls go straight to the learned leader.
+	if _, err := c.SubmitJob(context.Background(), service.JobSubmitRequest{Wafers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if followerCalls.Load() != 1 || leaderCalls.Load() != 2 {
+		t.Fatalf("after learning: follower %d leader %d calls", followerCalls.Load(), leaderCalls.Load())
+	}
+}
+
+// TestLeaderlessRedirectRetriesSameNode: a 409 without a leader URL
+// (election in flight) keeps retrying the configured member until it
+// answers — here, until it becomes the leader itself.
+func TestLeaderlessRedirectRetriesSameNode(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			notLeader(w, "")
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"job-000007","state":"pending"}`)) //nolint:errcheck
+	}), nil)
+	job, err := c.SubmitJob(context.Background(), service.JobSubmitRequest{Wafers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "job-000007" || calls.Load() != 3 {
+		t.Fatalf("job %+v after %d calls", job, calls.Load())
+	}
+}
+
+// TestDeadLeaderFallsBackToBaseURL: when the learned leader dies, the
+// client forgets it and the configured member (now leading) serves.
+func TestDeadLeaderFallsBackToBaseURL(t *testing.T) {
+	deadLeader := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadLeader.Close() // immediately: every exchange is a transport error
+	var redirected atomic.Bool
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !redirected.Load() {
+			redirected.Store(true)
+			notLeader(w, deadLeader.URL)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"job-000009","state":"pending"}`)) //nolint:errcheck
+	}), func(cfg *Config) { cfg.HTTPClient = nil; cfg.MaxAttempts = 6 })
+	job, err := c.SubmitJob(context.Background(), service.JobSubmitRequest{Wafers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "job-000009" {
+		t.Fatalf("job %+v", job)
+	}
+	if got := c.baseURL(); got != c.cfg.BaseURL {
+		t.Fatalf("dead leader still learned: %q", got)
+	}
+}
+
+// TestNotLeaderSurfacesAfterExhaustion: a cluster that never resolves
+// its election surfaces the typed APIError with the code intact.
+func TestNotLeaderSurfacesAfterExhaustion(t *testing.T) {
+	c, _ := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		notLeader(w, "")
+	}), func(cfg *Config) { cfg.MaxAttempts = 2 })
+	_, err := c.SubmitJob(context.Background(), service.JobSubmitRequest{Wafers: 2})
+	if !errors.Is(err, ErrAttemptsExhausted) {
+		t.Fatalf("err %v, want attempts exhausted", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "not_leader" {
+		t.Fatalf("err %v, want wrapped not_leader APIError", err)
+	}
+}

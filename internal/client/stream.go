@@ -88,7 +88,7 @@ func (c *Client) StreamJob(ctx context.Context, id string, fromSeq int, fn Strea
 // was decoded on this connection (it resets the caller's failure budget).
 // lastSeq advances as events arrive so the next connection resumes.
 func (c *Client) streamOnce(ctx context.Context, id string, lastSeq *int, fn StreamHandler) (final *service.JobStreamEvent, progressed bool, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/v1/jobs/"+id+"/stream", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL()+"/v1/jobs/"+id+"/stream", nil)
 	if err != nil {
 		return nil, false, fmt.Errorf("client: building stream request: %w", err)
 	}

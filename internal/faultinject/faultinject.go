@@ -63,6 +63,14 @@ const (
 	// slice of a job executes; an injected error or panic fails the job,
 	// covering the runner-death path.
 	HookJobsRun = "jobs.run"
+	// HookReplicaShip fires in the replica node before each append is
+	// shipped to a peer; an injected error drops that shipment attempt
+	// (the sender retries from its cursor), a delay models a slow link.
+	HookReplicaShip = "replica.ship"
+	// HookReplicaElect fires in the replica node before a vote request is
+	// sent during an election; an injected error loses that vote exchange,
+	// forcing the term to retry — the chaos path over split elections.
+	HookReplicaElect = "replica.elect"
 )
 
 // ErrInjected is the sentinel wrapped by every injected error; callers

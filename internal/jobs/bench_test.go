@@ -2,7 +2,6 @@ package jobs
 
 import (
 	"encoding/json"
-	"path/filepath"
 	"testing"
 
 	"yap/internal/sim"
@@ -24,7 +23,7 @@ func checkpointPayload(b *testing.B) []byte {
 // frame, CRC, write, fsync. This bounds how small CheckpointEvery can be
 // pushed before durability dominates simulation.
 func BenchmarkJobsCheckpointWrite(b *testing.B) {
-	w, err := openWAL(filepath.Join(b.TempDir(), walName), 0)
+	w, err := openWAL(b.TempDir(), 0, walPos{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -43,8 +42,8 @@ func BenchmarkJobsCheckpointWrite(b *testing.B) {
 // log (frame parse + CRC verify per record), the fixed price every Open
 // pays before the daemon can serve.
 func BenchmarkJobsWALReplay(b *testing.B) {
-	path := filepath.Join(b.TempDir(), walName)
-	w, err := openWAL(path, 0)
+	dir := b.TempDir()
+	w, err := openWAL(dir, 0, walPos{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -58,7 +57,7 @@ func BenchmarkJobsWALReplay(b *testing.B) {
 	b.SetBytes(int64(1000 * (walHeaderSize + len(payload))))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		records, _, truncated, err := replayWAL(path)
+		records, _, truncated, err := replayWAL(dir)
 		if err != nil || truncated || len(records) != 1000 {
 			b.Fatalf("replay: %d records truncated=%v err=%v", len(records), truncated, err)
 		}

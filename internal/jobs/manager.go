@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"yap/internal/converge"
+	"yap/internal/core"
 	"yap/internal/faultinject"
 	"yap/internal/sim"
 )
@@ -32,6 +33,21 @@ func defaultRun(ctx context.Context, mode string, opts sim.Options) (sim.Result,
 		return sim.RunD2WContext(ctx, opts)
 	}
 	return sim.RunW2WContext(ctx, opts)
+}
+
+// Replicator observes the durable record stream for replication.
+// Implemented by internal/replica.Node; the Manager stays ignorant of
+// transports and election.
+type Replicator interface {
+	// Ship hands over one just-fsync'd record with its replication
+	// sequence number. Called under the Manager's lock: implementations
+	// must only enqueue (the replica node appends to its backlog ring and
+	// wakes its peer senders) — never block on the network.
+	Ship(seq uint64, payload []byte)
+	// WaitQuorum blocks until records up to seq are acknowledged by a
+	// quorum of the replica set, or fails (timeout, leadership lost).
+	// Called without the Manager's lock.
+	WaitQuorum(ctx context.Context, seq uint64) error
 }
 
 // Config configures a Manager. The zero value of every field is usable;
@@ -73,6 +89,21 @@ type Config struct {
 	// simulation results, so an injected clock exists for tests, not for
 	// determinism of the physics.
 	Clock func() time.Time
+	// WALSegmentBytes caps each WAL segment before rotation (default 4 MiB).
+	WALSegmentBytes int64
+	// PriorityAging is how long a queued job waits to gain one effective
+	// priority level (default 30s). Aging is unbounded, so any job
+	// eventually outranks a steady stream of higher-priority submissions —
+	// delayed, never starved.
+	PriorityAging time.Duration
+	// Follower opens the store in replica-follower mode: recovery runs but
+	// no runners start and Submit/Cancel refuse with ErrNotLeader; records
+	// arrive via ApplyReplicated until Promote activates the store.
+	Follower bool
+	// Replicator, when set, observes every durable append for shipping to
+	// replica peers; Submit additionally blocks on quorum acknowledgement
+	// before reporting a job accepted.
+	Replicator Replicator
 }
 
 func (c Config) runners() int {
@@ -110,6 +141,13 @@ func (c Config) maxQueued() int {
 	return 64
 }
 
+func (c Config) priorityAging() time.Duration {
+	if c.PriorityAging > 0 {
+		return c.PriorityAging
+	}
+	return 30 * time.Second
+}
+
 // Sentinel errors for the Manager API.
 var (
 	// ErrNotFound reports an unknown (or already garbage-collected) job ID.
@@ -120,6 +158,13 @@ var (
 	ErrClosed = errors.New("jobs: manager closed")
 	// ErrTerminal reports a cancel of a job that already finished.
 	ErrTerminal = errors.New("jobs: job already terminal")
+	// ErrNotLeader reports a mutation on a store in follower mode; the
+	// service maps it to a 409 carrying the leader's URL.
+	ErrNotLeader = errors.New("jobs: store is a replica follower, not the leader")
+	// ErrReplicaGap reports an ApplyReplicated whose sequence number is not
+	// the follower's next; the shipper re-synchronizes from the sequence
+	// the follower reports alongside.
+	ErrReplicaGap = errors.New("jobs: replicated record out of sequence")
 )
 
 // jobState is the Manager's mutable record of one job. The wire spec is
@@ -163,32 +208,45 @@ type Stats struct {
 
 // Manager owns one durability directory and a bounded runner pool. All
 // methods are safe for concurrent use.
+//
+// Lock order: m.lifeMu → m.mu → (replica node internals via
+// Replicator.Ship). Promote/Demote/Close serialize on lifeMu so runner
+// pools from different activations never overlap.
 type Manager struct {
 	cfg   Config
 	run   RunFunc
 	clock func() time.Time
 
-	wal   *wal
-	snap  string // snapshot path
-	queue chan string
+	wal  *wal
+	snap string // snapshot path
 
-	runCtx    context.Context
-	runCancel context.CancelFunc
+	// lifeMu serializes activation transitions (Open/Promote/Demote/Close).
+	lifeMu    sync.Mutex
+	runCancel context.CancelFunc //yaplint:guardedby mu
 	wg        sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool                 //yaplint:guardedby mu
-	nextID uint64               //yaplint:guardedby mu
-	jobs   map[string]*jobState //yaplint:guardedby mu
-	stats  Stats                //yaplint:guardedby mu
+	mu      sync.Mutex
+	closed  bool                 //yaplint:guardedby mu
+	active  bool                 //yaplint:guardedby mu
+	replSeq uint64               //yaplint:guardedby mu
+	nextID  uint64               //yaplint:guardedby mu
+	jobs    map[string]*jobState //yaplint:guardedby mu
+	// queue carries one wake token per entry of pending; runners pop the
+	// highest effective priority under mu. The channel (not a sync.Cond)
+	// keeps the runners' channel-driven select shape.
+	queue   chan struct{} //yaplint:guardedby mu
+	pending []string      //yaplint:guardedby mu
+	stats   Stats         //yaplint:guardedby mu
 }
 
-// Open recovers the directory's durable state and starts the runner pool.
-// Recovery loads the snapshot, replays the WAL over it (truncating a
-// corrupt or torn tail rather than failing), compacts the folded state
-// into a fresh snapshot, reconstructs terminal results from their raw
-// tallies, and re-enqueues every non-terminal job — running jobs resume
-// from their last durable checkpoint.
+// Open recovers the directory's durable state and — unless Config.Follower
+// is set — starts the runner pool. Recovery loads the snapshot, replays
+// the WAL segments over it (truncating a corrupt or torn tail rather than
+// failing), compacts the folded state into a fresh snapshot, reconstructs
+// terminal results from their raw tallies, and re-enqueues every
+// non-terminal job — running jobs resume from their last durable
+// checkpoint. A follower stays passive after recovery: it applies
+// replicated records until Promote runs the same activation.
 func Open(cfg Config) (*Manager, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("jobs: Config.Dir is required")
@@ -214,14 +272,13 @@ func Open(cfg Config) (*Manager, error) {
 	if err := m.loadSnapshot(); err != nil {
 		return nil, err
 	}
-	walPath := filepath.Join(cfg.Dir, walName)
-	records, cleanOffset, truncated, err := replayWAL(walPath)
+	records, pos, truncated, err := replayWAL(cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
 	if truncated {
 		m.stats.WALTruncated++
-		m.logf("recovery: discarding corrupt/torn wal tail after offset %d", cleanOffset)
+		m.logf("recovery: discarding corrupt/torn wal tail after segment %d offset %d", pos.seg, pos.offset)
 	}
 	for _, payload := range records {
 		var rec walRecord
@@ -232,22 +289,17 @@ func Open(cfg Config) (*Manager, error) {
 		}
 		m.apply(rec)
 	}
-	m.wal, err = openWAL(walPath, cleanOffset)
+	// Every intact frame consumed one replication sequence number when it
+	// was appended, decodable or not: the records in the segments carry
+	// base+1 … base+count. The snapshot's own sequence covers the window
+	// where a crash landed between a snapshot write and the WAL reset that
+	// normally follows it.
+	if s := readBaseSeq(cfg.Dir) + uint64(len(records)); s > m.replSeq {
+		m.replSeq = s
+	}
+	m.wal, err = openWAL(cfg.Dir, cfg.WALSegmentBytes, pos)
 	if err != nil {
 		return nil, err
-	}
-
-	// Fail jobs whose persisted spec no longer decodes (disk corruption or
-	// an incompatible parameter schema) instead of refusing to start: the
-	// daemon keeps serving, the job reports its error.
-	for _, js := range m.ordered() {
-		if js.job.State.Terminal() {
-			continue
-		}
-		if _, err := js.wire.toSpec(); err != nil {
-			m.logf("recovery: job %s spec unusable, marking failed: %v", js.job.ID, err)
-			m.finishLocked(js, StateFailed, err.Error(), nil)
-		}
 	}
 
 	// Compact: the snapshot now carries the fold of everything replayed,
@@ -256,7 +308,7 @@ func Open(cfg Config) (*Manager, error) {
 		m.wal.Close()
 		return nil, err
 	}
-	if err := m.wal.Reset(); err != nil {
+	if err := m.resetWALLocked(); err != nil {
 		m.wal.Close()
 		return nil, err
 	}
@@ -266,6 +318,9 @@ func Open(cfg Config) (*Manager, error) {
 	// any reconstruction log lines replay identically run to run.
 	for _, js := range m.ordered() {
 		if js.job.State == StateDone && js.job.Result == nil {
+			if js.job.Spec.Mode == ModeSweep {
+				continue // sweep results live in Job.Sweep, nothing to rebuild
+			}
 			res, err := finishedResult(js.job.Spec.Mode, js.job.Counts, js.job.Completed)
 			if err != nil {
 				m.logf("recovery: job %s result reconstruction: %v", js.job.ID, err)
@@ -281,6 +336,41 @@ func Open(cfg Config) (*Manager, error) {
 		}
 	}
 
+	if !cfg.Follower {
+		if err := m.activateLocked(); err != nil {
+			m.wal.Close()
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// activateLocked turns a recovered store into the live one: unusable specs
+// are failed durably, every non-terminal job is (re-)enqueued in ID order,
+// and the runner pool plus the GC loop start. Called with exclusive access
+// (Open) or under lifeMu+mu (Promote). The records it appends ship to
+// replica peers like any other — on a freshly promoted leader the resume
+// markers are part of the replicated history.
+func (m *Manager) activateLocked() error {
+	if m.active {
+		return nil
+	}
+	m.active = true
+
+	// Fail jobs whose persisted spec no longer decodes (disk corruption or
+	// an incompatible parameter schema) instead of refusing to start: the
+	// daemon keeps serving, the job reports its error. Done here, not at
+	// Open, so a follower never writes records of its own.
+	for _, js := range m.ordered() {
+		if js.job.State.Terminal() {
+			continue
+		}
+		if _, err := js.wire.toSpec(); err != nil {
+			m.logf("recovery: job %s spec unusable, marking failed: %v", js.job.ID, err)
+			m.finishLocked(js, StateFailed, err.Error(), nil)
+		}
+	}
+
 	// Re-enqueue non-terminal jobs in ID order; recovered jobs are
 	// admitted past MaxQueued (they were already admitted once).
 	var resumable []*jobState
@@ -293,7 +383,8 @@ func Open(cfg Config) (*Manager, error) {
 	if len(resumable) > depth {
 		depth = len(resumable)
 	}
-	m.queue = make(chan string, depth)
+	m.queue = make(chan struct{}, depth)
+	m.pending = nil
 	for _, js := range resumable {
 		if js.job.State == StateRunning {
 			js.job.Resumes++
@@ -304,19 +395,154 @@ func Open(cfg Config) (*Manager, error) {
 			m.logf("recovery: resuming job %s from sample %d/%d (resume #%d)",
 				js.job.ID, js.job.Completed, js.job.Spec.Samples, js.job.Resumes)
 		}
-		m.queue <- js.job.ID
+		m.pending = append(m.pending, js.job.ID)
+		m.queue <- struct{}{}
 	}
 
-	m.runCtx, m.runCancel = context.WithCancel(context.Background())
+	runCtx, runCancel := context.WithCancel(context.Background())
+	m.runCancel = runCancel
 	for i := 0; i < m.cfg.runners(); i++ {
 		m.wg.Add(1)
-		go m.runner()
+		go m.runner(runCtx, m.queue)
 	}
 	if m.cfg.resultTTL() > 0 {
 		m.wg.Add(1)
-		go m.gcLoop()
+		go m.gcLoop(runCtx)
 	}
-	return m, nil
+	return nil
+}
+
+// Promote activates a follower store as the new leader: unfinished jobs
+// re-enqueue from their last durable checkpoint, exactly as a restart
+// would. Idempotent; fails only on a closed store.
+func (m *Manager) Promote() error {
+	m.lifeMu.Lock()
+	defer m.lifeMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	return m.activateLocked()
+}
+
+// Demote returns an active store to follower mode: the runner pool is
+// stopped and awaited; jobs interrupted mid-run stay durably running —
+// the next leader (possibly this store, re-promoted) resumes them from
+// their last checkpoint. Idempotent.
+func (m *Manager) Demote() {
+	m.lifeMu.Lock()
+	defer m.lifeMu.Unlock()
+	m.mu.Lock()
+	if !m.active {
+		m.mu.Unlock()
+		return
+	}
+	m.active = false
+	cancel := m.runCancel
+	m.runCancel = nil
+	m.mu.Unlock()
+	cancel()
+	m.wg.Wait()
+}
+
+// ReplSeq returns the replication sequence number of the last durable
+// record (applied or appended).
+func (m *Manager) ReplSeq() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replSeq
+}
+
+// Active reports whether the store runs jobs (leader / standalone) rather
+// than passively applying replicated records.
+func (m *Manager) Active() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.active
+}
+
+// ApplyReplicated lands one shipped record in a follower store: the exact
+// leader bytes are CRC-checked, appended to the local segments and folded
+// into memory, so follower state machines stay bit-identical to the
+// leader's. seq must be exactly the follower's next sequence number;
+// otherwise ErrReplicaGap is returned along with the follower's current
+// sequence so the shipper can rewind. A corrupt record (checksum mismatch,
+// undecodable JSON) is rejected before anything reaches the follower's
+// WAL — a bad shipment never poisons the store.
+func (m *Manager) ApplyReplicated(seq uint64, payload []byte, sum uint32) (uint64, error) {
+	if len(payload) == 0 {
+		return m.ReplSeq(), errors.New("jobs: empty replicated record")
+	}
+	if RecordCRC(payload) != sum {
+		return m.ReplSeq(), errors.New("jobs: replicated record checksum mismatch")
+	}
+	var rec walRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return m.ReplSeq(), fmt.Errorf("jobs: undecodable replicated record: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return m.replSeq, ErrClosed
+	}
+	if m.active {
+		return m.replSeq, errors.New("jobs: active store cannot apply replicated records")
+	}
+	if seq != m.replSeq+1 {
+		return m.replSeq, fmt.Errorf("%w: got %d, want %d", ErrReplicaGap, seq, m.replSeq+1)
+	}
+	if err := m.fireWALHook(); err != nil {
+		return m.replSeq, fmt.Errorf("jobs: replicated append: %w", err)
+	}
+	if err := m.wal.Append(payload); err != nil {
+		return m.replSeq, err
+	}
+	m.replSeq = seq
+	m.stats.WALRecords++
+	if rec.Type == recCheckpoint {
+		m.stats.Checkpoints++
+	}
+	m.apply(rec)
+	if js, ok := m.jobs[rec.ID]; ok {
+		// Reconstruct the final Result from the terminal tallies the record
+		// carried — same arithmetic as recovery, so a client asking this
+		// follower (or this store once promoted) sees the leader's bits.
+		if js.job.State == StateDone && js.job.Result == nil && js.job.Spec.Mode != ModeSweep {
+			if res, err := finishedResult(js.job.Spec.Mode, js.job.Counts, js.job.Completed); err == nil {
+				if js.job.Completed < js.job.Spec.Samples {
+					res.Requested = js.job.Spec.Samples
+					res.StoppedEarly = true
+				}
+				js.job.Result = &res
+			}
+		}
+		m.publishLocked(js) // convergence streams work on followers too
+	}
+	return m.replSeq, nil
+}
+
+// TailRecords returns a copy of every WAL record still physically present
+// — appended or applied since the last compaction — together with the
+// replication sequence number of the first one. A newly promoted leader
+// seeds its ship backlog from this tail so followers that lag by less
+// than a compaction window catch up record by record; a follower whose
+// cursor predates the compaction horizon cannot be served from it and
+// needs a full resync.
+func (m *Manager) TailRecords() ([][]byte, uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, 0, ErrClosed
+	}
+	records, _, _, err := replayWAL(m.cfg.Dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	if uint64(len(records)) > m.replSeq {
+		return nil, 0, fmt.Errorf("jobs: WAL holds %d records beyond sequence %d", len(records), m.replSeq)
+	}
+	return records, m.replSeq - uint64(len(records)) + 1, nil
 }
 
 // loadSnapshot reads jobs.snap into the state map. A missing snapshot is
@@ -338,6 +564,7 @@ func (m *Manager) loadSnapshot() error {
 	if st.NextID > m.nextID {
 		m.nextID = st.NextID
 	}
+	m.replSeq = st.ReplicaSeq
 	for _, pj := range st.Jobs {
 		js := &jobState{
 			wire: pj.Spec,
@@ -346,6 +573,7 @@ func (m *Manager) loadSnapshot() error {
 				State:     pj.State,
 				Completed: pj.Completed,
 				Counts:    pj.Counts,
+				Sweep:     pj.Sweep,
 				Resumes:   pj.Resumes,
 				Error:     pj.Error,
 			},
@@ -414,17 +642,26 @@ func (m *Manager) apply(rec walRecord) {
 				js.job.Completed = rec.Completed
 				js.job.Counts = *rec.Counts
 			}
+			if rec.Sweep != nil && rec.Completed >= js.job.Completed {
+				js.job.Completed = rec.Completed
+				js.job.Sweep = rec.Sweep
+			}
 		}
 	case recCheckpoint:
 		js, ok := m.jobs[rec.ID]
-		if !ok || js.job.State.Terminal() || rec.Counts == nil {
+		if !ok || js.job.State.Terminal() || (rec.Counts == nil && rec.Sweep == nil) {
 			return
 		}
-		// Checkpoints carry cumulative tallies, so folding is taking the
-		// furthest one.
+		// Checkpoints carry cumulative tallies (or sweep outcomes), so
+		// folding is taking the furthest one.
 		if rec.Completed > js.job.Completed {
 			js.job.Completed = rec.Completed
-			js.job.Counts = *rec.Counts
+			if rec.Counts != nil {
+				js.job.Counts = *rec.Counts
+			}
+			if rec.Sweep != nil {
+				js.job.Sweep = rec.Sweep
+			}
 		}
 	case recGC:
 		delete(m.jobs, rec.ID)
@@ -466,24 +703,51 @@ func (m *Manager) ordered() []*jobState {
 	return out
 }
 
-// Submit validates, durably logs and enqueues a job, returning its
-// pending Job. The submit record is fsync'd before Submit returns: an
-// accepted job survives any crash after the 202 goes out.
-func (m *Manager) Submit(spec Spec) (Job, error) {
-	if spec.Mode != "w2w" && spec.Mode != "d2w" {
-		return Job{}, fmt.Errorf("jobs: mode must be \"w2w\" or \"d2w\", got %q", spec.Mode)
-	}
-	if spec.Samples <= 0 {
-		return Job{}, fmt.Errorf("jobs: samples must be positive, got %d", spec.Samples)
+// validateSpec checks a submission and resolves defaults into it.
+func (m *Manager) validateSpec(spec Spec) (Spec, error) {
+	switch spec.Mode {
+	case "w2w", "d2w":
+		if spec.Samples <= 0 {
+			return Spec{}, fmt.Errorf("jobs: samples must be positive, got %d", spec.Samples)
+		}
+		if len(spec.Points) > 0 {
+			return Spec{}, errors.New("jobs: points are only valid for sweep jobs")
+		}
+		if err := spec.Params.Validate(); err != nil {
+			return Spec{}, fmt.Errorf("jobs: invalid params: %w", err)
+		}
+	case ModeSweep:
+		if len(spec.Points) == 0 {
+			return Spec{}, errors.New("jobs: sweep jobs need at least one point")
+		}
+		if spec.Epsilon != 0 || spec.MinSamples != 0 {
+			return Spec{}, errors.New("jobs: early stop does not apply to sweep jobs")
+		}
+		switch spec.Eval {
+		case "", "both", "w2w", "d2w":
+		default:
+			return Spec{}, fmt.Errorf("jobs: sweep eval must be \"w2w\", \"d2w\" or \"both\", got %q", spec.Eval)
+		}
+		if spec.Eval == "" {
+			spec.Eval = "both"
+		}
+		for i, p := range spec.Points {
+			if err := p.Validate(); err != nil {
+				return Spec{}, fmt.Errorf("jobs: invalid params at sweep point %d: %w", i, err)
+			}
+		}
+		// The checkpoint ladder walks the point index; Samples mirrors it so
+		// the ladder arithmetic — and the list output — read identically to
+		// simulate jobs.
+		spec.Samples = len(spec.Points)
+	default:
+		return Spec{}, fmt.Errorf("jobs: mode must be \"w2w\", \"d2w\" or \"sweep\", got %q", spec.Mode)
 	}
 	if spec.Workers < 0 || spec.CheckpointEvery < 0 {
-		return Job{}, errors.New("jobs: workers and checkpoint_every must be non-negative")
+		return Spec{}, errors.New("jobs: workers and checkpoint_every must be non-negative")
 	}
 	if spec.Epsilon < 0 || spec.MinSamples < 0 {
-		return Job{}, errors.New("jobs: epsilon and min_samples must be non-negative")
-	}
-	if err := spec.Params.Validate(); err != nil {
-		return Job{}, fmt.Errorf("jobs: invalid params: %w", err)
+		return Spec{}, errors.New("jobs: epsilon and min_samples must be non-negative")
 	}
 	// Resolve the checkpoint cadence now and persist it with the spec: the
 	// checkpoint ladder decides where the early-stop rule is evaluated, so
@@ -492,17 +756,36 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 	if spec.CheckpointEvery == 0 {
 		spec.CheckpointEvery = m.cfg.checkpointEvery()
 	}
+	return spec, nil
+}
+
+// Submit validates, durably logs and enqueues a job, returning its
+// pending Job. The submit record is fsync'd before Submit returns: an
+// accepted job survives any crash after the 202 goes out. Under
+// replication, Submit additionally waits for quorum acknowledgement — a
+// job is never reported accepted unless a majority of the replica set
+// holds its submit record, so no elected successor can forget it.
+func (m *Manager) Submit(spec Spec) (Job, error) {
+	spec, err := m.validateSpec(spec)
+	if err != nil {
+		return Job{}, err
+	}
 	wire, err := specToWire(spec)
 	if err != nil {
 		return Job{}, err
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return Job{}, ErrClosed
 	}
+	if !m.active {
+		m.mu.Unlock()
+		return Job{}, ErrNotLeader
+	}
 	if m.live() >= m.cfg.maxQueued() || len(m.queue) >= cap(m.queue) {
+		m.mu.Unlock()
 		return Job{}, ErrQueueFull
 	}
 	id := formatID(m.nextID)
@@ -514,13 +797,29 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 		SubmittedAt: m.clock(),
 	}}
 	if err := m.appendLocked(walRecord{Type: recSubmit, ID: id, Spec: &wire, At: js.job.SubmittedAt.UnixNano()}); err != nil {
+		m.mu.Unlock()
 		return Job{}, err
 	}
 	m.nextID++
 	m.jobs[id] = js
 	m.stats.Submitted++
-	m.queue <- id // capacity checked above; sends only happen under m.mu
-	return js.job, nil
+	m.pending = append(m.pending, id)
+	m.queue <- struct{}{} // capacity checked above; sends only happen under m.mu
+	job := js.job
+	seq := m.replSeq
+	repl := m.cfg.Replicator
+	m.mu.Unlock()
+
+	if repl != nil {
+		// The job is already durable and enqueued locally — if quorum fails
+		// the submitter gets an error (and may retry against the new
+		// leader); the local record costs at most duplicate compute, never
+		// divergent state, because record application is idempotent.
+		if err := repl.WaitQuorum(context.Background(), seq); err != nil {
+			return Job{}, fmt.Errorf("jobs: submit not acknowledged by quorum: %w", err)
+		}
+	}
+	return job, nil
 }
 
 // live counts non-terminal jobs. Callers hold m.mu.
@@ -564,6 +863,9 @@ func (m *Manager) List() []Job {
 func (m *Manager) Cancel(id string) (Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if !m.active {
+		return Job{}, ErrNotLeader
+	}
 	js, ok := m.jobs[id]
 	if !ok {
 		return Job{}, ErrNotFound
@@ -684,15 +986,22 @@ func (m *Manager) publishLocked(js *jobState) {
 // durably running — indistinguishable from a crash — and resume from
 // their last checkpoint at the next Open.
 func (m *Manager) Close() error {
+	m.lifeMu.Lock()
+	defer m.lifeMu.Unlock()
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return nil
 	}
 	m.closed = true
+	m.active = false
+	cancel := m.runCancel
+	m.runCancel = nil
 	m.mu.Unlock()
 
-	m.runCancel()
+	if cancel != nil { // nil when the store never activated (pure follower)
+		cancel()
+	}
 	m.wg.Wait()
 
 	m.mu.Lock()
@@ -718,9 +1027,30 @@ func (m *Manager) appendLocked(rec walRecord) error {
 	if err := m.wal.Append(payload); err != nil {
 		return err
 	}
+	m.replSeq++
 	m.stats.WALRecords++
 	if rec.Type == recCheckpoint {
 		m.stats.Checkpoints++
+	}
+	if m.cfg.Replicator != nil {
+		// Hand the fsync'd bytes to the replication pipeline. Ship only
+		// enqueues (backlog ring + sender wakeup), so holding m.mu here is
+		// fine and establishes the one legal lock order: Manager → replica.
+		m.cfg.Replicator.Ship(m.replSeq, payload)
+	}
+	return nil
+}
+
+// resetWALLocked empties the log after a snapshot has folded it away and
+// durably records the new base sequence, so recovery keeps numbering
+// replicated records correctly. Callers hold m.mu (or have exclusive
+// access during recovery) and have just written the snapshot.
+func (m *Manager) resetWALLocked() error {
+	if err := m.wal.Reset(); err != nil {
+		return err
+	}
+	if err := writeBaseSeq(m.cfg.Dir, m.replSeq); err != nil {
+		return fmt.Errorf("jobs: record wal base sequence: %w", err)
 	}
 	return nil
 }
@@ -747,8 +1077,12 @@ func (m *Manager) finishLocked(js *jobState, state State, errText string, res *s
 	rec := walRecord{Type: recState, ID: js.job.ID, State: state, Error: errText, At: finishedAt.UnixNano()}
 	if state == StateDone {
 		rec.Completed = js.job.Completed
-		c := js.job.Counts
-		rec.Counts = &c
+		if js.job.Spec.Mode == ModeSweep {
+			rec.Sweep = js.job.Sweep
+		} else {
+			c := js.job.Counts
+			rec.Counts = &c
+		}
 	}
 	// Durable record first, in-memory transition second: a crash between
 	// the two replays the same terminal state instead of forgetting it.
@@ -774,18 +1108,56 @@ func (m *Manager) finishLocked(js *jobState, state State, errText string, res *s
 	m.publishLocked(js)
 }
 
-// runner is one worker of the bounded pool: dequeue, execute in
-// checkpoint-sized slices, repeat.
-func (m *Manager) runner() {
+// runner is one worker of the bounded pool: dequeue the highest effective
+// priority job, execute in checkpoint-sized slices, repeat. ctx and queue
+// are the activation's own — a demotion tears them down and a later
+// promotion starts fresh ones, so pools never overlap.
+func (m *Manager) runner(ctx context.Context, queue chan struct{}) {
 	defer m.wg.Done()
 	for {
 		select {
-		case <-m.runCtx.Done():
+		case <-ctx.Done():
 			return
-		case id := <-m.queue:
-			m.runJob(id)
+		case <-queue:
+			if id, ok := m.takeJob(); ok {
+				m.runJob(ctx, id)
+			}
 		}
 	}
+}
+
+// takeJob pops the pending job with the highest effective priority:
+// Spec.Priority plus one level per PriorityAging of queue wait, ties
+// broken by lowest ID (submission order). The aging bonus grows without
+// bound, so a steady stream of high-priority submissions delays a
+// low-priority job but can never starve it.
+func (m *Manager) takeJob() (string, bool) {
+	now := m.clock()
+	aging := m.cfg.priorityAging()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	best := -1
+	var bestEff int
+	for i, id := range m.pending {
+		js, ok := m.jobs[id]
+		if !ok {
+			continue // GC'd while queued; still consume the slot
+		}
+		eff := js.job.Spec.Priority
+		if !js.job.SubmittedAt.IsZero() {
+			eff += int(now.Sub(js.job.SubmittedAt) / aging)
+		}
+		if best == -1 || eff > bestEff || (eff == bestEff && id < m.pending[best]) {
+			best, bestEff = i, eff
+		}
+	}
+	if best == -1 {
+		m.pending = nil
+		return "", false
+	}
+	id := m.pending[best]
+	m.pending = append(m.pending[:best], m.pending[best+1:]...)
+	return id, true
 }
 
 // stopEarlyLocked finishes a job the sequential rule just stopped: the
@@ -811,7 +1183,7 @@ func (m *Manager) stopEarlyLocked(js *jobState, acc sim.Result, cap int) {
 // results are folded through sim.Merge — the same arithmetic as the dist
 // coordinator — so the final Result is bit-identical to an uninterrupted
 // single-process run (Elapsed excepted, as everywhere).
-func (m *Manager) runJob(id string) {
+func (m *Manager) runJob(ctx context.Context, id string) {
 	// An injected panic at HookJobsRun (or a genuine bug in the slice
 	// path) costs this job a failure, not the whole daemon. Code holding
 	// m.mu never panics (see fireWALHook), so re-locking here is safe.
@@ -842,13 +1214,19 @@ func (m *Manager) runJob(id string) {
 		js.job.State = StateRunning
 		m.publishLocked(js)
 	}
-	jobCtx, cancel := context.WithCancel(m.runCtx)
+	jobCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	js.cancel = cancel
 	spec := js.job.Spec
 	completed := js.job.Completed
 	counts := js.job.Counts
+	sweepDone := append([]SweepOutcome(nil), js.job.Sweep...)
 	m.mu.Unlock()
+
+	if spec.Mode == ModeSweep {
+		m.runSweepJob(jobCtx, js, spec, completed, sweepDone)
+		return
+	}
 
 	// Submit resolves CheckpointEvery into the persisted spec; the fallback
 	// only covers records written before it did so.
@@ -1002,14 +1380,122 @@ func (m *Manager) runJob(id string) {
 	m.mu.Unlock()
 }
 
+// runSweepJob walks the sweep's remaining points through the analytic
+// model in checkpoint-sized slices, appending a cumulative outcome record
+// after each. Evaluation is pure float arithmetic over the persisted
+// resolved params, so a resumed sweep reproduces the identical outcome
+// list — the same bit-identity contract simulate jobs get from their
+// (seed, index) streams. A panicking point is recorded as that point's
+// error and the sweep continues, mirroring /v1/sweep.
+func (m *Manager) runSweepJob(jobCtx context.Context, js *jobState, spec Spec, completed int, done []SweepOutcome) {
+	id := js.job.ID
+	checkpointEvery := spec.CheckpointEvery
+	if checkpointEvery <= 0 {
+		checkpointEvery = m.cfg.checkpointEvery()
+	}
+	fail := func(text string) {
+		m.mu.Lock()
+		js.cancel = nil
+		m.finishLocked(js, StateFailed, text, nil)
+		m.mu.Unlock()
+	}
+	interrupted := func() {
+		m.mu.Lock()
+		js.cancel = nil
+		if js.cancelRequested && !js.job.State.Terminal() {
+			m.finishLocked(js, StateCanceled, "", nil)
+		}
+		m.mu.Unlock()
+	}
+
+	total := len(spec.Points)
+	for completed < total {
+		chunk := total - completed
+		if chunk > checkpointEvery {
+			chunk = checkpointEvery
+		}
+		if err := m.cfg.Faults.Fire(jobCtx, faultinject.HookJobsRun); err != nil {
+			if jobCtx.Err() != nil {
+				interrupted()
+				return
+			}
+			fail(fmt.Sprintf("sweep slice at point %d: %v", completed, err))
+			return
+		}
+		for i := completed; i < completed+chunk; i++ {
+			if jobCtx.Err() != nil {
+				interrupted()
+				return
+			}
+			done = append(done, evalSweepPoint(i, spec.Points[i], spec.Eval))
+		}
+		completed += chunk
+
+		m.mu.Lock()
+		if js.job.State.Terminal() { // raced with a durable cancel
+			js.cancel = nil
+			m.mu.Unlock()
+			return
+		}
+		outcomes := append([]SweepOutcome(nil), done...)
+		if err := m.appendLocked(walRecord{Type: recCheckpoint, ID: id, Completed: completed, Sweep: outcomes}); err != nil {
+			js.cancel = nil
+			m.finishLocked(js, StateFailed, fmt.Sprintf("checkpoint at point %d: %v", completed, err), nil)
+			m.mu.Unlock()
+			return
+		}
+		js.job.Completed = completed
+		js.job.Sweep = outcomes
+		m.publishLocked(js)
+		m.mu.Unlock()
+	}
+
+	m.mu.Lock()
+	js.cancel = nil
+	if !js.job.State.Terminal() {
+		m.finishLocked(js, StateDone, "", nil)
+	}
+	m.mu.Unlock()
+}
+
+// evalSweepPoint evaluates one resolved parameter set through the
+// analytic model, converting a panic into a per-point error.
+func evalSweepPoint(index int, p core.Params, eval string) (out SweepOutcome) {
+	out = SweepOutcome{Index: index, ParamsHash: p.HashString()}
+	defer func() {
+		if rec := recover(); rec != nil {
+			out.W2W, out.D2W = nil, nil
+			out.Error = fmt.Sprintf("panic: %v", rec)
+		}
+	}()
+	if eval == "w2w" || eval == "both" {
+		b, err := p.EvaluateW2W()
+		if err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		out.W2W = &b
+	}
+	if eval == "d2w" || eval == "both" {
+		b, err := p.EvaluateD2W()
+		if err != nil {
+			out.W2W = nil
+			out.Error = err.Error()
+			return out
+		}
+		out.D2W = &b
+	}
+	return out
+}
+
 // gcLoop drops terminal jobs whose results have outlived ResultTTL.
-func (m *Manager) gcLoop() {
+func (m *Manager) gcLoop(ctx context.Context) {
 	defer m.wg.Done()
 	ticker := time.NewTicker(m.cfg.gcInterval())
 	defer ticker.Stop()
 	for {
 		select {
-		case <-m.runCtx.Done():
+		case <-ctx.Done():
 			return
 		case <-ticker.C:
 			m.gcPass()
@@ -1043,12 +1529,19 @@ func (m *Manager) gcPass() {
 		m.stats.GCRemoved++
 		removed++
 	}
-	if removed > 0 {
+	segBytes := m.cfg.WALSegmentBytes
+	if segBytes <= 0 {
+		segBytes = defaultSegmentBytes
+	}
+	// Compact when jobs were dropped, or when the accumulated segments
+	// outgrew their budget — the snapshot folds them away, and Reset
+	// deletes every fully-compacted segment file.
+	if removed > 0 || m.wal.Size() > 4*segBytes {
 		if err := m.writeSnapshotLocked(); err != nil {
 			m.logf("gc: snapshot: %v", err)
 			return
 		}
-		if err := m.wal.Reset(); err != nil {
+		if err := m.resetWALLocked(); err != nil {
 			m.logf("gc: wal reset: %v", err)
 		}
 	}
@@ -1057,7 +1550,7 @@ func (m *Manager) gcPass() {
 // writeSnapshotLocked persists the full state atomically. Callers hold
 // m.mu (or have exclusive access during recovery).
 func (m *Manager) writeSnapshotLocked() error {
-	st := persistedState{NextID: m.nextID}
+	st := persistedState{NextID: m.nextID, ReplicaSeq: m.replSeq}
 	ordered := m.ordered()
 	st.Jobs = make([]persistedJob, len(ordered))
 	for i, js := range ordered {
@@ -1067,6 +1560,7 @@ func (m *Manager) writeSnapshotLocked() error {
 			State:     js.job.State,
 			Completed: js.job.Completed,
 			Counts:    js.job.Counts,
+			Sweep:     js.job.Sweep,
 			Resumes:   js.job.Resumes,
 			Error:     js.job.Error,
 		}

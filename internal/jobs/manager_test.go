@@ -333,8 +333,9 @@ func TestCorruptWALTailRecovered(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Tear the log: half a record of garbage lands after the intact tail.
-	walPath := filepath.Join(dir, walName)
+	// Tear the log: half a record of garbage lands after the intact tail
+	// of the active segment.
+	walPath := segPath(dir, 1)
 	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)

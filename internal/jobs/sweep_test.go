@@ -1,0 +1,241 @@
+package jobs
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"yap/internal/core"
+	"yap/internal/faultinject"
+)
+
+// sweepPoints builds n resolved parameter sets differing in a single knob.
+func sweepPoints(t *testing.T, n int) []core.Params {
+	t.Helper()
+	points := make([]core.Params, n)
+	for i := range points {
+		p := core.Baseline()
+		p.RandomMisalignmentSigma *= 1 + 0.05*float64(i)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		points[i] = p
+	}
+	return points
+}
+
+func sweepSpec(t *testing.T, n, every int) Spec {
+	return Spec{Mode: ModeSweep, Points: sweepPoints(t, n), CheckpointEvery: every}
+}
+
+// TestSweepJobRunsToCompletion: a sweep job walks every point through the
+// analytic model, checkpointing outcomes cumulatively.
+func TestSweepJobRunsToCompletion(t *testing.T) {
+	m, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	spec := sweepSpec(t, 5, 2)
+	job, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Spec.Samples != 5 {
+		t.Errorf("sweep Samples = %d, want 5 (mirrors len(Points))", job.Spec.Samples)
+	}
+	final := waitTerminal(t, m, job.ID)
+	if final.State != StateDone {
+		t.Fatalf("sweep state %s: %s", final.State, final.Error)
+	}
+	if final.Completed != 5 || len(final.Sweep) != 5 {
+		t.Fatalf("completed %d, %d outcomes", final.Completed, len(final.Sweep))
+	}
+	for i, out := range final.Sweep {
+		if out.Index != i || out.Error != "" {
+			t.Fatalf("outcome %d: index %d error %q", i, out.Index, out.Error)
+		}
+		wantW2W, err := spec.Points[i].EvaluateW2W()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantD2W, err := spec.Points[i].EvaluateD2W()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.W2W == nil || *out.W2W != wantW2W {
+			t.Fatalf("outcome %d w2w = %+v, want %+v", i, out.W2W, wantW2W)
+		}
+		if out.D2W == nil || *out.D2W != wantD2W {
+			t.Fatalf("outcome %d d2w = %+v, want %+v", i, out.D2W, wantD2W)
+		}
+		if out.ParamsHash != spec.Points[i].HashString() {
+			t.Fatalf("outcome %d params hash mismatch", i)
+		}
+	}
+}
+
+// TestSweepJobResumesBitIdentical: a sweep interrupted after its first
+// durable checkpoint resumes from the checkpointed point index and
+// finishes with the outcome list an uninterrupted run produces.
+func TestSweepJobResumesBitIdentical(t *testing.T) {
+	spec := sweepSpec(t, 6, 2)
+
+	// Uninterrupted reference run.
+	ref, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJob, err := ref.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitTerminal(t, ref, refJob.ID)
+	ref.Close()
+	if want.State != StateDone {
+		t.Fatalf("reference sweep state %s: %s", want.State, want.Error)
+	}
+
+	// Paced run, interrupted after the first checkpoint.
+	dir := t.TempDir()
+	inj := faultinject.New(1, faultinject.Rule{
+		Hook: faultinject.HookJobsRun, Mode: faultinject.ModeDelay,
+		Probability: 1, Delay: 25 * time.Millisecond,
+	})
+	m, err := Open(Config{Dir: dir, Faults: inj, Runners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j, err := m.Get(job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.Completed >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never checkpointed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Close(); err != nil { // leaves the job durably running
+		t.Fatal(err)
+	}
+
+	m2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	final := waitTerminal(t, m2, job.ID)
+	if final.State != StateDone {
+		t.Fatalf("resumed sweep state %s: %s", final.State, final.Error)
+	}
+	if final.Resumes < 1 {
+		t.Errorf("resumed sweep reports %d resumes", final.Resumes)
+	}
+	if !reflect.DeepEqual(final.Sweep, want.Sweep) {
+		t.Fatalf("resumed sweep outcomes diverged:\n got %+v\nwant %+v", final.Sweep, want.Sweep)
+	}
+}
+
+// TestSweepSpecValidation rejects malformed sweep submissions.
+func TestSweepSpecValidation(t *testing.T) {
+	m, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Submit(Spec{Mode: ModeSweep}); err == nil {
+		t.Error("sweep without points accepted")
+	}
+	bad := sweepSpec(t, 2, 2)
+	bad.Eval = "sideways"
+	if _, err := m.Submit(bad); err == nil {
+		t.Error("bad eval mode accepted")
+	}
+	eps := sweepSpec(t, 2, 2)
+	eps.Epsilon = 0.01
+	if _, err := m.Submit(eps); err == nil {
+		t.Error("early stop on a sweep accepted")
+	}
+	sim := testSpec(2, 2)
+	sim.Points = sweepPoints(t, 1)
+	if _, err := m.Submit(sim); err == nil {
+		t.Error("simulate spec with points accepted")
+	}
+}
+
+// TestSweepEvalModes: Eval selects which breakdowns are produced.
+func TestSweepEvalModes(t *testing.T) {
+	m, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for _, eval := range []string{"w2w", "d2w"} {
+		spec := sweepSpec(t, 2, 2)
+		spec.Eval = eval
+		job, err := m.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := waitTerminal(t, m, job.ID)
+		if final.State != StateDone {
+			t.Fatalf("eval %s: state %s: %s", eval, final.State, final.Error)
+		}
+		for i, out := range final.Sweep {
+			if (out.W2W != nil) != (eval == "w2w") || (out.D2W != nil) != (eval == "d2w") {
+				t.Fatalf("eval %s outcome %d: w2w=%v d2w=%v", eval, i, out.W2W != nil, out.D2W != nil)
+			}
+		}
+	}
+}
+
+// TestSweepCancel: sweeps cancel at slice boundaries like simulates.
+func TestSweepCancel(t *testing.T) {
+	inj := faultinject.New(1, faultinject.Rule{
+		Hook: faultinject.HookJobsRun, Mode: faultinject.ModeDelay,
+		Probability: 1, Delay: 20 * time.Millisecond,
+	})
+	m, err := Open(Config{Dir: t.TempDir(), Faults: inj, Runners: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	job, err := m.Submit(sweepSpec(t, 50, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j, err := m.Get(job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := m.Cancel(job.ID); err != nil && !errors.Is(err, ErrTerminal) {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, m, job.ID)
+	if final.State != StateCanceled && final.State != StateDone {
+		t.Fatalf("canceled sweep state %s", final.State)
+	}
+	if final.State == StateCanceled && len(final.Sweep) != final.Completed {
+		t.Fatalf("canceled sweep: %d outcomes for %d completed points", len(final.Sweep), final.Completed)
+	}
+}

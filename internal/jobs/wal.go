@@ -11,17 +11,26 @@
 //
 // Durability layout (one directory per Manager):
 //
-//	jobs.snap  atomic-rename JSON snapshot of every live job + ID counter
-//	jobs.wal   length-prefixed, CRC-32-checked, fsync'd record log
+//	jobs.snap        atomic-rename JSON snapshot of every live job + ID counter
+//	jobs-NNNNNN.wal  length-prefixed, CRC-32-checked, fsync'd record log,
+//	                 rotated into size-capped segments
+//	jobs.wal         legacy single-segment log from older stores, read at
+//	                 recovery and removed at the first compaction
 //
-// Recovery replays the WAL over the snapshot (record application is
-// idempotent and monotone, so replaying records the snapshot already
-// covers is harmless), truncates a corrupt or torn tail instead of
-// failing, compacts the folded state into a fresh snapshot, and
-// re-enqueues every non-terminal job. The package sits in the yaplint
-// determinism tree: nothing in the replayed path reads the wall clock —
-// timestamps are telemetry carried in records, produced by the injected
-// Clock at append time.
+// Recovery replays the segments in order over the snapshot (record
+// application is idempotent and monotone, so replaying records the
+// snapshot already covers is harmless), truncates a corrupt or torn tail
+// instead of failing — discarding any segments past the corruption, since
+// records are only meaningful in order — compacts the folded state into a
+// fresh snapshot, and re-enqueues every non-terminal job. The package sits
+// in the yaplint determinism tree: nothing in the replayed path reads the
+// wall clock — timestamps are telemetry carried in records, produced by
+// the injected Clock at append time.
+//
+// The same record stream doubles as the replication feed of
+// internal/replica: Config.Replicator observes every durable append on a
+// leader, and ApplyReplicated lands the identical bytes in a follower's
+// segments, so replicated state machines stay bit-identical.
 package jobs
 
 import (
@@ -33,41 +42,146 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 )
 
 const (
-	walName  = "jobs.wal"
-	snapName = "jobs.snap"
+	// legacyWALName is the pre-rotation single-file log; still replayed,
+	// removed at the first compaction.
+	legacyWALName = "jobs.wal"
+	snapName      = "jobs.snap"
+	// baseSeqName persists the replication sequence number at the last WAL
+	// reset: every record currently in the segments carries base+1, base+2,
+	// … in append order. Recovery derives the live sequence as
+	// max(snapshot.ReplicaSeq, base + replayed count), which is correct in
+	// every crash window around the snapshot-then-reset compaction pair.
+	baseSeqName = "jobs.seq"
+
+	// segPrefix/segSuffix frame the numbered segment files: jobs-000001.wal.
+	segPrefix = "jobs-"
+	segSuffix = ".wal"
 
 	// maxRecordBytes bounds one WAL record. Records are small JSON blobs
 	// (a spec with an embedded parameter set is the largest); anything
 	// beyond this is treated as corruption at replay.
 	maxRecordBytes = 4 << 20
+
+	// defaultSegmentBytes is the rotation threshold when Config leaves
+	// WALSegmentBytes at zero: once the active segment reaches it, the
+	// next Append opens a fresh segment.
+	defaultSegmentBytes = 4 << 20
 )
 
 // walHeaderSize is the per-record framing: uint32 payload length plus
 // uint32 CRC-32 (IEEE) of the payload, both little-endian.
 const walHeaderSize = 8
 
-// wal is the append side of the log: every Append writes one framed
-// record and fsyncs before returning, so a record that Append reported
-// durable survives a crash immediately after.
-type wal struct {
-	mu sync.Mutex
-	f  *os.File //yaplint:guardedby mu
+// RecordCRC is the checksum shipped alongside a replicated record so a
+// follower can reject bytes mangled in transit before they reach its own
+// durable segments — the same CRC-32 (IEEE) the on-disk framing uses.
+func RecordCRC(payload []byte) uint32 { return crc32.ChecksumIEEE(payload) }
+
+// segPath names segment n inside dir.
+func segPath(dir string, n uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%06d%s", segPrefix, n, segSuffix))
 }
 
-// openWAL opens (creating if absent) the log at path for appending,
-// truncating it to cleanOffset first — the byte offset replayWAL reported
-// as the end of the last intact record — so a torn tail is physically
-// discarded before new records land after it.
-func openWAL(path string, cleanOffset int64) (*wal, error) {
+// parseSegName extracts the segment number from a jobs-NNNNNN.wal name.
+func parseSegName(name string) (uint64, bool) {
+	s, ok := strings.CutPrefix(name, segPrefix)
+	if !ok {
+		return 0, false
+	}
+	s, ok = strings.CutSuffix(s, segSuffix)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the numbered segments in dir in ascending order.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("jobs: list wal segments: %w", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		if n, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a] < segs[b] })
+	return segs, nil
+}
+
+// walPos names where replay stopped: the segment holding the last intact
+// record, the byte offset just past it, and any later segments that must
+// be discarded (records are only meaningful in order, so segments past a
+// corruption are unusable). seg 0 with legacy=true is the pre-rotation
+// jobs.wal file.
+type walPos struct {
+	seg    uint64
+	legacy bool
+	offset int64
+	// stale lists segment file paths written after the corruption point;
+	// openWAL removes them before appending resumes.
+	stale []string
+}
+
+// wal is the append side of the log: every Append writes one framed
+// record and fsyncs before returning, so a record that Append reported
+// durable survives a crash immediately after. Once the active segment
+// reaches segBytes the next Append rotates to a fresh segment, so a
+// long-lived store never grows one unbounded file; Reset (compaction)
+// removes every segment the snapshot now covers.
+type wal struct {
+	dir      string
+	segBytes int64
+
+	mu   sync.Mutex
+	f    *os.File //yaplint:guardedby mu
+	seg  uint64   //yaplint:guardedby mu
+	size int64    //yaplint:guardedby mu
+}
+
+// openWAL opens the log in dir for appending at pos — the point replayWAL
+// reported as the end of the last intact record — truncating the active
+// segment there and deleting any stale later segments, so a torn tail is
+// physically discarded before new records land after it. segBytes of 0
+// uses the default rotation threshold.
+func openWAL(dir string, segBytes int64, pos walPos) (*wal, error) {
+	if segBytes <= 0 {
+		segBytes = defaultSegmentBytes
+	}
+	for _, stale := range pos.stale {
+		if err := os.Remove(stale); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("jobs: remove stale wal segment: %w", err)
+		}
+	}
+	path := segPath(dir, pos.seg)
+	if pos.legacy {
+		path = filepath.Join(dir, legacyWALName)
+	} else if pos.seg == 0 {
+		// Fresh store: no segments yet, start at 1.
+		pos.seg = 1
+		path = segPath(dir, 1)
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("jobs: open wal: %w", err)
+		return nil, fmt.Errorf("jobs: open wal segment: %w", err)
 	}
-	if err := f.Truncate(cleanOffset); err != nil {
+	if err := f.Truncate(pos.offset); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("jobs: truncate wal tail: %w", err)
 	}
@@ -75,13 +189,22 @@ func openWAL(path string, cleanOffset int64) (*wal, error) {
 		f.Close()
 		return nil, fmt.Errorf("jobs: seek wal: %w", err)
 	}
-	return &wal{f: f}, nil
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &wal{dir: dir, segBytes: segBytes, f: f, size: pos.offset}
+	if !pos.legacy {
+		w.seg = pos.seg
+	}
+	return w, nil
 }
 
 // Append durably writes one record: frame + payload in a single write,
 // then fsync. An error leaves the caller free to retry or to fail the
 // operation the record was logging; a torn write from a crash mid-call is
-// healed by replay truncation at the next open.
+// healed by replay truncation at the next open. When the active segment
+// has reached the rotation threshold the record lands in a fresh segment.
 func (w *wal) Append(payload []byte) error {
 	if len(payload) == 0 {
 		return errors.New("jobs: empty wal record")
@@ -95,29 +218,100 @@ func (w *wal) Append(payload []byte) error {
 	copy(buf[walHeaderSize:], payload)
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.size > 0 && w.size+int64(len(buf)) > w.segBytes {
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+	}
 	if _, err := w.f.Write(buf); err != nil {
 		return fmt.Errorf("jobs: append wal record: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("jobs: fsync wal: %w", err)
 	}
+	w.size += int64(len(buf))
 	return nil
 }
 
+// rotateLocked closes the active segment and opens the next one. The new
+// segment's directory entry is fsync'd before any record lands in it — a
+// segment whose records are durable but whose name is not would vanish
+// wholesale on a crash. Callers hold w.mu.
+func (w *wal) rotateLocked() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("jobs: close rotated wal segment: %w", err)
+	}
+	next := w.seg + 1
+	f, err := os.OpenFile(segPath(w.dir, next), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: open next wal segment: %w", err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.seg, w.size = f, next, 0
+	return nil
+}
+
+// Size reports the total bytes across the active segment and every
+// earlier one still on disk — the quantity size-triggered compaction
+// thresholds against.
+func (w *wal) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	total := w.size
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return total
+	}
+	for _, n := range segs {
+		if n == w.seg {
+			continue
+		}
+		if fi, err := os.Stat(segPath(w.dir, n)); err == nil {
+			total += fi.Size()
+		}
+	}
+	if fi, err := os.Stat(filepath.Join(w.dir, legacyWALName)); err == nil {
+		total += fi.Size()
+	}
+	return total
+}
+
 // Reset empties the log (compaction: the snapshot now carries everything
-// the log held) and fsyncs the truncation.
+// the log held): every fully-compacted segment — and the legacy
+// single-file log, if the store predates rotation — is deleted, and
+// appending restarts in a fresh first segment. The directory entry churn
+// is fsync'd; a crash mid-reset leaves either the old segments (snapshot
+// replays over them harmlessly) or an empty log.
 func (w *wal) Reset() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.f.Truncate(0); err != nil {
-		return fmt.Errorf("jobs: reset wal: %w", err)
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("jobs: close wal for reset: %w", err)
 	}
-	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("jobs: reset wal: %w", err)
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
 	}
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("jobs: fsync wal reset: %w", err)
+	for _, n := range segs {
+		if err := os.Remove(segPath(w.dir, n)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("jobs: remove compacted wal segment: %w", err)
+		}
 	}
+	if err := os.Remove(filepath.Join(w.dir, legacyWALName)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("jobs: remove legacy wal: %w", err)
+	}
+	f, err := os.OpenFile(segPath(w.dir, 1), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: reopen wal after reset: %w", err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.seg, w.size = f, 1, 0
 	return nil
 }
 
@@ -127,20 +321,62 @@ func (w *wal) Close() error {
 	return w.f.Close()
 }
 
-// replayWAL reads every intact record from path in append order. It never
-// fails on corruption: a record whose frame is torn (crash mid-write),
-// whose length is insane, or whose CRC disagrees ends the replay there,
-// and truncated reports that trailing bytes were discarded. cleanOffset
-// is the byte offset of the first non-intact byte — pass it to openWAL so
-// the tail is physically removed. A missing file is an empty log.
-func replayWAL(path string) (records [][]byte, cleanOffset int64, truncated bool, err error) {
-	data, err := os.ReadFile(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil, 0, false, nil
+// replayWAL reads every intact record from the segments in dir in append
+// order: the legacy jobs.wal first (older stores), then the numbered
+// segments ascending. It never fails on corruption: a record whose frame
+// is torn (crash mid-write), whose length is insane, or whose CRC
+// disagrees ends the replay there — later segments are reported stale in
+// pos, since records past a corruption are only meaningful in order — and
+// truncated reports that bytes were discarded. Pass pos to openWAL so the
+// tail is physically removed. A missing directory or empty segment set is
+// an empty log.
+func replayWAL(dir string) (records [][]byte, pos walPos, truncated bool, err error) {
+	type segment struct {
+		path   string
+		num    uint64
+		legacy bool
 	}
+	var order []segment
+	legacy := filepath.Join(dir, legacyWALName)
+	if _, statErr := os.Stat(legacy); statErr == nil {
+		order = append(order, segment{path: legacy, legacy: true})
+	}
+	segs, err := listSegments(dir)
 	if err != nil {
-		return nil, 0, false, fmt.Errorf("jobs: read wal: %w", err)
+		return nil, walPos{}, false, err
 	}
+	for _, n := range segs {
+		order = append(order, segment{path: segPath(dir, n), num: n})
+	}
+	if len(order) == 0 {
+		return nil, walPos{}, false, nil
+	}
+	for i, seg := range order {
+		data, readErr := os.ReadFile(seg.path)
+		if errors.Is(readErr, fs.ErrNotExist) {
+			continue
+		}
+		if readErr != nil {
+			return nil, walPos{}, false, fmt.Errorf("jobs: read wal segment: %w", readErr)
+		}
+		segRecords, off, segTruncated := replaySegment(data)
+		records = append(records, segRecords...)
+		pos = walPos{seg: seg.num, legacy: seg.legacy, offset: off}
+		if segTruncated {
+			// Everything after the corruption — the rest of this segment
+			// and every later one — is discarded.
+			for _, later := range order[i+1:] {
+				pos.stale = append(pos.stale, later.path)
+			}
+			return records, pos, true, nil
+		}
+	}
+	return records, pos, false, nil
+}
+
+// replaySegment walks one segment's framing, returning the intact records,
+// the offset past the last one, and whether trailing bytes were dropped.
+func replaySegment(data []byte) (records [][]byte, cleanOffset int64, truncated bool) {
 	off := 0
 	for off+walHeaderSize <= len(data) {
 		n := binary.LittleEndian.Uint32(data[off : off+4])
@@ -155,7 +391,26 @@ func replayWAL(path string) (records [][]byte, cleanOffset int64, truncated bool
 		records = append(records, payload)
 		off += walHeaderSize + int(n)
 	}
-	return records, int64(off), off < len(data), nil
+	return records, int64(off), off < len(data)
+}
+
+// readBaseSeq loads the WAL base sequence; a missing or unreadable file
+// is base 0 (pre-replication stores).
+func readBaseSeq(dir string) uint64 {
+	data, err := os.ReadFile(filepath.Join(dir, baseSeqName))
+	if err != nil {
+		return 0
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// writeBaseSeq durably records the WAL base sequence after a reset.
+func writeBaseSeq(dir string, seq uint64) error {
+	return writeFileAtomic(filepath.Join(dir, baseSeqName), []byte(strconv.FormatUint(seq, 10)+"\n"))
 }
 
 // writeFileAtomic writes data to path via a temp file in the same

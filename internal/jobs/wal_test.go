@@ -3,14 +3,15 @@ package jobs
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
 func TestWALAppendReplayRoundtrip(t *testing.T) {
-	path := filepath.Join(t.TempDir(), walName)
-	w, err := openWAL(path, 0)
+	dir := t.TempDir()
+	w, err := openWAL(dir, 0, walPos{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +24,7 @@ func TestWALAppendReplayRoundtrip(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	got, off, truncated, err := replayWAL(path)
+	got, pos, truncated, err := replayWAL(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,36 +39,184 @@ func TestWALAppendReplayRoundtrip(t *testing.T) {
 			t.Errorf("record %d mismatch", i)
 		}
 	}
-	fi, err := os.Stat(path)
+	fi, err := os.Stat(segPath(dir, pos.seg))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if off != fi.Size() {
-		t.Errorf("clean offset %d != file size %d", off, fi.Size())
+	if pos.offset != fi.Size() {
+		t.Errorf("clean offset %d != file size %d", pos.offset, fi.Size())
 	}
 }
 
-func TestWALReplayMissingFileIsEmpty(t *testing.T) {
-	recs, off, truncated, err := replayWAL(filepath.Join(t.TempDir(), walName))
-	if err != nil || len(recs) != 0 || off != 0 || truncated {
-		t.Fatalf("missing file: recs=%d off=%d truncated=%v err=%v", len(recs), off, truncated, err)
+func TestWALReplayMissingDirIsEmpty(t *testing.T) {
+	recs, pos, truncated, err := replayWAL(filepath.Join(t.TempDir(), "nonexistent"))
+	if err != nil || len(recs) != 0 || pos.offset != 0 || truncated {
+		t.Fatalf("missing dir: recs=%d off=%d truncated=%v err=%v", len(recs), pos.offset, truncated, err)
 	}
 }
 
-// writeRecords builds a raw log of intact frames for corruption tests.
-func writeRecords(t *testing.T, path string, payloads ...[]byte) {
-	t.Helper()
-	w, err := openWAL(path, 0)
+// TestWALLegacySingleFileReplay covers stores written before segment
+// rotation: a bare jobs.wal must replay first and keep accepting appends,
+// and the first Reset must remove it.
+func TestWALLegacySingleFileReplay(t *testing.T) {
+	dir := t.TempDir()
+	frame := func(payload []byte) []byte {
+		buf := make([]byte, walHeaderSize+len(payload))
+		binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(buf[4:8], RecordCRC(payload))
+		copy(buf[walHeaderSize:], payload)
+		return buf
+	}
+	legacy := append(frame([]byte("old-one")), frame([]byte("old-two"))...)
+	if err := os.WriteFile(filepath.Join(dir, legacyWALName), legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, pos, truncated, err := replayWAL(dir)
+	if err != nil || truncated {
+		t.Fatalf("legacy replay: truncated=%v err=%v", truncated, err)
+	}
+	if len(recs) != 2 || !pos.legacy {
+		t.Fatalf("legacy replay: %d records, legacy=%v", len(recs), pos.legacy)
+	}
+	w, err := openWAL(dir, 0, pos)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range payloads {
+	if err := w.Append([]byte("new-three")); err != nil {
+		t.Fatal(err)
+	}
+	recsMid, _, _, err := replayWAL(dir)
+	if err != nil || len(recsMid) != 3 {
+		t.Fatalf("legacy+append replay: %d records err=%v", len(recsMid), err)
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, err := os.Stat(filepath.Join(dir, legacyWALName)); !os.IsNotExist(err) {
+		t.Errorf("legacy wal not removed by reset: %v", err)
+	}
+}
+
+// TestWALSegmentRotation drives the log past its segment cap and checks
+// that records land across multiple numbered segments, that replay folds
+// them back in order across the boundaries, and that appending resumes in
+// the last segment.
+func TestWALSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Each record is 64 payload bytes + 8 framing; cap at 200 so roughly
+	// two records fit per segment.
+	w, err := openWAL(dir, 200, walPos{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 9; i++ {
+		p := bytes.Repeat([]byte{byte('a' + i)}, 64)
+		want = append(want, p)
 		if err := w.Append(p); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation into >=3 segments, got %d", len(segs))
+	}
+	got, pos, truncated, err := replayWAL(dir)
+	if err != nil || truncated {
+		t.Fatalf("replay: truncated=%v err=%v", truncated, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records across segments, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch after segment-boundary replay", i)
+		}
+	}
+	if pos.seg != segs[len(segs)-1] {
+		t.Errorf("replay position segment %d, want last segment %d", pos.seg, segs[len(segs)-1])
+	}
+	w2, err := openWAL(dir, 200, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append([]byte("after-reopen")); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	got2, _, _, err := replayWAL(dir)
+	if err != nil || len(got2) != len(want)+1 {
+		t.Fatalf("post-reopen replay: %d records err=%v", len(got2), err)
+	}
+}
+
+// TestWALCorruptionDiscardsLaterSegments checks the ordering rule: a
+// corrupt record in an earlier segment invalidates everything after it,
+// including whole later segments, which openWAL then deletes.
+func TestWALCorruptionDiscardsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, 100, walPos{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := w.Append(bytes.Repeat([]byte{byte('0' + i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("need >=3 segments for this test, got %d", len(segs))
+	}
+	// Flip a payload byte in the SECOND segment: records in the first stay
+	// good, the second truncates at the corruption, the rest are stale.
+	second := segPath(dir, segs[1])
+	data, err := os.ReadFile(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(second, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, pos, truncated, err := replayWAL(dir)
+	if err != nil {
+		t.Fatalf("replay must not fail on corruption: %v", err)
+	}
+	if !truncated {
+		t.Fatal("corruption not reported")
+	}
+	if pos.seg != segs[1] {
+		t.Errorf("replay stopped in segment %d, want %d", pos.seg, segs[1])
+	}
+	if len(pos.stale) != len(segs)-2 {
+		t.Errorf("stale segments %d, want %d", len(pos.stale), len(segs)-2)
+	}
+	w2, err := openWAL(dir, 100, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append([]byte("healed")); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	recs2, _, truncated2, err := replayWAL(dir)
+	if err != nil || truncated2 {
+		t.Fatalf("post-heal replay: truncated=%v err=%v", truncated2, err)
+	}
+	if len(recs2) != len(recs)+1 {
+		t.Errorf("post-heal records %d, want %d", len(recs2), len(recs)+1)
 	}
 }
 
@@ -96,8 +245,18 @@ func TestWALReplayTruncatesCorruptTail(t *testing.T) {
 	}
 	for _, tc := range tamper {
 		t.Run(tc.name, func(t *testing.T) {
-			path := filepath.Join(t.TempDir(), walName)
-			writeRecords(t, path, a, b)
+			dir := t.TempDir()
+			w, err := openWAL(dir, 0, walPos{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range [][]byte{a, b} {
+				if err := w.Append(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			w.Close()
+			path := segPath(dir, 1)
 			data, err := os.ReadFile(path)
 			if err != nil {
 				t.Fatal(err)
@@ -105,7 +264,7 @@ func TestWALReplayTruncatesCorruptTail(t *testing.T) {
 			if err := os.WriteFile(path, tc.mangle(data), 0o644); err != nil {
 				t.Fatal(err)
 			}
-			recs, off, truncated, err := replayWAL(path)
+			recs, pos, truncated, err := replayWAL(dir)
 			if err != nil {
 				t.Fatalf("replay must not fail on corruption: %v", err)
 			}
@@ -115,17 +274,17 @@ func TestWALReplayTruncatesCorruptTail(t *testing.T) {
 			if len(recs) < 1 || !bytes.Equal(recs[0], a) {
 				t.Fatalf("first record lost: %d replayed", len(recs))
 			}
-			// Appending after reopening at the clean offset must yield a
+			// Appending after reopening at the clean position must yield a
 			// fully intact log again.
-			w, err := openWAL(path, off)
+			w2, err := openWAL(dir, 0, pos)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := w.Append([]byte("record-three")); err != nil {
+			if err := w2.Append([]byte("record-three")); err != nil {
 				t.Fatal(err)
 			}
-			w.Close()
-			recs2, _, truncated2, err := replayWAL(path)
+			w2.Close()
+			recs2, _, truncated2, err := replayWAL(dir)
 			if err != nil || truncated2 {
 				t.Fatalf("post-heal replay: truncated=%v err=%v", truncated2, err)
 			}
@@ -137,7 +296,7 @@ func TestWALReplayTruncatesCorruptTail(t *testing.T) {
 }
 
 func TestWALRejectsOversizedAndEmptyRecords(t *testing.T) {
-	w, err := openWAL(filepath.Join(t.TempDir(), walName), 0)
+	w, err := openWAL(t.TempDir(), 0, walPos{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,28 +309,92 @@ func TestWALRejectsOversizedAndEmptyRecords(t *testing.T) {
 	}
 }
 
-func TestWALReset(t *testing.T) {
-	path := filepath.Join(t.TempDir(), walName)
-	w, err := openWAL(path, 0)
+// TestWALResetRemovesCompactedSegments is the segment-GC property: after
+// rotation has left several fully-compacted segments behind, Reset must
+// delete every one of them and restart appending in a fresh first segment.
+func TestWALResetRemovesCompactedSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, 100, walPos{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Append([]byte("gone after reset")); err != nil {
+	for i := 0; i < 6; i++ {
+		if err := w.Append(bytes.Repeat([]byte{'r'}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segsBefore, err := listSegments(dir)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if len(segsBefore) < 3 {
+		t.Fatalf("need >=3 segments before reset, got %d", len(segsBefore))
 	}
 	if err := w.Reset(); err != nil {
 		t.Fatal(err)
+	}
+	segsAfter, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segsAfter) != 1 || segsAfter[0] != 1 {
+		t.Fatalf("after reset: segments %v, want just [1]", segsAfter)
 	}
 	if err := w.Append([]byte("kept")); err != nil {
 		t.Fatal(err)
 	}
 	w.Close()
-	recs, _, _, err := replayWAL(path)
+	recs, _, _, err := replayWAL(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(recs) != 1 || string(recs[0]) != "kept" {
 		t.Fatalf("after reset: %d records", len(recs))
+	}
+}
+
+func TestWALSizeSpansSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, 100, walPos{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var want int64
+	for i := 0; i < 6; i++ {
+		p := bytes.Repeat([]byte{'s'}, 64)
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		want += int64(walHeaderSize + len(p))
+	}
+	if got := w.Size(); got != want {
+		t.Errorf("Size() = %d, want %d across all segments", got, want)
+	}
+}
+
+func TestParseSegName(t *testing.T) {
+	cases := []struct {
+		name string
+		num  uint64
+		ok   bool
+	}{
+		{"jobs-000001.wal", 1, true},
+		{"jobs-123456.wal", 123456, true},
+		{"jobs.wal", 0, false},
+		{"jobs-.wal", 0, false},
+		{"jobs-xyz.wal", 0, false},
+		{"other-000001.wal", 0, false},
+		{"jobs-000001.snap", 0, false},
+	}
+	for _, tc := range cases {
+		n, ok := parseSegName(tc.name)
+		if n != tc.num || ok != tc.ok {
+			t.Errorf("parseSegName(%q) = (%d, %v), want (%d, %v)", tc.name, n, ok, tc.num, tc.ok)
+		}
+	}
+	if got := filepath.Base(segPath("d", 42)); got != fmt.Sprintf("%s%06d%s", segPrefix, 42, segSuffix) {
+		t.Errorf("segPath name %q", got)
 	}
 }
 

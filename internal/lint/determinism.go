@@ -28,6 +28,12 @@ import (
 // same sample index on every run, worker count and crash/resume path. A
 // stop decision influenced by wall clock or ambient randomness would
 // silently change which samples a result contains.
+//
+// yap/internal/replica is in the tree because failover correctness is
+// proved by bit-identical resume: a new leader replaying the replicated
+// WAL must reach exactly the tallies the dead leader would have. Election
+// timing flows through an injected clock; a stray wall-clock read or
+// ambient-random tiebreak would make failovers unreplayable.
 var deterministicPaths = []string{
 	"yap/internal/sim",
 	"yap/internal/randx",
@@ -36,6 +42,7 @@ var deterministicPaths = []string{
 	"yap/internal/dist",
 	"yap/internal/jobs",
 	"yap/internal/converge",
+	"yap/internal/replica",
 }
 
 // inTree reports whether path is root itself or a subpackage of it.

@@ -1,0 +1,896 @@
+// Package replica is the replicated job control plane: a quorum of yap
+// daemons holding bit-identical copies of one jobs store, with a single
+// elected leader running jobs and every durable WAL record shipped to
+// followers before a submit is reported accepted.
+//
+// The protocol is a deliberately small Raft subset shaped around the jobs
+// WAL. The leader's store appends a record, fsyncs it, and hands the
+// exact bytes to the node (jobs.Replicator.Ship); per-peer senders
+// deliver records strictly in sequence over POST /v1/replica; followers
+// CRC-check and append the identical bytes through
+// jobs.Manager.ApplyReplicated, so every replica's state machine is the
+// same pure function of the same byte stream. Submits block on quorum
+// acknowledgement — a job the caller saw accepted exists on a majority
+// and survives the leader's disk.
+//
+// Elections are deterministic given a clock: a follower campaigns when
+// the leader's lease lapses, at an instant staggered by its rank in the
+// sorted member list (rank × heartbeat), so the healthy cluster elects
+// its lowest-ranked live member without randomized timers. Ballots refuse
+// candidates whose replicated log is behind the voter's, so the winner
+// holds every quorum-acknowledged record; on promotion it resumes
+// unfinished jobs from their last durable checkpoint exactly as a
+// restart would — the crash-resume bit-identity contract carries over to
+// failover.
+//
+// The wall clock is read only through the node's injected clock (tests
+// drive elections virtually); nothing in the record path depends on time.
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"yap/internal/faultinject"
+	"yap/internal/jobs"
+)
+
+// Role is a node's position in the current term.
+type Role int
+
+const (
+	RoleFollower Role = iota
+	RoleCandidate
+	RoleLeader
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleFollower:
+		return "follower"
+	case RoleCandidate:
+		return "candidate"
+	case RoleLeader:
+		return "leader"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Sentinel errors.
+var (
+	// ErrNoQuorum reports a submit (or other quorum wait) that could not be
+	// acknowledged by a majority before the quorum timeout.
+	ErrNoQuorum = errors.New("replica: quorum not reached")
+	// ErrClosed reports an operation on a closed node.
+	ErrClosed = errors.New("replica: node closed")
+	// errDeposed fails pending quorum waits when leadership is lost.
+	errDeposed = errors.New("replica: leadership lost")
+)
+
+// Config configures a Node.
+type Config struct {
+	// Dir holds the node's election state file (replica.state). Usually the
+	// jobs directory; must be per-node.
+	Dir string
+	// Self is this node's advertised base URL — its identity in the member
+	// list and the leader URL clients are redirected to.
+	Self string
+	// Peers are the other members' advertised base URLs. Empty peers is
+	// single-node mode: the node is immediately leader, no goroutines run
+	// and quorum is trivially satisfied locally.
+	Peers []string
+	// Transport delivers messages to peers; required when Peers is
+	// non-empty. Tests inject an in-process transport.
+	Transport Transport
+	// Jobs configures the underlying store. Dir is required; Follower and
+	// Replicator are owned by the node and overwritten.
+	Jobs jobs.Config
+	// Lease is how long a follower trusts the leader after the last
+	// heartbeat or append (default 2s). An election is due at
+	// lastBeat + Lease + rank×Heartbeat, rank being this node's index in
+	// the sorted member list — a deterministic stagger instead of a
+	// randomized timeout.
+	Lease time.Duration
+	// Heartbeat is the idle append cadence renewing the lease (default
+	// Lease/8).
+	Heartbeat time.Duration
+	// QuorumTimeout bounds how long a submit waits for majority
+	// acknowledgement (default 2×Lease). Three consecutive quorum timeouts
+	// depose the leader: it cannot durably accept work, so it must stop
+	// claiming to.
+	QuorumTimeout time.Duration
+	// Clock supplies the time for leases, staggers and quorum deadlines;
+	// nil uses the wall clock. Injected by tests to drive elections
+	// deterministically.
+	Clock func() time.Time
+	// Faults optionally arms deterministic fault injection at
+	// HookReplicaShip (per shipment attempt) and HookReplicaElect (per vote
+	// solicitation).
+	Faults *faultinject.Injector
+	// Logger receives role transitions and replication trouble; nil
+	// discards.
+	Logger *log.Logger
+}
+
+func (c Config) lease() time.Duration {
+	if c.Lease > 0 {
+		return c.Lease
+	}
+	return 2 * time.Second
+}
+
+func (c Config) heartbeat() time.Duration {
+	if c.Heartbeat > 0 {
+		return c.Heartbeat
+	}
+	return c.lease() / 8
+}
+
+func (c Config) quorumTimeout() time.Duration {
+	if c.QuorumTimeout > 0 {
+		return c.QuorumTimeout
+	}
+	return 2 * c.lease()
+}
+
+// maxBacklog bounds the in-memory ship backlog. A peer that falls more
+// than this many records behind (or behind the WAL compaction horizon)
+// is stalled: it keeps its durable state but stops receiving appends
+// until operator intervention — full-state resync is future work.
+const maxBacklog = 8192
+
+// quorumStrikes is how many consecutive quorum timeouts a leader absorbs
+// before deposing itself.
+const quorumStrikes = 3
+
+// entry is one backlogged record awaiting shipment.
+type entry struct {
+	seq     uint64
+	crc     uint32
+	payload []byte
+}
+
+// waiter is one blocked quorum wait.
+type waiter struct {
+	seq      uint64
+	deadline time.Time
+	ch       chan error // buffered(1); owned by WaitQuorum
+}
+
+// Stats is a point-in-time snapshot for /metrics.
+type Stats struct {
+	Role      Role
+	Term      uint64
+	LeaderURL string
+	// Seq is the latest local replication sequence; CommitSeq the highest
+	// sequence acknowledged by a quorum (equal to Seq on a healthy
+	// cluster, and always equal in single-node mode).
+	Seq       uint64
+	CommitSeq uint64
+	Peers     int
+	// StalledPeers counts peers beyond catch-up reach.
+	StalledPeers int
+	// Elections counts campaigns this node started; ShipErrors failed
+	// shipment attempts; VotesGranted ballots granted to others;
+	// QuorumTimeouts expired quorum waits.
+	Elections      uint64
+	ShipErrors     uint64
+	VotesGranted   uint64
+	QuorumTimeouts uint64
+}
+
+// Node is one member of the replicated control plane. It owns its jobs
+// store: followers' stores stay passive until this node wins an election.
+//
+// Lock order: jobs.Manager internals → n.mu (Ship is called under the
+// Manager's lock and takes n.mu). Consequently no method may call into
+// the Manager while holding n.mu; handlers capture n.mu state, release,
+// then touch the store.
+type Node struct {
+	cfg       Config
+	mgr       *jobs.Manager
+	self      string
+	peers     []string // sorted
+	rank      int      // index of self in the sorted member list
+	quorum    int      // majority of peers+self
+	lease     time.Duration
+	beat      time.Duration
+	quorumTO  time.Duration
+	clock     func() time.Time
+	transport Transport
+	logger    *log.Logger
+	faults    *faultinject.Injector
+	wake      map[string]chan struct{} // per-peer sender wakeups
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+
+	mu        sync.Mutex
+	closed    bool
+	role      Role
+	term      uint64
+	votedFor  string
+	leaderURL string
+	lastBeat  time.Time
+	// latest is the newest local sequence the leader has offered to ship;
+	// backlog[i] holds sequence backlogBase+i.
+	latest      uint64
+	backlog     []entry
+	backlogBase uint64
+	acks        map[string]uint64 // peer -> highest acknowledged seq
+	cursors     map[string]uint64 // peer -> next seq to send
+	stalled     map[string]bool
+	waiters     []waiter
+	quorumFails int
+	stats       Stats
+}
+
+// Open builds the node and its jobs store. With peers, the store opens in
+// follower mode and stays passive until this node wins an election;
+// without peers the node is immediately the (sole) leader.
+func Open(cfg Config) (*Node, error) {
+	if len(cfg.Peers) > 0 {
+		if cfg.Self == "" {
+			return nil, errors.New("replica: peers configured without a self URL")
+		}
+		if cfg.Transport == nil {
+			return nil, errors.New("replica: peers configured without a transport")
+		}
+	}
+	if cfg.Dir == "" {
+		cfg.Dir = cfg.Jobs.Dir
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("replica: no state directory")
+	}
+
+	n := &Node{
+		cfg:       cfg,
+		self:      cfg.Self,
+		lease:     cfg.lease(),
+		beat:      cfg.heartbeat(),
+		quorumTO:  cfg.quorumTimeout(),
+		clock:     cfg.Clock,
+		transport: cfg.Transport,
+		logger:    cfg.Logger,
+		faults:    cfg.Faults,
+		wake:      make(map[string]chan struct{}),
+		acks:      make(map[string]uint64),
+		cursors:   make(map[string]uint64),
+		stalled:   make(map[string]bool),
+	}
+	if n.clock == nil {
+		n.clock = time.Now
+	}
+	n.peers = append([]string(nil), cfg.Peers...)
+	sort.Strings(n.peers)
+	members := append([]string{n.self}, n.peers...)
+	sort.Strings(members)
+	for i, m := range members {
+		if m == n.self {
+			n.rank = i
+		}
+	}
+	n.quorum = len(members)/2 + 1
+
+	st, err := loadElection(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	n.term = st.Term
+	n.votedFor = st.VotedFor
+
+	jcfg := cfg.Jobs
+	jcfg.Follower = len(n.peers) > 0
+	if len(n.peers) > 0 {
+		jcfg.Replicator = n
+	}
+	mgr, err := jobs.Open(jcfg)
+	if err != nil {
+		return nil, err
+	}
+	n.mgr = mgr
+
+	if len(n.peers) == 0 {
+		n.role = RoleLeader
+		n.leaderURL = n.self
+		return n, nil
+	}
+
+	n.role = RoleFollower
+	n.lastBeat = n.clock()
+	ctx, cancel := context.WithCancel(context.Background())
+	n.cancel = cancel
+	for _, p := range n.peers {
+		w := make(chan struct{}, 1)
+		n.wake[p] = w
+		n.wg.Add(1)
+		go n.sender(ctx, p, w)
+	}
+	n.wg.Add(1)
+	go n.electionLoop(ctx)
+	return n, nil
+}
+
+// Jobs exposes the underlying store (for the HTTP service). Submits on a
+// follower's store fail with jobs.ErrNotLeader; callers redirect using
+// LeaderURL.
+func (n *Node) Jobs() *jobs.Manager { return n.mgr }
+
+// IsLeader reports whether this node currently leads.
+func (n *Node) IsLeader() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role == RoleLeader
+}
+
+// LeaderURL is the advertised URL of the leader this node last heard
+// from ("" when unknown, e.g. mid-election).
+func (n *Node) LeaderURL() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaderURL
+}
+
+// Stats snapshots the node for /metrics.
+func (n *Node) Stats() Stats {
+	seq := n.mgr.ReplSeq()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.stats
+	st.Role = n.role
+	st.Term = n.term
+	st.LeaderURL = n.leaderURL
+	st.Seq = seq
+	if n.role == RoleLeader && len(n.peers) > 0 {
+		st.CommitSeq = n.commitSeqLocked()
+	} else {
+		st.CommitSeq = seq
+	}
+	st.Peers = len(n.peers)
+	st.StalledPeers = len(n.stalled)
+	return st
+}
+
+// Close shuts the node down: pending quorum waits fail, sender and
+// election goroutines join, then the store closes (snapshotting as
+// usual).
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.failWaitersLocked(ErrClosed)
+	n.mu.Unlock()
+	if n.cancel != nil {
+		n.cancel()
+	}
+	n.wg.Wait()
+	return n.mgr.Close()
+}
+
+// --- jobs.Replicator ---
+
+// Ship enqueues one just-fsync'd record for the peer senders. Called
+// under the Manager's lock: it must only enqueue and wake, never block.
+func (n *Node) Ship(seq uint64, payload []byte) {
+	e := entry{seq: seq, crc: jobs.RecordCRC(payload), payload: append([]byte(nil), payload...)}
+	n.mu.Lock()
+	if n.closed || n.role != RoleLeader {
+		// A store appending while this node is not leader is the promotion
+		// window (role flips to leader before Promote so this cannot happen)
+		// or a bug; dropping the enqueue is safe either way — the record is
+		// durable locally and the backlog reseeds from the WAL tail on the
+		// next promotion.
+		n.mu.Unlock()
+		return
+	}
+	if len(n.backlog) == 0 {
+		n.backlogBase = seq
+	}
+	n.backlog = append(n.backlog, e)
+	n.latest = seq
+	n.pruneBacklogLocked()
+	n.mu.Unlock()
+	n.wakeSenders()
+}
+
+// WaitQuorum blocks until seq is acknowledged by a majority, the quorum
+// timeout lapses, or leadership is lost. Called by the store without its
+// lock held.
+func (n *Node) WaitQuorum(ctx context.Context, seq uint64) error {
+	n.mu.Lock()
+	if n.quorum <= 1 {
+		n.mu.Unlock()
+		return nil
+	}
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if n.role != RoleLeader {
+		n.mu.Unlock()
+		return errDeposed
+	}
+	if n.commitSeqLocked() >= seq {
+		n.mu.Unlock()
+		return nil
+	}
+	w := waiter{seq: seq, deadline: n.clock().Add(n.quorumTO), ch: make(chan error, 1)}
+	n.waiters = append(n.waiters, w)
+	n.mu.Unlock()
+	n.wakeSenders()
+	select {
+	case err := <-w.ch:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// --- message handling (receiver side) ---
+
+// Handle processes one incoming replication message; the HTTP service
+// (and the in-process test transport) routes POST /v1/replica here.
+func (n *Node) Handle(ctx context.Context, msg Message) Reply {
+	switch msg.Kind {
+	case KindVote:
+		return n.handleVote(msg)
+	case KindAppend:
+		return n.handleAppend(ctx, msg)
+	default:
+		n.mu.Lock()
+		term := n.term
+		n.mu.Unlock()
+		return Reply{Term: term, Reason: fmt.Sprintf("unknown kind %q", msg.Kind)}
+	}
+}
+
+func (n *Node) handleVote(msg Message) Reply {
+	seq := n.mgr.ReplSeq() // before n.mu: no Manager calls under the node lock
+	demote := false
+	n.mu.Lock()
+	if n.closed || msg.Term < n.term {
+		r := Reply{Term: n.term, Reason: "stale term"}
+		n.mu.Unlock()
+		return r
+	}
+	if msg.Term > n.term {
+		demote = n.adoptTermLocked(msg.Term, "")
+	}
+	grant := n.role != RoleLeader &&
+		(n.votedFor == "" || n.votedFor == msg.From) &&
+		msg.LastSeq >= seq
+	if grant && n.votedFor != msg.From {
+		n.votedFor = msg.From
+		if err := n.persistLocked(); err != nil {
+			// A ballot that cannot be durably recorded must not be cast.
+			n.votedFor = ""
+			grant = false
+			n.logf("replica: persisting ballot: %v", err)
+		}
+	}
+	if grant {
+		n.lastBeat = n.clock() // granting defers our own campaign
+		n.stats.VotesGranted++
+	}
+	r := Reply{Term: n.term, Granted: grant}
+	if !grant && r.Reason == "" {
+		r.Reason = "ballot refused"
+	}
+	n.mu.Unlock()
+	if demote {
+		n.mgr.Demote()
+	}
+	return r
+}
+
+func (n *Node) handleAppend(ctx context.Context, msg Message) Reply {
+	demote := false
+	n.mu.Lock()
+	if n.closed || msg.Term < n.term {
+		r := Reply{Term: n.term, Reason: "stale term"}
+		n.mu.Unlock()
+		return r
+	}
+	if msg.Term > n.term {
+		demote = n.adoptTermLocked(msg.Term, msg.From)
+	} else if n.role == RoleLeader {
+		// Two leaders at one term would mean the election protocol failed;
+		// refuse loudly rather than corrupt either log.
+		r := Reply{Term: n.term, Reason: "split leadership"}
+		n.mu.Unlock()
+		return r
+	}
+	n.role = RoleFollower
+	n.leaderURL = msg.From
+	n.lastBeat = n.clock()
+	term := n.term
+	n.mu.Unlock()
+	if demote {
+		n.mgr.Demote()
+	}
+	if msg.Seq == 0 { // heartbeat
+		return Reply{Term: term, OK: true, Seq: n.mgr.ReplSeq()}
+	}
+	cur, err := n.mgr.ApplyReplicated(msg.Seq, msg.Payload, msg.CRC)
+	if err != nil {
+		return Reply{Term: term, Seq: cur, Reason: err.Error()}
+	}
+	return Reply{Term: term, OK: true, Seq: cur}
+}
+
+// adoptTermLocked moves to a higher term as a follower, reporting whether
+// the caller must demote the store (outside n.mu). It deliberately does
+// NOT reset the election timer: only leader contact or a granted ballot
+// defers a campaign. (If a refused solicitation reset the timer, a
+// stale-logged low-rank node campaigning on its stagger would push every
+// caught-up node's due time forward forever — a deterministic livelock
+// with no leader.)
+func (n *Node) adoptTermLocked(term uint64, leader string) bool {
+	wasLeader := n.role == RoleLeader
+	n.term = term
+	n.votedFor = ""
+	n.role = RoleFollower
+	n.leaderURL = leader
+	if wasLeader {
+		n.failWaitersLocked(errDeposed)
+	}
+	if err := n.persistLocked(); err != nil {
+		n.logf("replica: persisting term %d: %v", term, err)
+	}
+	return wasLeader
+}
+
+// --- leader side: shipping ---
+
+func (n *Node) sender(ctx context.Context, peer string, wake chan struct{}) {
+	defer n.wg.Done()
+	t := time.NewTicker(n.beat)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-wake:
+		case <-t.C:
+		}
+		for n.shipOne(ctx, peer) {
+		}
+	}
+}
+
+// shipOne sends the peer's next record (or a heartbeat when it is caught
+// up) and digests the reply; it reports whether more records are pending
+// so the sender drains without waiting for the next tick.
+func (n *Node) shipOne(ctx context.Context, peer string) bool {
+	n.mu.Lock()
+	if n.closed || n.role != RoleLeader {
+		n.mu.Unlock()
+		return false
+	}
+	term := n.term
+	cursor := n.cursors[peer]
+	msg := Message{Kind: KindAppend, Term: term, From: n.self}
+	more := false
+	switch {
+	case cursor == 0:
+		// fresh leadership: the peer's position is unknown until its first
+		// heartbeat reply, so probe instead of guessing
+	case cursor > n.latest || len(n.backlog) == 0:
+		// caught up (or nothing to ship yet): bare heartbeat
+	case cursor >= n.backlogBase:
+		e := n.backlog[cursor-n.backlogBase]
+		msg.Seq, msg.CRC, msg.Payload = e.seq, e.crc, e.payload
+		more = cursor < n.latest
+	default:
+		if !n.stalled[peer] {
+			n.stalled[peer] = true
+			n.logf("replica: peer %s fell behind the backlog horizon (cursor %d < base %d); stalled until resync", peer, cursor, n.backlogBase)
+		}
+		n.mu.Unlock()
+		return false
+	}
+	n.mu.Unlock()
+
+	if err := n.faults.Fire(ctx, faultinject.HookReplicaShip); err != nil {
+		n.noteShipError()
+		return false
+	}
+	reply, err := n.transport.Send(ctx, peer, msg)
+	if err != nil {
+		n.noteShipError()
+		return false
+	}
+
+	demote := false
+	n.mu.Lock()
+	switch {
+	case n.closed || n.role != RoleLeader || n.term != term:
+		more = false
+	case reply.Term > n.term:
+		demote = n.adoptTermLocked(reply.Term, "")
+		more = false
+	case msg.Seq != 0 && reply.OK:
+		if reply.Seq > n.acks[peer] {
+			n.acks[peer] = reply.Seq
+			n.flushWaitersLocked()
+		}
+		n.cursors[peer] = reply.Seq + 1
+		delete(n.stalled, peer)
+		more = n.cursors[peer] <= n.latest
+	case msg.Seq != 0: // rejected append: rewind to the peer's position
+		n.cursors[peer] = reply.Seq + 1
+		more = false // re-approach on the next wake, not in a hot loop
+	case reply.OK: // heartbeat reply: learn the peer's position
+		if reply.Seq > n.acks[peer] {
+			n.acks[peer] = reply.Seq
+			n.flushWaitersLocked()
+		}
+		if n.cursors[peer] == 0 || n.cursors[peer] > reply.Seq+1 {
+			n.cursors[peer] = reply.Seq + 1
+		}
+		more = n.cursors[peer] <= n.latest
+	}
+	n.mu.Unlock()
+	if demote {
+		n.mgr.Demote()
+	}
+	return more && !demote
+}
+
+func (n *Node) noteShipError() {
+	n.mu.Lock()
+	n.stats.ShipErrors++
+	n.mu.Unlock()
+}
+
+func (n *Node) wakeSenders() {
+	for _, w := range n.wake { //yaplint:allow determinism non-blocking wakeup fan-out; delivery order is irrelevant
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// commitSeqLocked is the highest sequence a majority holds: the
+// (quorum-1)th largest among self (latest, durable locally) and each
+// peer's acknowledged sequence.
+func (n *Node) commitSeqLocked() uint64 {
+	positions := make([]uint64, 0, len(n.peers)+1)
+	positions = append(positions, n.latest)
+	for _, p := range n.peers {
+		positions = append(positions, n.acks[p])
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] > positions[j] })
+	return positions[n.quorum-1]
+}
+
+func (n *Node) flushWaitersLocked() {
+	commit := n.commitSeqLocked()
+	kept := n.waiters[:0]
+	for _, w := range n.waiters {
+		if w.seq <= commit {
+			w.ch <- nil
+			n.quorumFails = 0
+			continue
+		}
+		kept = append(kept, w)
+	}
+	n.waiters = kept
+}
+
+func (n *Node) failWaitersLocked(err error) {
+	for _, w := range n.waiters {
+		w.ch <- err
+	}
+	n.waiters = nil
+}
+
+// pruneBacklogLocked drops fully acknowledged records from the front and
+// caps the backlog; peers whose cursor is dropped stall.
+func (n *Node) pruneBacklogLocked() {
+	minNeeded := n.latest + 1
+	for _, p := range n.peers {
+		if c := n.cursors[p]; c < minNeeded && !n.stalled[p] {
+			minNeeded = c
+		}
+	}
+	if minNeeded > n.backlogBase {
+		drop := minNeeded - n.backlogBase
+		if drop > uint64(len(n.backlog)) {
+			drop = uint64(len(n.backlog))
+		}
+		n.backlog = append(n.backlog[:0], n.backlog[drop:]...)
+		n.backlogBase += drop
+	}
+	if over := len(n.backlog) - maxBacklog; over > 0 {
+		n.backlog = append(n.backlog[:0], n.backlog[over:]...)
+		n.backlogBase += uint64(over)
+	}
+}
+
+// --- elections ---
+
+func (n *Node) electionLoop(ctx context.Context) {
+	defer n.wg.Done()
+	tick := n.beat / 2
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		n.electionTick(ctx)
+	}
+}
+
+// electionTick expires quorum waits, deposes a leader that keeps missing
+// quorum, and campaigns when the leader's lease has lapsed. All timing
+// decisions read the injected clock, so tests drive this deterministically.
+func (n *Node) electionTick(ctx context.Context) {
+	now := n.clock()
+	demote := false
+	campaign := false
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	kept := n.waiters[:0]
+	for _, w := range n.waiters {
+		if now.After(w.deadline) {
+			w.ch <- fmt.Errorf("%w: no majority within %v", ErrNoQuorum, n.quorumTO)
+			n.stats.QuorumTimeouts++
+			n.quorumFails++
+			continue
+		}
+		kept = append(kept, w)
+	}
+	n.waiters = kept
+	if n.role == RoleLeader && n.quorumFails >= quorumStrikes {
+		n.logf("replica: deposing self after %d consecutive quorum failures", n.quorumFails)
+		n.quorumFails = 0
+		n.role = RoleFollower
+		n.leaderURL = ""
+		n.lastBeat = now
+		n.failWaitersLocked(errDeposed)
+		demote = true
+	}
+	if n.role != RoleLeader {
+		due := n.lastBeat.Add(n.lease + time.Duration(n.rank)*n.beat)
+		campaign = !now.Before(due)
+	}
+	n.mu.Unlock()
+	if demote {
+		n.mgr.Demote()
+	}
+	if campaign {
+		n.campaign(ctx)
+	}
+}
+
+// campaign runs one election round: persist a fresh term with a ballot
+// for self, solicit votes sequentially, and on majority promote the
+// store. Losing leaves the node candidate; the next lapse retries at a
+// higher term.
+func (n *Node) campaign(ctx context.Context) {
+	n.mu.Lock()
+	if n.closed || n.role == RoleLeader {
+		n.mu.Unlock()
+		return
+	}
+	n.term++
+	n.votedFor = n.self
+	n.role = RoleCandidate
+	n.lastBeat = n.clock() // restart the lapse timer for the retry path
+	n.stats.Elections++
+	if err := n.persistLocked(); err != nil {
+		// A term we cannot persist is a term we must not campaign in.
+		n.term--
+		n.votedFor = ""
+		n.role = RoleFollower
+		n.logf("replica: persisting campaign term: %v", err)
+		n.mu.Unlock()
+		return
+	}
+	term := n.term
+	n.mu.Unlock()
+
+	lastSeq := n.mgr.ReplSeq()
+	votes := 1 // own ballot
+	for _, p := range n.peers {
+		if err := n.faults.Fire(ctx, faultinject.HookReplicaElect); err != nil {
+			continue // injected: this solicitation is lost
+		}
+		reply, err := n.transport.Send(ctx, p, Message{Kind: KindVote, Term: term, From: n.self, LastSeq: lastSeq})
+		if err != nil {
+			continue
+		}
+		n.mu.Lock()
+		if reply.Term > n.term {
+			n.adoptTermLocked(reply.Term, "") // never leader here, no demote needed
+			n.mu.Unlock()
+			return
+		}
+		n.mu.Unlock()
+		if reply.Granted {
+			votes++
+		}
+	}
+	if votes < n.quorum {
+		n.logf("replica: election term %d lost (%d/%d votes)", term, votes, n.quorum)
+		return
+	}
+
+	// Won. Seed the ship backlog from the WAL tail before accepting the
+	// crown, so followers a few records behind catch up record by record;
+	// then flip to leader (Ship starts enqueueing) and only then promote
+	// the store — every record the resumed jobs append lands in the
+	// backlog.
+	records, first, err := n.mgr.TailRecords()
+	if err != nil {
+		n.logf("replica: reading WAL tail after winning term %d: %v", term, err)
+		records, first = nil, lastSeq+1
+	}
+	latest := n.mgr.ReplSeq()
+
+	n.mu.Lock()
+	if n.closed || n.role != RoleCandidate || n.term != term {
+		n.mu.Unlock() // deposed while reading the tail
+		return
+	}
+	n.role = RoleLeader
+	n.leaderURL = n.self
+	n.latest = latest
+	n.backlog = n.backlog[:0]
+	n.backlogBase = first
+	for i, rec := range records {
+		n.backlog = append(n.backlog, entry{
+			seq:     first + uint64(i),
+			crc:     jobs.RecordCRC(rec),
+			payload: rec,
+		})
+	}
+	n.acks = make(map[string]uint64, len(n.peers))
+	n.cursors = make(map[string]uint64, len(n.peers))
+	n.stalled = make(map[string]bool)
+	n.quorumFails = 0
+	n.logf("replica: elected leader for term %d at seq %d", term, latest)
+	n.mu.Unlock()
+
+	if err := n.mgr.Promote(); err != nil {
+		n.logf("replica: promoting store for term %d: %v", term, err)
+		n.mu.Lock()
+		if n.role == RoleLeader && n.term == term {
+			n.role = RoleFollower
+			n.leaderURL = ""
+		}
+		n.mu.Unlock()
+		return
+	}
+	n.wakeSenders() // heartbeats announce the new leadership immediately
+}
+
+func (n *Node) persistLocked() error {
+	return saveElection(n.cfg.Dir, persistedElection{Term: n.term, VotedFor: n.votedFor})
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.logger != nil {
+		n.logger.Printf(format, args...)
+	}
+}

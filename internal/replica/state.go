@@ -1,0 +1,81 @@
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// stateName is the persisted election state file inside the node's
+// directory. Term and ballot must survive a crash: a node that forgot it
+// voted could vote twice in one term and elect two leaders.
+const stateName = "replica.state"
+
+// persistedElection is the durable part of the election protocol.
+type persistedElection struct {
+	Term     uint64 `json:"term"`
+	VotedFor string `json:"voted_for,omitempty"`
+}
+
+// loadElection reads the persisted term and ballot; a missing file is a
+// fresh node at term 0.
+func loadElection(dir string) (persistedElection, error) {
+	data, err := os.ReadFile(filepath.Join(dir, stateName))
+	if errors.Is(err, os.ErrNotExist) {
+		return persistedElection{}, nil
+	}
+	if err != nil {
+		return persistedElection{}, fmt.Errorf("replica: reading election state: %w", err)
+	}
+	var st persistedElection
+	if err := json.Unmarshal(data, &st); err != nil {
+		return persistedElection{}, fmt.Errorf("replica: decoding election state: %w", err)
+	}
+	return st, nil
+}
+
+// saveElection durably records term and ballot before they take protocol
+// effect: write to a temp file, fsync it, rename over the old state,
+// fsync the directory. Only after all four may the node grant the vote or
+// solicit ballots at the new term.
+func saveElection(dir string, st persistedElection) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("replica: encoding election state: %w", err)
+	}
+	path := filepath.Join(dir, stateName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("replica: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("replica: writing election state: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("replica: syncing election state: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("replica: closing election state: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("replica: publishing election state: %w", err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("replica: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("replica: syncing state directory: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Transport delivers one Message to a peer and returns its Reply. The
+// production transport is HTTP against the peer's /v1/replica endpoint;
+// tests swap in an in-process transport to build clusters without
+// sockets. Implementations must be safe for concurrent use: every peer
+// sender and the election loop share one Transport.
+type Transport interface {
+	Send(ctx context.Context, peer string, msg Message) (Reply, error)
+}
+
+// ReplicaPath is the HTTP endpoint replication messages post to.
+const ReplicaPath = "/v1/replica"
+
+// HTTPTransport sends replication messages over POST <peer>/v1/replica.
+type HTTPTransport struct {
+	// Client is the HTTP client to use; nil uses a private client with a
+	// 5-second overall timeout (replication RPCs are small and a slow peer
+	// must not wedge a sender goroutine past the lease).
+	Client *http.Client
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t != nil && t.Client != nil {
+		return t.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// Send posts the message and decodes the reply. Any non-200 status is an
+// error: the replication endpoint replies 200 to every well-formed
+// message, including rejections — rejection detail travels in Reply, not
+// in HTTP status, so transport errors always mean "peer unreachable or
+// not speaking the protocol".
+func (t *HTTPTransport) Send(ctx context.Context, peer string, msg Message) (Reply, error) {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return Reply{}, fmt.Errorf("replica: encoding message: %w", err)
+	}
+	url := strings.TrimSuffix(peer, "/") + ReplicaPath
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return Reply{}, fmt.Errorf("replica: building request for %s: %w", peer, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return Reply{}, fmt.Errorf("replica: sending to %s: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // draining for connection reuse
+		return Reply{}, fmt.Errorf("replica: peer %s replied %s", peer, resp.Status)
+	}
+	var reply Reply
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&reply); err != nil {
+		return Reply{}, fmt.Errorf("replica: decoding reply from %s: %w", peer, err)
+	}
+	return reply, nil
+}

@@ -1,0 +1,55 @@
+package replica
+
+// Message kinds carried over POST /v1/replica. The wire surface is two
+// verbs: "append" ships one durable WAL record (or, with Seq 0, a bare
+// heartbeat renewing the leader's lease), and "vote" solicits a ballot
+// during an election.
+const (
+	KindAppend = "append"
+	KindVote   = "vote"
+)
+
+// Message is one replication RPC. Exactly the fields for its Kind are
+// set; Payload is the leader's WAL record byte for byte, so a follower
+// that accepts it appends the identical bytes the leader fsync'd —
+// replica state machines stay bit-identical by construction.
+type Message struct {
+	Kind string `json:"kind"`
+	// Term is the sender's current election term.
+	Term uint64 `json:"term"`
+	// From is the sender's advertised base URL; followers adopt it as the
+	// leader URL on accepted appends so clients can be redirected.
+	From string `json:"from"`
+
+	// Seq is the replication sequence number of Payload; 0 marks a pure
+	// heartbeat carrying no record.
+	Seq uint64 `json:"seq,omitempty"`
+	// CRC is the IEEE CRC32 of Payload, checked before the record touches
+	// the follower's WAL.
+	CRC uint32 `json:"crc,omitempty"`
+	// Payload is the WAL record exactly as the leader appended it.
+	Payload []byte `json:"payload,omitempty"`
+
+	// LastSeq is a vote solicitation's replicated-log position; voters
+	// refuse candidates whose log is behind their own, so a stale replica
+	// can never win an election and roll back acknowledged records.
+	LastSeq uint64 `json:"last_seq,omitempty"`
+}
+
+// Reply answers one Message.
+type Reply struct {
+	// Term is the receiver's term after processing; a reply term above the
+	// sender's deposes it.
+	Term uint64 `json:"term"`
+	// OK reports an append accepted (record landed, or heartbeat seen).
+	OK bool `json:"ok,omitempty"`
+	// Seq is the receiver's replication sequence after processing. On a
+	// rejected append it tells the leader exactly where to rewind its
+	// cursor; on a heartbeat it tells the leader how far behind the
+	// follower is.
+	Seq uint64 `json:"seq,omitempty"`
+	// Granted reports a vote ballot granted.
+	Granted bool `json:"granted,omitempty"`
+	// Reason carries the rejection cause, for logs.
+	Reason string `json:"reason,omitempty"`
+}

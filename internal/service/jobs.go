@@ -7,7 +7,9 @@ import (
 	"strings"
 	"time"
 
+	"yap/internal/core"
 	"yap/internal/jobs"
+	"yap/internal/replica"
 )
 
 // This file is the HTTP face of internal/jobs: durable asynchronous
@@ -32,9 +34,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if mode == "" {
 		mode = "w2w"
 	}
-	if mode != "w2w" && mode != "d2w" {
+	if mode != "w2w" && mode != "d2w" && mode != jobs.ModeSweep {
 		writeError(w, http.StatusBadRequest, "invalid_mode",
-			fmt.Sprintf("unknown mode %q (want w2w or d2w)", req.Mode))
+			fmt.Sprintf("unknown mode %q (want w2w, d2w or sweep)", req.Mode))
 		return
 	}
 	if req.Wafers < 0 || req.Dies < 0 || req.Workers < 0 || req.CheckpointEvery < 0 {
@@ -47,37 +49,79 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			"epsilon and min_samples must be non-negative")
 		return
 	}
-	p, _, err := s.resolveParams(req.Params)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid_params", err.Error())
-		return
-	}
-	samples := req.Wafers
-	if mode == "d2w" {
-		samples = req.Dies
-		if samples == 0 {
-			samples = 20000
-		}
-	} else if samples == 0 {
-		samples = 1000
-	}
-	job, err := jm.Submit(jobs.Spec{
+	spec := jobs.Spec{
 		Mode:            mode,
-		Params:          p,
 		Seed:            req.Seed,
-		Samples:         samples,
 		Workers:         req.Workers,
 		CheckpointEvery: req.CheckpointEvery,
 		Epsilon:         req.Epsilon,
 		MinSamples:      req.MinSamples,
-	})
+		Priority:        req.Priority,
+	}
+	if mode == jobs.ModeSweep {
+		// A sweep job carries no base parameter set: each point resolves
+		// against the daemon defaults here, at submission, so a config
+		// change between crash and resume cannot change the physics.
+		if len(req.Points) == 0 {
+			writeError(w, http.StatusBadRequest, "invalid_params",
+				"sweep jobs need at least one point")
+			return
+		}
+		if len(req.Points) > s.cfg.MaxSweepPoints {
+			writeError(w, http.StatusBadRequest, "too_many_points",
+				fmt.Sprintf("%d points exceed the %d-point limit", len(req.Points), s.cfg.MaxSweepPoints))
+			return
+		}
+		spec.Points = make([]core.Params, len(req.Points))
+		for i, raw := range req.Points {
+			p, _, err := s.resolveParams(raw)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "invalid_params",
+					fmt.Sprintf("point %d: %v", i, err))
+				return
+			}
+			spec.Points[i] = p
+		}
+		spec.Samples = len(spec.Points)
+		spec.Eval = req.Eval
+	} else {
+		if len(req.Points) > 0 || req.Eval != "" {
+			writeError(w, http.StatusBadRequest, "invalid_params",
+				"points and eval apply to sweep jobs only")
+			return
+		}
+		p, _, err := s.resolveParams(req.Params)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid_params", err.Error())
+			return
+		}
+		spec.Params = p
+		samples := req.Wafers
+		if mode == "d2w" {
+			samples = req.Dies
+			if samples == 0 {
+				samples = 20000
+			}
+		} else if samples == 0 {
+			samples = 1000
+		}
+		spec.Samples = samples
+	}
+	job, err := jm.Submit(spec)
 	switch {
 	case err == nil:
+	case errors.Is(err, jobs.ErrNotLeader):
+		s.writeNotLeader(w)
+		return
 	case errors.Is(err, jobs.ErrQueueFull):
 		s.writeOverloaded(w, "job queue full; retry later", 0)
 		return
 	case errors.Is(err, jobs.ErrClosed):
 		s.writeOverloaded(w, "server is shutting down", 0)
+		return
+	case errors.Is(err, replica.ErrNoQuorum):
+		writeError(w, http.StatusServiceUnavailable, "no_quorum",
+			"the submit was not acknowledged by a quorum of replicas; retry later")
 		return
 	default:
 		writeError(w, http.StatusBadRequest, "invalid_params", err.Error())
@@ -127,6 +171,9 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	job, err := jm.Cancel(id)
 	switch {
 	case err == nil:
+	case errors.Is(err, jobs.ErrNotLeader):
+		s.writeNotLeader(w)
+		return
 	case errors.Is(err, jobs.ErrNotFound):
 		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no job %q", id))
 		return
@@ -164,7 +211,21 @@ func (s *Server) jobResponse(j jobs.Job) JobResponse {
 		Completed:       j.Completed,
 		CheckpointEvery: j.Spec.CheckpointEvery,
 		Resumes:         j.Resumes,
+		Priority:        j.Spec.Priority,
 		Error:           j.Error,
+	}
+	if j.Spec.Mode == jobs.ModeSweep && len(j.Sweep) > 0 {
+		resp.Sweep = make([]SweepPoint, len(j.Sweep))
+		for i, o := range j.Sweep {
+			pt := SweepPoint{Index: o.Index, ParamsHash: o.ParamsHash, Error: o.Error}
+			if o.W2W != nil {
+				pt.W2W = breakdownFrom(*o.W2W)
+			}
+			if o.D2W != nil {
+				pt.D2W = breakdownFrom(*o.D2W)
+			}
+			resp.Sweep[i] = pt
+		}
 	}
 	if !j.SubmittedAt.IsZero() {
 		resp.SubmittedAt = j.SubmittedAt.UTC().Format(time.RFC3339Nano)

@@ -6,6 +6,7 @@
 //	POST /v1/simulate  Monte-Carlo run on a bounded worker pool
 //	POST /v1/sweep     batch of parameter points, concurrent, partial-failure
 //	GET  /v1/jobs/{id}/stream  live convergence events (SSE), resumable
+//	POST /v1/replica   control-plane replication (peer append/vote RPCs)
 //	GET  /healthz      liveness + uptime
 //	GET  /metrics      Prometheus text-format instrumentation
 //
@@ -44,6 +45,7 @@ import (
 	"yap/internal/core"
 	"yap/internal/faultinject"
 	"yap/internal/jobs"
+	"yap/internal/replica"
 	"yap/internal/resilience"
 	"yap/internal/sim"
 )
@@ -98,6 +100,14 @@ type Config struct {
 	// own the manager's lifecycle — whoever opened it closes it, after the
 	// HTTP server has stopped.
 	Jobs *jobs.Manager
+	// Replica, when non-nil, makes this daemon a member of a replicated
+	// job control plane (cmd/yapserve wires it from -peers): /v1/replica
+	// accepts append/vote messages from peers, job mutations on a
+	// follower answer 409 "not_leader" with the leader's URL, and the
+	// node's election/replication counters join /metrics. Jobs should be
+	// the node's own store (replica.Node.Jobs()). The Server does not own
+	// the node's lifecycle.
+	Replica *replica.Node
 	// StreamHeartbeat is the idle keep-alive interval of the SSE job
 	// stream (comment frames that defeat proxy idle timeouts); 0 means
 	// 15s, negative disables heartbeats.
@@ -156,7 +166,7 @@ func (c Config) withDefaults() Config {
 
 // endpoints are the instrumented routes (the label set of the request
 // metrics).
-var endpoints = []string{"evaluate", "simulate", "shard", "sweep", "jobs", "stream", "healthz", "metrics"}
+var endpoints = []string{"evaluate", "simulate", "shard", "sweep", "jobs", "stream", "replica", "healthz", "metrics"}
 
 // Server is the yield-as-a-service HTTP handler. Create with New; safe
 // for concurrent use; graceful shutdown is the embedding http.Server's
@@ -200,6 +210,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", http.MethodGet, s.handleJobGet))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.instrument("stream", http.MethodGet, s.handleJobStream))
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("jobs", http.MethodDelete, s.handleJobCancel))
+	s.mux.HandleFunc(replica.ReplicaPath, s.instrument("replica", http.MethodPost, s.handleReplica))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
 	return s
@@ -825,6 +836,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counters["yapserve_jobs_gc_removed_total"] = st.GCRemoved
 		earlyStops += st.EarlyStops
 		samplesSaved += st.SamplesSaved
+	}
+	if n := s.cfg.Replica; n != nil {
+		st := n.Stats()
+		gauges["yapserve_replica_role"] = int64(st.Role)
+		gauges["yapserve_replica_term"] = int64(st.Term)
+		gauges["yapserve_replica_seq"] = int64(st.Seq)
+		gauges["yapserve_replica_commit_seq"] = int64(st.CommitSeq)
+		gauges["yapserve_replica_peers"] = int64(st.Peers)
+		gauges["yapserve_replica_peers_stalled"] = int64(st.StalledPeers)
+		counters["yapserve_replica_elections_total"] = st.Elections
+		counters["yapserve_replica_ship_errors_total"] = st.ShipErrors
+		counters["yapserve_replica_votes_granted_total"] = st.VotesGranted
+		counters["yapserve_replica_quorum_timeouts_total"] = st.QuorumTimeouts
 	}
 	counters["yapserve_early_stops_total"] = earlyStops
 	counters["yapserve_samples_saved_total"] = samplesSaved

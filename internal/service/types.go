@@ -256,7 +256,8 @@ type SweepResponse struct {
 // daemon restarts: it resumes from its last durable checkpoint with a
 // final result bit-identical to an uninterrupted run.
 type JobSubmitRequest struct {
-	// Mode selects "w2w" (the default) or "d2w".
+	// Mode selects "w2w" (the default), "d2w" or "sweep" (a durable
+	// parameter sweep through the analytic model — Points required).
 	Mode   string          `json:"mode,omitempty"`
 	Params json.RawMessage `json:"params,omitempty"`
 	// Seed fixes the RNG; equal seeds reproduce exactly — across crashes.
@@ -278,6 +279,17 @@ type JobSubmitRequest struct {
 	Epsilon float64 `json:"epsilon,omitempty"`
 	// MinSamples is the early-stop floor; 0 uses the engine default.
 	MinSamples int `json:"min_samples,omitempty"`
+	// Priority orders the job queue: higher runs first, equal priorities
+	// fall back to submission order, and waiting jobs age upward so a
+	// low-priority job is delayed but never starved.
+	Priority int `json:"priority,omitempty"`
+	// Points is the sweep's parameter list (mode "sweep" only): one
+	// partial override of the daemon defaults per point, evaluated
+	// analytically with the point index as the checkpoint ladder.
+	Points []json.RawMessage `json:"points,omitempty"`
+	// Eval selects which breakdowns a sweep evaluates per point: "w2w",
+	// "d2w" or "both" (the default). Mode "sweep" only.
+	Eval string `json:"eval,omitempty"`
 }
 
 // JobResponse describes one job: the body of GET /v1/jobs/{id}, the 202
@@ -297,6 +309,8 @@ type JobResponse struct {
 	// Resumes counts how many times the job was recovered from its
 	// checkpoint after a daemon restart.
 	Resumes int `json:"resumes,omitempty"`
+	// Priority echoes the submitted queue priority.
+	Priority int `json:"priority,omitempty"`
 	// Error is the failure detail of a failed job.
 	Error string `json:"error,omitempty"`
 	// SubmittedAt and FinishedAt are RFC 3339 telemetry timestamps.
@@ -305,6 +319,10 @@ type JobResponse struct {
 	// Result is the final merged result of a done job, in the same shape
 	// as a synchronous simulate response.
 	Result *SimulateResponse `json:"result,omitempty"`
+	// Sweep holds the outcomes of the Completed sweep points (mode
+	// "sweep" only), cumulative as the checkpoint ladder advances — the
+	// same per-point shape as a synchronous /v1/sweep response.
+	Sweep []SweepPoint `json:"sweep,omitempty"`
 }
 
 // JobListResponse is the body of GET /v1/jobs, sorted by job ID.
@@ -360,7 +378,8 @@ type ErrorResponse struct {
 // ErrorDetail carries a machine-readable code alongside the human text.
 // Codes: method_not_allowed, invalid_json, invalid_params, invalid_mode,
 // too_many_points, body_too_large, deadline_exceeded, canceled, overloaded,
-// internal, not_found, jobs_disabled, job_terminal.
+// internal, not_found, jobs_disabled, job_terminal, not_leader,
+// replica_disabled, no_quorum.
 type ErrorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
@@ -369,4 +388,9 @@ type ErrorDetail struct {
 	// whole-second Retry-After header (which can't express sub-second
 	// hints); clients should prefer this field when present.
 	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+	// LeaderURL is the advertised URL of the replicated control plane's
+	// current leader, set on "not_leader" responses (409) so clients can
+	// re-aim the mutation without rediscovering the cluster. Empty while
+	// an election is in flight — back off and retry.
+	LeaderURL string `json:"leader_url,omitempty"`
 }
