@@ -202,6 +202,12 @@ const (
 	recState      = "state"
 	recCheckpoint = "checkpoint"
 	recGC         = "gc"
+	// recNoop carries no state change. A freshly promoted leader appends
+	// one so its reign has a record of its own term immediately: commit
+	// advancement is gated on replicating a current-term record (the Raft
+	// prior-term-commit rule), and followers can only detect a conflicting
+	// suffix against records that name their term.
+	recNoop = "noop"
 )
 
 // specWire is Spec as persisted: params travel as raw JSON so the WAL is
@@ -294,6 +300,12 @@ func (w specWire) toSpec() (Spec, error) {
 type walRecord struct {
 	Type string `json:"t"`
 	ID   string `json:"id"`
+	// RTerm is the election term the record was appended under (0 for
+	// standalone stores). The state machine ignores it; the replication
+	// layer uses it to detect a follower log whose suffix conflicts with a
+	// new leader's — two different records can share a sequence number only
+	// across terms, never within one.
+	RTerm uint64 `json:"rterm,omitempty"`
 	// recSubmit
 	Spec *specWire `json:"spec,omitempty"`
 	// recState
@@ -338,6 +350,11 @@ type persistedState struct {
 	// the counter survives restarts without per-record fsync cost beyond
 	// the appends themselves.
 	ReplicaSeq uint64 `json:"replica_seq,omitempty"`
+	// ReplicaTerm is the RTerm of the record at ReplicaSeq, persisted so a
+	// restarted replica still knows the term of its log tip (and of its
+	// compaction horizon) when the records themselves have been folded
+	// away.
+	ReplicaTerm uint64 `json:"replica_term,omitempty"`
 	// Jobs is sorted by ID for a deterministic file.
 	Jobs []persistedJob `json:"jobs"`
 }

@@ -48,6 +48,12 @@ type Replicator interface {
 	// quorum of the replica set, or fails (timeout, leadership lost).
 	// Called without the Manager's lock.
 	WaitQuorum(ctx context.Context, seq uint64) error
+	// LeaderTerm reports the election term of the current reign — the
+	// term every record appended by this leader is stamped with, stable
+	// for the whole reign even if the node has since observed a higher
+	// term. Called under the Manager's lock: implementations must only
+	// read, never block or call back into the Manager.
+	LeaderTerm() uint64
 }
 
 // Config configures a Manager. The zero value of every field is usable;
@@ -165,6 +171,16 @@ var (
 	// the follower's next; the shipper re-synchronizes from the sequence
 	// the follower reports alongside.
 	ErrReplicaGap = errors.New("jobs: replicated record out of sequence")
+	// ErrReplicaConflict reports an ApplyReplicated whose PrevTerm does not
+	// match the term of this store's record at seq-1: the local log holds a
+	// suffix appended under a different (deposed) leader. The replication
+	// layer truncates the conflicting suffix and retries.
+	ErrReplicaConflict = errors.New("jobs: replicated record conflicts with local log")
+	// ErrNeedsResync reports a truncation request below the WAL's compaction
+	// horizon: the conflicting records were already folded into the
+	// snapshot, so record-by-record repair is impossible and the replica
+	// must be rebuilt from a fresh copy of the leader's state.
+	ErrNeedsResync = errors.New("jobs: conflict predates the compaction horizon; full resync required")
 )
 
 // jobState is the Manager's mutable record of one job. The wire spec is
@@ -197,6 +213,7 @@ type Stats struct {
 	WALRecords   uint64 // total records appended
 	WALTruncated uint64 // corrupt/torn tail bytes discarded at Open (0 or 1 events)
 	GCRemoved    uint64 // terminal jobs dropped by TTL GC
+	Truncations  uint64 // conflicting WAL suffixes removed by replication repair
 	EarlyStops   uint64 // jobs finished by the sequential early-stop rule
 	SamplesSaved uint64 // samples skipped by early stops (requested − used)
 	// Gauges.
@@ -225,12 +242,20 @@ type Manager struct {
 	runCancel context.CancelFunc //yaplint:guardedby mu
 	wg        sync.WaitGroup
 
-	mu      sync.Mutex
-	closed  bool                 //yaplint:guardedby mu
-	active  bool                 //yaplint:guardedby mu
-	replSeq uint64               //yaplint:guardedby mu
-	nextID  uint64               //yaplint:guardedby mu
-	jobs    map[string]*jobState //yaplint:guardedby mu
+	mu     sync.Mutex
+	closed bool //yaplint:guardedby mu
+	active bool //yaplint:guardedby mu
+	// replSeq/replTerm identify the log tip: the sequence number and RTerm
+	// of the last durable record. replBase/replBaseTerm identify the
+	// compaction horizon — the (seq, term) the current segments append
+	// after; records at or below replBase exist only folded into the
+	// snapshot and can no longer be truncated record by record.
+	replSeq      uint64               //yaplint:guardedby mu
+	replTerm     uint64               //yaplint:guardedby mu
+	replBase     uint64               //yaplint:guardedby mu
+	replBaseTerm uint64               //yaplint:guardedby mu
+	nextID       uint64               //yaplint:guardedby mu
+	jobs         map[string]*jobState //yaplint:guardedby mu
 	// queue carries one wake token per entry of pending; runners pop the
 	// highest effective priority under mu. The channel (not a sync.Cond)
 	// keeps the runners' channel-driven select shape.
@@ -288,14 +313,19 @@ func Open(cfg Config) (*Manager, error) {
 			continue
 		}
 		m.apply(rec)
+		m.replTerm = rec.RTerm
 	}
 	// Every intact frame consumed one replication sequence number when it
 	// was appended, decodable or not: the records in the segments carry
 	// base+1 … base+count. The snapshot's own sequence covers the window
 	// where a crash landed between a snapshot write and the WAL reset that
 	// normally follows it.
-	if s := readBaseSeq(cfg.Dir) + uint64(len(records)); s > m.replSeq {
+	m.replBase, m.replBaseTerm = readBaseSeq(cfg.Dir)
+	if s := m.replBase + uint64(len(records)); s > m.replSeq {
 		m.replSeq = s
+	}
+	if len(records) == 0 && m.replBaseTerm > m.replTerm {
+		m.replTerm = m.replBaseTerm
 	}
 	m.wal, err = openWAL(cfg.Dir, cfg.WALSegmentBytes, pos)
 	if err != nil {
@@ -303,14 +333,19 @@ func Open(cfg Config) (*Manager, error) {
 	}
 
 	// Compact: the snapshot now carries the fold of everything replayed,
-	// so the log restarts empty.
-	if err := m.writeSnapshotLocked(); err != nil {
-		m.wal.Close()
-		return nil, err
-	}
-	if err := m.resetWALLocked(); err != nil {
-		m.wal.Close()
-		return nil, err
+	// so the log restarts empty. A follower skips this — its tail may hold
+	// records a new leader's history overrides, and truncating a conflict
+	// is only possible while the records are physically present. Followers
+	// compact on the leader's commit signal instead (CompactReplicated).
+	if !cfg.Follower {
+		if err := m.writeSnapshotLocked(); err != nil {
+			m.wal.Close()
+			return nil, err
+		}
+		if err := m.resetWALLocked(); err != nil {
+			m.wal.Close()
+			return nil, err
+		}
 	}
 
 	// Reconstruct terminal results (yields, Wilson CI) from durable
@@ -356,6 +391,17 @@ func (m *Manager) activateLocked() error {
 		return nil
 	}
 	m.active = true
+
+	// Open the reign with a no-op record: commit advancement is gated on a
+	// record of the current term reaching quorum, and followers detect a
+	// conflicting suffix by term — both need the new leader's term in the
+	// log immediately, not only at the next submission. An append failure
+	// is logged, not fatal: the next real record carries the term too.
+	if m.cfg.Replicator != nil {
+		if err := m.appendLocked(walRecord{Type: recNoop, At: m.clock().UnixNano()}); err != nil {
+			m.logf("promotion: appending reign no-op: %v", err)
+		}
+	}
 
 	// Fail jobs whose persisted spec no longer decodes (disk corruption or
 	// an incompatible parameter schema) instead of refusing to start: the
@@ -454,6 +500,15 @@ func (m *Manager) ReplSeq() uint64 {
 	return m.replSeq
 }
 
+// ReplState returns the log tip as a (sequence, term) pair — the
+// up-to-date-ness a replica advertises when soliciting votes and the
+// baseline a vote grant is judged against.
+func (m *Manager) ReplState() (seq, term uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replSeq, m.replTerm
+}
+
 // Active reports whether the store runs jobs (leader / standalone) rather
 // than passively applying replicated records.
 func (m *Manager) Active() bool {
@@ -465,40 +520,53 @@ func (m *Manager) Active() bool {
 // ApplyReplicated lands one shipped record in a follower store: the exact
 // leader bytes are CRC-checked, appended to the local segments and folded
 // into memory, so follower state machines stay bit-identical to the
-// leader's. seq must be exactly the follower's next sequence number;
-// otherwise ErrReplicaGap is returned along with the follower's current
-// sequence so the shipper can rewind. A corrupt record (checksum mismatch,
-// undecodable JSON) is rejected before anything reaches the follower's
-// WAL — a bad shipment never poisons the store.
-func (m *Manager) ApplyReplicated(seq uint64, payload []byte, sum uint32) (uint64, error) {
+// leader's. It returns the follower's resulting (sequence, term) tip.
+// seq must be exactly the follower's next sequence number — otherwise
+// ErrReplicaGap is returned along with the current tip so the shipper can
+// rewind — and prevTerm must match the term of the follower's record at
+// seq-1, the log-matching check: a mismatch (ErrReplicaConflict) means
+// this store's suffix was appended under a deposed leader and must be
+// truncated (TruncateReplicated) before the new history can land. A
+// corrupt record (checksum mismatch, undecodable JSON) is rejected before
+// anything reaches the follower's WAL — a bad shipment never poisons the
+// store.
+func (m *Manager) ApplyReplicated(seq, prevTerm uint64, payload []byte, sum uint32) (uint64, uint64, error) {
 	if len(payload) == 0 {
-		return m.ReplSeq(), errors.New("jobs: empty replicated record")
+		s, t := m.ReplState()
+		return s, t, errors.New("jobs: empty replicated record")
 	}
 	if RecordCRC(payload) != sum {
-		return m.ReplSeq(), errors.New("jobs: replicated record checksum mismatch")
+		s, t := m.ReplState()
+		return s, t, errors.New("jobs: replicated record checksum mismatch")
 	}
 	var rec walRecord
 	if err := json.Unmarshal(payload, &rec); err != nil {
-		return m.ReplSeq(), fmt.Errorf("jobs: undecodable replicated record: %w", err)
+		s, t := m.ReplState()
+		return s, t, fmt.Errorf("jobs: undecodable replicated record: %w", err)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return m.replSeq, ErrClosed
+		return m.replSeq, m.replTerm, ErrClosed
 	}
 	if m.active {
-		return m.replSeq, errors.New("jobs: active store cannot apply replicated records")
+		return m.replSeq, m.replTerm, errors.New("jobs: active store cannot apply replicated records")
 	}
 	if seq != m.replSeq+1 {
-		return m.replSeq, fmt.Errorf("%w: got %d, want %d", ErrReplicaGap, seq, m.replSeq+1)
+		return m.replSeq, m.replTerm, fmt.Errorf("%w: got %d, want %d", ErrReplicaGap, seq, m.replSeq+1)
+	}
+	if prevTerm != m.replTerm {
+		return m.replSeq, m.replTerm, fmt.Errorf("%w: record %d follows term %d, local tip term is %d",
+			ErrReplicaConflict, seq, prevTerm, m.replTerm)
 	}
 	if err := m.fireWALHook(); err != nil {
-		return m.replSeq, fmt.Errorf("jobs: replicated append: %w", err)
+		return m.replSeq, m.replTerm, fmt.Errorf("jobs: replicated append: %w", err)
 	}
 	if err := m.wal.Append(payload); err != nil {
-		return m.replSeq, err
+		return m.replSeq, m.replTerm, err
 	}
 	m.replSeq = seq
+	m.replTerm = rec.RTerm
 	m.stats.WALRecords++
 	if rec.Type == recCheckpoint {
 		m.stats.Checkpoints++
@@ -519,30 +587,170 @@ func (m *Manager) ApplyReplicated(seq uint64, payload []byte, sum uint32) (uint6
 		}
 		m.publishLocked(js) // convergence streams work on followers too
 	}
-	return m.replSeq, nil
+	return m.replSeq, m.replTerm, nil
+}
+
+// TailRecord is one physically present WAL record together with the
+// election term it was appended under, as the replication layer needs it
+// for the log-matching check.
+type TailRecord struct {
+	Payload []byte
+	Term    uint64
 }
 
 // TailRecords returns a copy of every WAL record still physically present
 // — appended or applied since the last compaction — together with the
-// replication sequence number of the first one. A newly promoted leader
-// seeds its ship backlog from this tail so followers that lag by less
-// than a compaction window catch up record by record; a follower whose
-// cursor predates the compaction horizon cannot be served from it and
-// needs a full resync.
-func (m *Manager) TailRecords() ([][]byte, uint64, error) {
+// replication sequence number of the first one and the term of the record
+// just below it (the compaction horizon's term, which PrevTerm of the
+// first shipped record must carry). A newly promoted leader seeds its
+// ship backlog from this tail so followers that lag by less than a
+// compaction window catch up record by record; a follower whose cursor
+// predates the compaction horizon cannot be served from it and needs a
+// full resync.
+func (m *Manager) TailRecords() ([]TailRecord, uint64, uint64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return nil, 0, ErrClosed
+		return nil, 0, 0, ErrClosed
 	}
 	records, _, _, err := replayWAL(m.cfg.Dir)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if uint64(len(records)) > m.replSeq {
-		return nil, 0, fmt.Errorf("jobs: WAL holds %d records beyond sequence %d", len(records), m.replSeq)
+		return nil, 0, 0, fmt.Errorf("jobs: WAL holds %d records beyond sequence %d", len(records), m.replSeq)
 	}
-	return records, m.replSeq - uint64(len(records)) + 1, nil
+	out := make([]TailRecord, len(records))
+	term := m.replBaseTerm
+	for i, payload := range records {
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err == nil {
+			term = rec.RTerm
+		}
+		out[i] = TailRecord{Payload: payload, Term: term}
+	}
+	return out, m.replSeq - uint64(len(records)) + 1, m.replBaseTerm, nil
+}
+
+// TruncateReplicated discards every record above toSeq from a follower
+// store — the repair step after ErrReplicaConflict, removing a suffix
+// appended under a deposed leader so the elected one's history can land
+// in its place. The WAL is physically truncated at a record boundary and
+// the in-memory state rebuilt from the snapshot plus the surviving
+// records; live convergence-stream subscriptions carry over. Returns the
+// resulting (sequence, term) tip. ErrNeedsResync means toSeq predates the
+// compaction horizon: the conflicting records are already folded into the
+// snapshot and the replica must be rebuilt from a full copy instead.
+func (m *Manager) TruncateReplicated(toSeq uint64) (uint64, uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return m.replSeq, m.replTerm, ErrClosed
+	}
+	if m.active {
+		return m.replSeq, m.replTerm, errors.New("jobs: active store cannot truncate replicated records")
+	}
+	if toSeq >= m.replSeq {
+		return m.replSeq, m.replTerm, nil
+	}
+	if toSeq < m.replBase {
+		return m.replSeq, m.replTerm, fmt.Errorf("%w: truncate to %d, horizon %d", ErrNeedsResync, toSeq, m.replBase)
+	}
+	if err := m.wal.TruncateTail(int(toSeq - m.replBase)); err != nil {
+		return m.replSeq, m.replTerm, err
+	}
+
+	// Rebuild the state fold from scratch: snapshot, then the records that
+	// survived. Live subscriber sets (and their event sequence counters)
+	// are carried over by job ID so open convergence streams see the
+	// post-truncation state instead of going dark.
+	type subState struct {
+		seq  int
+		subs map[chan Event]struct{}
+	}
+	carried := make(map[string]subState, len(m.jobs))
+	for id, js := range m.jobs { //yaplint:allow determinism map rebuild; per-ID carry-over is order-independent
+		if len(js.subs) > 0 {
+			carried[id] = subState{seq: js.seq, subs: js.subs}
+		}
+	}
+	m.jobs = make(map[string]*jobState)
+	m.nextID = 1
+	m.replSeq = 0
+	m.replTerm = 0
+	if err := m.loadSnapshot(); err != nil {
+		return m.replSeq, m.replTerm, err
+	}
+	records, _, _, err := replayWAL(m.cfg.Dir)
+	if err != nil {
+		return m.replSeq, m.replTerm, err
+	}
+	term := m.replBaseTerm
+	for _, payload := range records {
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			m.logf("truncation: skipping undecodable wal record: %v", err)
+			continue
+		}
+		m.apply(rec)
+		term = rec.RTerm
+	}
+	if s := m.replBase + uint64(len(records)); s > m.replSeq {
+		m.replSeq = s
+	}
+	m.replTerm = term
+	m.stats.Truncations++
+
+	// Same terminal-result reconstruction as recovery, so a client reading
+	// this follower keeps seeing full results for jobs that stayed done.
+	for _, js := range m.ordered() {
+		if js.job.State == StateDone && js.job.Result == nil && js.job.Spec.Mode != ModeSweep {
+			res, err := finishedResult(js.job.Spec.Mode, js.job.Counts, js.job.Completed)
+			if err != nil {
+				continue
+			}
+			if js.job.Completed < js.job.Spec.Samples {
+				res.Requested = js.job.Spec.Samples
+				res.StoppedEarly = true
+			}
+			js.job.Result = &res
+		}
+	}
+	for id, cs := range carried { //yaplint:allow determinism per-ID reattachment is order-independent
+		if js, ok := m.jobs[id]; ok {
+			js.seq, js.subs = cs.seq, cs.subs
+			m.publishLocked(js)
+		}
+	}
+	return m.replSeq, m.replTerm, nil
+}
+
+// CompactReplicated folds a follower's WAL into its snapshot once the
+// leader has advertised a commit sequence covering everything this store
+// holds — the point past which no record can be truncated away, so
+// folding is safe. Keeps a follower's segments bounded during a long
+// leadership; errors are logged, not returned, since compaction is pure
+// housekeeping.
+func (m *Manager) CompactReplicated(commit uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.active || m.replSeq == m.replBase || commit < m.replSeq {
+		return
+	}
+	segBytes := m.cfg.WALSegmentBytes
+	if segBytes <= 0 {
+		segBytes = defaultSegmentBytes
+	}
+	if m.wal.Size() <= 4*segBytes {
+		return
+	}
+	if err := m.writeSnapshotLocked(); err != nil {
+		m.logf("follower compaction: snapshot: %v", err)
+		return
+	}
+	if err := m.resetWALLocked(); err != nil {
+		m.logf("follower compaction: wal reset: %v", err)
+	}
 }
 
 // loadSnapshot reads jobs.snap into the state map. A missing snapshot is
@@ -565,6 +773,7 @@ func (m *Manager) loadSnapshot() error {
 		m.nextID = st.NextID
 	}
 	m.replSeq = st.ReplicaSeq
+	m.replTerm = st.ReplicaTerm
 	for _, pj := range st.Jobs {
 		js := &jobState{
 			wire: pj.Spec,
@@ -631,7 +840,7 @@ func (m *Manager) apply(rec walRecord) {
 		if rec.Resumes > js.job.Resumes {
 			js.job.Resumes = rec.Resumes
 		}
-		if rec.State == StateFailed && rec.Error != "" {
+		if rec.Error != "" {
 			js.job.Error = rec.Error
 		}
 		if rec.State.Terminal() {
@@ -665,6 +874,9 @@ func (m *Manager) apply(rec walRecord) {
 		}
 	case recGC:
 		delete(m.jobs, rec.ID)
+	case recNoop:
+		// No state change; the record exists so the log has an entry of the
+		// appending leader's term (see the recNoop doc).
 	}
 }
 
@@ -803,23 +1015,72 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 	m.nextID++
 	m.jobs[id] = js
 	m.stats.Submitted++
-	m.pending = append(m.pending, id)
-	m.queue <- struct{}{} // capacity checked above; sends only happen under m.mu
 	job := js.job
 	seq := m.replSeq
 	repl := m.cfg.Replicator
+	if repl == nil {
+		m.pending = append(m.pending, id)
+		m.queue <- struct{}{} // capacity checked above; sends only happen under m.mu
+		m.mu.Unlock()
+		return job, nil
+	}
 	m.mu.Unlock()
 
-	if repl != nil {
-		// The job is already durable and enqueued locally — if quorum fails
-		// the submitter gets an error (and may retry against the new
-		// leader); the local record costs at most duplicate compute, never
-		// divergent state, because record application is idempotent.
-		if err := repl.WaitQuorum(context.Background(), seq); err != nil {
-			return Job{}, fmt.Errorf("jobs: submit not acknowledged by quorum: %w", err)
+	// The record is durable and shipping, but the job is not schedulable
+	// yet: dispatch waits for the quorum ack. A quorum-failed submit then
+	// annuls a job that never started — the rejection the client is about
+	// to see cannot race a locally completed run it would double on retry.
+	if err := repl.WaitQuorum(context.Background(), seq); err != nil {
+		m.annulUnacked(id)
+		return Job{}, fmt.Errorf("jobs: submit not acknowledged by quorum: %w", err)
+	}
+	m.mu.Lock()
+	if m.active && !js.job.State.Terminal() && !m.pendingLocked(id) {
+		m.pending = append(m.pending, id)
+		select {
+		case m.queue <- struct{}{}:
+		default: // full only when tokens already outnumber pending jobs
 		}
 	}
+	m.mu.Unlock()
 	return job, nil
+}
+
+// pendingLocked reports whether id is already on the dispatch list — a
+// demotion/promotion cycle between a submit and its quorum ack re-admits
+// every non-terminal job, and a duplicate entry would double-run it.
+// Callers hold m.mu.
+func (m *Manager) pendingLocked(id string) bool {
+	for _, p := range m.pending {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+// annulUnacked durably cancels a job whose submit record never reached
+// quorum, so the rejection Submit is about to return stays true: the job
+// will not run here and a retry cannot double-run the work. If the store
+// was deposed while waiting, nothing is written — the annulment record
+// would carry the old reign's term anyway, and the new leader's history
+// truncates the whole unacked suffix, job and all.
+func (m *Manager) annulUnacked(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.active {
+		return
+	}
+	js, ok := m.jobs[id]
+	if !ok || js.job.State.Terminal() {
+		return
+	}
+	js.cancelRequested = true
+	if js.cancel != nil { // a runner already picked it up; it cancels durably
+		js.cancel()
+		return
+	}
+	m.finishLocked(js, StateCanceled, "submit not acknowledged by quorum; annulled", nil)
 }
 
 // live counts non-terminal jobs. Callers hold m.mu.
@@ -1020,6 +1281,14 @@ func (m *Manager) appendLocked(rec walRecord) error {
 	if err := m.fireWALHook(); err != nil {
 		return fmt.Errorf("jobs: wal append: %w", err)
 	}
+	if m.cfg.Replicator != nil {
+		// Stamp the record with the reign's term — the identity the
+		// log-matching check compares across replicas. The reign term, not
+		// any later-observed one: a deposed leader still draining appends
+		// must keep stamping the term it was elected under, so (seq, term)
+		// never names two different records.
+		rec.RTerm = m.cfg.Replicator.LeaderTerm()
+	}
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("jobs: encode wal record: %w", err)
@@ -1028,6 +1297,7 @@ func (m *Manager) appendLocked(rec walRecord) error {
 		return err
 	}
 	m.replSeq++
+	m.replTerm = rec.RTerm
 	m.stats.WALRecords++
 	if rec.Type == recCheckpoint {
 		m.stats.Checkpoints++
@@ -1049,9 +1319,10 @@ func (m *Manager) resetWALLocked() error {
 	if err := m.wal.Reset(); err != nil {
 		return err
 	}
-	if err := writeBaseSeq(m.cfg.Dir, m.replSeq); err != nil {
+	if err := writeBaseSeq(m.cfg.Dir, m.replSeq, m.replTerm); err != nil {
 		return fmt.Errorf("jobs: record wal base sequence: %w", err)
 	}
+	m.replBase, m.replBaseTerm = m.replSeq, m.replTerm
 	return nil
 }
 
@@ -1550,7 +1821,7 @@ func (m *Manager) gcPass() {
 // writeSnapshotLocked persists the full state atomically. Callers hold
 // m.mu (or have exclusive access during recovery).
 func (m *Manager) writeSnapshotLocked() error {
-	st := persistedState{NextID: m.nextID, ReplicaSeq: m.replSeq}
+	st := persistedState{NextID: m.nextID, ReplicaSeq: m.replSeq, ReplicaTerm: m.replTerm}
 	ordered := m.ordered()
 	st.Jobs = make([]persistedJob, len(ordered))
 	for i, js := range ordered {

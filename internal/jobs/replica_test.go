@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"yap/internal/sim"
 )
 
 // captureReplicator records every shipped record so tests can re-feed the
@@ -20,6 +22,7 @@ type captureReplicator struct {
 		payload []byte
 	}
 	quorumErr error
+	term      uint64
 }
 
 func (c *captureReplicator) Ship(seq uint64, payload []byte) {
@@ -34,6 +37,12 @@ func (c *captureReplicator) Ship(seq uint64, payload []byte) {
 
 func (c *captureReplicator) WaitQuorum(ctx context.Context, seq uint64) error {
 	return c.quorumErr
+}
+
+func (c *captureReplicator) LeaderTerm() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.term
 }
 
 func (c *captureReplicator) records() []struct {
@@ -83,7 +92,7 @@ func TestFollowerAppliesShippedRecords(t *testing.T) {
 		t.Fatalf("follower Submit error = %v, want ErrNotLeader", err)
 	}
 	for _, rec := range ship.records() {
-		applied, err := follower.ApplyReplicated(rec.seq, rec.payload, RecordCRC(rec.payload))
+		applied, _, err := follower.ApplyReplicated(rec.seq, 0, rec.payload, RecordCRC(rec.payload))
 		if err != nil {
 			t.Fatalf("apply seq %d: %v", rec.seq, err)
 		}
@@ -144,7 +153,7 @@ func TestFollowerRejectsCorruptShipments(t *testing.T) {
 	defer follower.Close()
 
 	good := recs[0]
-	if _, err := follower.ApplyReplicated(good.seq, good.payload, RecordCRC(good.payload)); err != nil {
+	if _, _, err := follower.ApplyReplicated(good.seq, 0, good.payload, RecordCRC(good.payload)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -152,21 +161,21 @@ func TestFollowerRejectsCorruptShipments(t *testing.T) {
 	// Bit-flipped payload with the original checksum: reject.
 	flipped := append([]byte(nil), next.payload...)
 	flipped[0] ^= 0x01
-	if _, err := follower.ApplyReplicated(next.seq, flipped, RecordCRC(next.payload)); err == nil {
+	if _, _, err := follower.ApplyReplicated(next.seq, 0, flipped, RecordCRC(next.payload)); err == nil {
 		t.Fatal("bit-flipped record accepted")
 	}
 	// Truncated payload: reject.
-	if _, err := follower.ApplyReplicated(next.seq, next.payload[:len(next.payload)/2], RecordCRC(next.payload)); err == nil {
+	if _, _, err := follower.ApplyReplicated(next.seq, 0, next.payload[:len(next.payload)/2], RecordCRC(next.payload)); err == nil {
 		t.Fatal("truncated record accepted")
 	}
 	// Matching CRC but not JSON: reject without poisoning the store.
 	junk := []byte("not json at all")
-	if _, err := follower.ApplyReplicated(next.seq, junk, RecordCRC(junk)); err == nil {
+	if _, _, err := follower.ApplyReplicated(next.seq, 0, junk, RecordCRC(junk)); err == nil {
 		t.Fatal("undecodable record accepted")
 	}
 	// A gap must be refused with the follower's current sequence.
 	far := recs[2]
-	cur, err := follower.ApplyReplicated(far.seq+100, far.payload, RecordCRC(far.payload))
+	cur, _, err := follower.ApplyReplicated(far.seq+100, 0, far.payload, RecordCRC(far.payload))
 	if !errors.Is(err, ErrReplicaGap) {
 		t.Fatalf("gap error = %v, want ErrReplicaGap", err)
 	}
@@ -176,7 +185,7 @@ func TestFollowerRejectsCorruptShipments(t *testing.T) {
 
 	// The intact stream still applies — none of the rejects poisoned it.
 	for _, rec := range recs[1:] {
-		if _, err := follower.ApplyReplicated(rec.seq, rec.payload, RecordCRC(rec.payload)); err != nil {
+		if _, _, err := follower.ApplyReplicated(rec.seq, 0, rec.payload, RecordCRC(rec.payload)); err != nil {
 			t.Fatalf("post-reject apply seq %d: %v", rec.seq, err)
 		}
 	}
@@ -259,6 +268,175 @@ func TestSubmitNotAcknowledgedByQuorum(t *testing.T) {
 	}
 }
 
+// TestQuorumFailureAnnulsSubmit: a quorum-failed submit must not leave
+// the job durably queued and running locally — the rejection the client
+// sees has to stay true, so a retry cannot double-run the work.
+func TestQuorumFailureAnnulsSubmit(t *testing.T) {
+	dir := t.TempDir()
+	ship := &captureReplicator{quorumErr: errors.New("no quorum")}
+	m, err := Open(Config{
+		Dir:        dir,
+		Replicator: ship,
+		Runners:    1,
+		// Hold any picked-up job until its context is canceled, so the
+		// annulment always races against a genuinely running job.
+		Run: func(ctx context.Context, mode string, opts sim.Options) (sim.Result, error) {
+			<-ctx.Done()
+			return sim.Result{}, ctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(testSpec(2, 2)); err == nil || !strings.Contains(err.Error(), "quorum") {
+		t.Fatalf("Submit with failing quorum = %v, want quorum error", err)
+	}
+	list := m.List()
+	if len(list) != 1 {
+		t.Fatalf("store holds %d jobs after rejected submit, want the 1 annulled job", len(list))
+	}
+	id := list[0].ID
+	final := waitTerminal(t, m, id)
+	if final.State != StateCanceled {
+		t.Fatalf("annulled job state %s (%s), want canceled", final.State, final.Error)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The annulment is durable: a restart must not resurrect and run it.
+	m2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	j, err := m2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateCanceled {
+		t.Fatalf("reopened annulled job state %s, want canceled", j.State)
+	}
+}
+
+// TestFollowerTruncatesConflictingSuffix is the jobs-store half of the
+// log-safety repair: a follower holding a suffix from a dead leader's
+// reign refuses records whose PrevTerm disagrees with its tip, physically
+// truncates the conflict away, and rebuilds to the surviving prefix — then
+// accepts the new reign's history and converges on it bit for bit.
+func TestFollowerTruncatesConflictingSuffix(t *testing.T) {
+	// Two detached leaders produce two term-stamped histories.
+	shipA := &captureReplicator{term: 1}
+	leaderA, err := Open(Config{Dir: t.TempDir(), Replicator: shipA, CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobA, err := leaderA.Submit(testSpec(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, leaderA, jobA.ID)
+	leaderA.Close()
+	recsA := shipA.records()
+
+	shipB := &captureReplicator{term: 2}
+	leaderB, err := Open(Config{Dir: t.TempDir(), Replicator: shipB, CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobB, err := leaderB.Submit(testSpec(6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalB := waitTerminal(t, leaderB, jobB.ID)
+	leaderB.Close()
+	recsB := shipB.records()
+
+	dir := t.TempDir()
+	follower, err := Open(Config{Dir: dir, Follower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	// Apply reign A in full, threading the prev-term chain.
+	prev := uint64(0)
+	for _, rec := range recsA {
+		if _, _, err := follower.ApplyReplicated(rec.seq, prev, rec.payload, RecordCRC(rec.payload)); err != nil {
+			t.Fatalf("apply A seq %d: %v", rec.seq, err)
+		}
+		prev = 1
+	}
+	seq, term := follower.ReplState()
+	if seq != uint64(len(recsA)) || term != 1 {
+		t.Fatalf("follower tip (%d, %d), want (%d, 1)", seq, term, len(recsA))
+	}
+
+	// A record whose PrevTerm names a different reign at the tip is a
+	// conflict, not a gap: it must be refused without touching the WAL.
+	if _, _, err := follower.ApplyReplicated(seq+1, 2, recsB[0].payload, RecordCRC(recsB[0].payload)); !errors.Is(err, ErrReplicaConflict) {
+		t.Fatalf("conflicting PrevTerm error = %v, want ErrReplicaConflict", err)
+	}
+
+	// Partial truncation: drop the last two records and re-apply them.
+	keep := seq - 2
+	gotSeq, gotTerm, err := follower.TruncateReplicated(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSeq != keep || gotTerm != 1 {
+		t.Fatalf("truncated tip (%d, %d), want (%d, 1)", gotSeq, gotTerm, keep)
+	}
+	for _, rec := range recsA[keep:] {
+		if _, _, err := follower.ApplyReplicated(rec.seq, 1, rec.payload, RecordCRC(rec.payload)); err != nil {
+			t.Fatalf("re-apply A seq %d: %v", rec.seq, err)
+		}
+	}
+
+	// Full truncation, then reign B's history replaces reign A's.
+	if _, _, err := follower.TruncateReplicated(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := follower.ReplSeq(); got != 0 {
+		t.Fatalf("fully truncated follower at seq %d", got)
+	}
+	prev = 0
+	for _, rec := range recsB {
+		if _, _, err := follower.ApplyReplicated(rec.seq, prev, rec.payload, RecordCRC(rec.payload)); err != nil {
+			t.Fatalf("apply B seq %d: %v", rec.seq, err)
+		}
+		prev = 2
+	}
+	got, err := follower.Get(jobB.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone || got.Result == nil {
+		t.Fatalf("follower job after truncate+reapply: %+v", got)
+	}
+	if !reflect.DeepEqual(stripElapsed(*got.Result), stripElapsed(*finalB.Result)) {
+		t.Fatalf("follower result %+v != reign-B result %+v", got.Result, finalB.Result)
+	}
+	if follower.Stats().Truncations != 2 {
+		t.Fatalf("follower counted %d truncations, want 2", follower.Stats().Truncations)
+	}
+
+	// The truncation is physical: a restart over the same directory
+	// replays to reign B's tip, not reign A's.
+	seqB, termB := follower.ReplState()
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(Config{Dir: dir, Follower: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if s, tm := reopened.ReplState(); s != seqB || tm != termB {
+		t.Fatalf("reopened tip (%d, %d), want (%d, %d)", s, tm, seqB, termB)
+	}
+}
+
 // TestDemoteInterruptsAndPromoteResumes: demotion stops the runner pool
 // mid-job (durably running, like a crash) and re-promotion resumes from
 // the last durable checkpoint with a bit-identical result.
@@ -322,7 +500,7 @@ func TestDemoteInterruptsAndPromoteResumes(t *testing.T) {
 // TestReplicatedStreamIsReplayableJSON guards the wire contract: every
 // shipped payload is exactly one walRecord JSON document.
 func TestReplicatedStreamIsReplayableJSON(t *testing.T) {
-	ship := &captureReplicator{}
+	ship := &captureReplicator{term: 3}
 	m, err := Open(Config{Dir: t.TempDir(), Replicator: ship, CheckpointEvery: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -343,6 +521,9 @@ func TestReplicatedStreamIsReplayableJSON(t *testing.T) {
 		}
 		if rec.seq != uint64(i)+1 {
 			t.Fatalf("shipped record %d has seq %d", i, rec.seq)
+		}
+		if wr.RTerm != 3 {
+			t.Fatalf("shipped record %d stamped with term %d, want the leader's term 3", i, wr.RTerm)
 		}
 	}
 }

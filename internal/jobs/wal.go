@@ -315,6 +315,102 @@ func (w *wal) Reset() error {
 	return nil
 }
 
+// TruncateTail physically discards every record after the first keep
+// records in the log — the follower side of replication conflict repair,
+// where a new leader's history overrides a suffix this store appended
+// under a deposed one. Later segments are deleted last-to-first and the
+// boundary segment is truncated at a record frame, so a crash at any
+// point leaves a record-boundary prefix of the original log: either the
+// truncation simply ran partway (more records survive than asked, all of
+// them previously durable) or it completed. Appending resumes in the
+// boundary segment.
+func (w *wal) TruncateTail(keep int) error {
+	if keep < 0 {
+		return errors.New("jobs: negative wal truncation")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("jobs: close wal for truncation: %w", err)
+	}
+	type segment struct {
+		path   string
+		num    uint64
+		legacy bool
+	}
+	var order []segment
+	legacy := filepath.Join(w.dir, legacyWALName)
+	if _, err := os.Stat(legacy); err == nil {
+		order = append(order, segment{path: legacy, legacy: true})
+	}
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	for _, n := range segs {
+		order = append(order, segment{path: segPath(w.dir, n), num: n})
+	}
+	// Find the boundary: the file holding record number keep (1-based) and
+	// the offset just past it. keep == 0 cuts at the very start.
+	cut := -1
+	var cutOff int64
+	remaining := keep
+	for i, seg := range order {
+		data, readErr := os.ReadFile(seg.path)
+		if readErr != nil && !errors.Is(readErr, fs.ErrNotExist) {
+			return fmt.Errorf("jobs: read wal segment for truncation: %w", readErr)
+		}
+		records, _, _ := replaySegment(data)
+		if remaining <= len(records) {
+			cut = i
+			off := int64(0)
+			for _, rec := range records[:remaining] {
+				off += walHeaderSize + int64(len(rec))
+			}
+			cutOff = off
+			break
+		}
+		remaining -= len(records)
+	}
+	if cut < 0 {
+		return fmt.Errorf("jobs: wal truncation keeps %d records but the log holds fewer", keep)
+	}
+	// Delete the segments past the boundary newest-first, then truncate the
+	// boundary file — each step only shortens the log from the tail.
+	for i := len(order) - 1; i > cut; i-- {
+		if err := os.Remove(order[i].path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("jobs: remove truncated wal segment: %w", err)
+		}
+	}
+	f, err := os.OpenFile(order[cut].path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: reopen wal boundary segment: %w", err)
+	}
+	if err := f.Truncate(cutOff); err != nil {
+		f.Close()
+		return fmt.Errorf("jobs: truncate wal boundary segment: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("jobs: fsync truncated wal segment: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("jobs: seek truncated wal segment: %w", err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.size = f, cutOff
+	if order[cut].legacy {
+		w.seg = 0
+	} else {
+		w.seg = order[cut].num
+	}
+	return nil
+}
+
 func (w *wal) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -394,23 +490,35 @@ func replaySegment(data []byte) (records [][]byte, cleanOffset int64, truncated 
 	return records, int64(off), off < len(data)
 }
 
-// readBaseSeq loads the WAL base sequence; a missing or unreadable file
-// is base 0 (pre-replication stores).
-func readBaseSeq(dir string) uint64 {
+// readBaseSeq loads the WAL base sequence and the term of the record at
+// it; a missing or unreadable file is base 0 (pre-replication stores),
+// and a file from before term tracking reports term 0.
+func readBaseSeq(dir string) (seq, term uint64) {
 	data, err := os.ReadFile(filepath.Join(dir, baseSeqName))
 	if err != nil {
-		return 0
+		return 0, 0
 	}
-	n, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	fields := strings.Fields(string(data))
+	if len(fields) == 0 {
+		return 0, 0
+	}
+	seq, err = strconv.ParseUint(fields[0], 10, 64)
 	if err != nil {
-		return 0
+		return 0, 0
 	}
-	return n
+	if len(fields) > 1 {
+		term, _ = strconv.ParseUint(fields[1], 10, 64) //nolint:errcheck // malformed term reads as 0, like a pre-term file
+	}
+	return seq, term
 }
 
-// writeBaseSeq durably records the WAL base sequence after a reset.
-func writeBaseSeq(dir string, seq uint64) error {
-	return writeFileAtomic(filepath.Join(dir, baseSeqName), []byte(strconv.FormatUint(seq, 10)+"\n"))
+// writeBaseSeq durably records the WAL base sequence and the term of the
+// record at it after a reset. The pair is written atomically alongside
+// the snapshot it describes, so (seq, term) are always internally
+// consistent whatever crash window they are read back from.
+func writeBaseSeq(dir string, seq, term uint64) error {
+	content := strconv.FormatUint(seq, 10) + " " + strconv.FormatUint(term, 10) + "\n"
+	return writeFileAtomic(filepath.Join(dir, baseSeqName), []byte(content))
 }
 
 // writeFileAtomic writes data to path via a temp file in the same

@@ -13,15 +13,31 @@
 // acknowledgement — a job the caller saw accepted exists on a majority
 // and survives the leader's disk.
 //
+// Log safety follows Raft's core rules. Every record is stamped with the
+// election term of the reign that appended it, and each shipped append
+// carries the term of the record before it (PrevTerm): a follower whose
+// record at that position carries a different term holds a suffix from a
+// dead reign and truncates it — physically, at a WAL record boundary —
+// before the new history lands, so replicas converge byte for byte after
+// any sequence of failovers. A leader counts a peer's acknowledgement
+// toward quorum only when the (seq, term) the peer reports names a record
+// the leader also holds, and the commit point only advances once a record
+// of the current term reaches a majority (the prior-term-commit rule), so
+// a diverged replica's acks can never commit bytes the leader doesn't
+// have. A freshly promoted leader appends a no-op record so its term has
+// a log entry immediately.
+//
 // Elections are deterministic given a clock: a follower campaigns when
 // the leader's lease lapses, at an instant staggered by its rank in the
 // sorted member list (rank × heartbeat), so the healthy cluster elects
 // its lowest-ranked live member without randomized timers. Ballots refuse
-// candidates whose replicated log is behind the voter's, so the winner
-// holds every quorum-acknowledged record; on promotion it resumes
-// unfinished jobs from their last durable checkpoint exactly as a
-// restart would — the crash-resume bit-identity contract carries over to
-// failover.
+// candidates whose (last term, last seq) log position is behind the
+// voter's — vote evaluation is serialized with record application, so the
+// position a ballot is judged against can never go stale mid-grant — and
+// the winner therefore holds every quorum-acknowledged record; on
+// promotion it resumes unfinished jobs from their last durable checkpoint
+// exactly as a restart would — the crash-resume bit-identity contract
+// carries over to failover.
 //
 // The wall clock is read only through the node's injected clock (tests
 // drive elections virtually); nothing in the record path depends on time.
@@ -69,8 +85,10 @@ var (
 	ErrNoQuorum = errors.New("replica: quorum not reached")
 	// ErrClosed reports an operation on a closed node.
 	ErrClosed = errors.New("replica: node closed")
-	// errDeposed fails pending quorum waits when leadership is lost.
-	errDeposed = errors.New("replica: leadership lost")
+	// ErrDeposed fails pending quorum waits when leadership is lost mid-wait.
+	// A transient cluster condition, not a client error: the submission was
+	// annulled locally and a retry against the new leader is safe.
+	ErrDeposed = errors.New("replica: leadership lost")
 )
 
 // Config configures a Node.
@@ -149,10 +167,13 @@ const maxBacklog = 8192
 // before deposing itself.
 const quorumStrikes = 3
 
-// entry is one backlogged record awaiting shipment.
+// entry is one backlogged record awaiting shipment. term is the election
+// term the record was appended under — the identity the log-matching
+// check compares, and what a peer's acknowledgement is verified against.
 type entry struct {
 	seq     uint64
 	crc     uint32
+	term    uint64
 	payload []byte
 }
 
@@ -178,18 +199,21 @@ type Stats struct {
 	StalledPeers int
 	// Elections counts campaigns this node started; ShipErrors failed
 	// shipment attempts; VotesGranted ballots granted to others;
-	// QuorumTimeouts expired quorum waits.
+	// QuorumTimeouts expired quorum waits; Truncations conflicting WAL
+	// suffixes this store discarded to converge on a new leader's history.
 	Elections      uint64
 	ShipErrors     uint64
 	VotesGranted   uint64
 	QuorumTimeouts uint64
+	Truncations    uint64
 }
 
 // Node is one member of the replicated control plane. It owns its jobs
 // store: followers' stores stay passive until this node wins an election.
 //
-// Lock order: jobs.Manager internals → n.mu (Ship is called under the
-// Manager's lock and takes n.mu). Consequently no method may call into
+// Lock order: n.applyMu → jobs.Manager internals → n.mu (Ship is called
+// under the Manager's lock and takes n.mu; the vote/append handlers take
+// applyMu before touching either). Consequently no method may call into
 // the Manager while holding n.mu; handlers capture n.mu state, release,
 // then touch the store.
 type Node struct {
@@ -210,24 +234,47 @@ type Node struct {
 	cancel    context.CancelFunc
 	wg        sync.WaitGroup
 
+	// applyMu serializes vote evaluation with record application and
+	// truncation: a ballot is judged against the store's (seq, term) tip,
+	// and that tip must not move between the read and the grant — otherwise
+	// a follower could ack an append to the old leader while granting a
+	// ballot computed from the pre-append position, breaking quorum
+	// intersection. Taken before the Manager's locks and before n.mu.
+	applyMu sync.Mutex
+
 	mu        sync.Mutex
-	closed    bool
-	role      Role
-	term      uint64
-	votedFor  string
-	leaderURL string
-	lastBeat  time.Time
+	closed    bool      //yaplint:guardedby mu
+	role      Role      //yaplint:guardedby mu
+	term      uint64    //yaplint:guardedby mu
+	votedFor  string    //yaplint:guardedby mu
+	leaderURL string    //yaplint:guardedby mu
+	lastBeat  time.Time //yaplint:guardedby mu
 	// latest is the newest local sequence the leader has offered to ship;
-	// backlog[i] holds sequence backlogBase+i.
-	latest      uint64
-	backlog     []entry
-	backlogBase uint64
-	acks        map[string]uint64 // peer -> highest acknowledged seq
-	cursors     map[string]uint64 // peer -> next seq to send
-	stalled     map[string]bool
-	waiters     []waiter
-	quorumFails int
-	stats       Stats
+	// backlog[i] holds sequence backlogBase+i, and basePrevTerm is the term
+	// of the record just below the backlog (what PrevTerm of the first
+	// backlogged record must carry). lastTerm is the term of the record at
+	// latest.
+	latest       uint64  //yaplint:guardedby mu
+	lastTerm     uint64  //yaplint:guardedby mu
+	backlog      []entry //yaplint:guardedby mu
+	backlogBase  uint64  //yaplint:guardedby mu
+	basePrevTerm uint64  //yaplint:guardedby mu
+	// reignTerm is the term this node last won (or holds, single-node) —
+	// the stamp for every record the reign appends, stable even after a
+	// higher term is observed. reignFirst is the first sequence of the
+	// reign (latest+1 at promotion): commitSeq, the monotone commit point,
+	// only advances when a quorum position reaches reignFirst — committing
+	// a prior reign's records by counting is the classic Raft figure-8
+	// unsafety.
+	reignTerm   uint64            //yaplint:guardedby mu
+	reignFirst  uint64            //yaplint:guardedby mu
+	commitSeq   uint64            //yaplint:guardedby mu
+	acks        map[string]uint64 //yaplint:guardedby mu — peer -> highest verified acknowledged seq
+	cursors     map[string]uint64 //yaplint:guardedby mu — peer -> next seq to send
+	stalled     map[string]bool   //yaplint:guardedby mu
+	waiters     []waiter          //yaplint:guardedby mu
+	quorumFails int               //yaplint:guardedby mu
+	stats       Stats             //yaplint:guardedby mu
 }
 
 // Open builds the node and its jobs store. With peers, the store opens in
@@ -299,6 +346,7 @@ func Open(cfg Config) (*Node, error) {
 	if len(n.peers) == 0 {
 		n.role = RoleLeader
 		n.leaderURL = n.self
+		n.reignTerm = n.term
 		return n, nil
 	}
 
@@ -347,8 +395,10 @@ func (n *Node) Stats() Stats {
 	st.Term = n.term
 	st.LeaderURL = n.leaderURL
 	st.Seq = seq
-	if n.role == RoleLeader && len(n.peers) > 0 {
-		st.CommitSeq = n.commitSeqLocked()
+	if len(n.peers) > 0 {
+		// Leader: the gated commit point. Follower: the highest commit the
+		// leader has advertised over heartbeats/appends.
+		st.CommitSeq = n.commitSeq
 	} else {
 		st.CommitSeq = seq
 	}
@@ -392,14 +442,25 @@ func (n *Node) Ship(seq uint64, payload []byte) {
 		n.mu.Unlock()
 		return
 	}
+	e.term = n.reignTerm // the Manager stamped the record with LeaderTerm()
 	if len(n.backlog) == 0 {
 		n.backlogBase = seq
 	}
 	n.backlog = append(n.backlog, e)
 	n.latest = seq
+	n.lastTerm = e.term
 	n.pruneBacklogLocked()
 	n.mu.Unlock()
 	n.wakeSenders()
+}
+
+// LeaderTerm reports the term of the current (or last) reign — what the
+// Manager stamps appended records with. Called under the Manager's lock;
+// only reads node state.
+func (n *Node) LeaderTerm() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.reignTerm
 }
 
 // WaitQuorum blocks until seq is acknowledged by a majority, the quorum
@@ -417,9 +478,9 @@ func (n *Node) WaitQuorum(ctx context.Context, seq uint64) error {
 	}
 	if n.role != RoleLeader {
 		n.mu.Unlock()
-		return errDeposed
+		return ErrDeposed
 	}
-	if n.commitSeqLocked() >= seq {
+	if n.commitSeq >= seq {
 		n.mu.Unlock()
 		return nil
 	}
@@ -454,7 +515,13 @@ func (n *Node) Handle(ctx context.Context, msg Message) Reply {
 }
 
 func (n *Node) handleVote(msg Message) Reply {
-	seq := n.mgr.ReplSeq() // before n.mu: no Manager calls under the node lock
+	// applyMu freezes the store's log tip for the whole grant decision: no
+	// append can land between reading the position and casting the ballot,
+	// so a granted vote really vouches for everything this store holds —
+	// the quorum-intersection property elections depend on.
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	seq, lterm := n.mgr.ReplState() // before n.mu: no Manager calls under the node lock
 	demote := false
 	n.mu.Lock()
 	if n.closed || msg.Term < n.term {
@@ -465,9 +532,13 @@ func (n *Node) handleVote(msg Message) Reply {
 	if msg.Term > n.term {
 		demote = n.adoptTermLocked(msg.Term, "")
 	}
+	// The Raft up-to-date rule, lexicographic on (last term, last seq): a
+	// candidate whose tip term is higher holds the newer history even with
+	// a shorter log — length only breaks ties within a term.
+	upToDate := msg.LastTerm > lterm || (msg.LastTerm == lterm && msg.LastSeq >= seq)
 	grant := n.role != RoleLeader &&
 		(n.votedFor == "" || n.votedFor == msg.From) &&
-		msg.LastSeq >= seq
+		upToDate
 	if grant && n.votedFor != msg.From {
 		n.votedFor = msg.From
 		if err := n.persistLocked(); err != nil {
@@ -493,6 +564,10 @@ func (n *Node) handleVote(msg Message) Reply {
 }
 
 func (n *Node) handleAppend(ctx context.Context, msg Message) Reply {
+	// Serialized with vote grants (see handleVote): a position vouched for
+	// by a ballot cannot move while the ballot is being decided.
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
 	demote := false
 	n.mu.Lock()
 	if n.closed || msg.Term < n.term {
@@ -512,19 +587,74 @@ func (n *Node) handleAppend(ctx context.Context, msg Message) Reply {
 	n.role = RoleFollower
 	n.leaderURL = msg.From
 	n.lastBeat = n.clock()
+	if msg.CommitSeq > n.commitSeq {
+		n.commitSeq = msg.CommitSeq
+	}
 	term := n.term
 	n.mu.Unlock()
 	if demote {
 		n.mgr.Demote()
 	}
 	if msg.Seq == 0 { // heartbeat
-		return Reply{Term: term, OK: true, Seq: n.mgr.ReplSeq()}
+		if msg.CommitSeq > 0 {
+			n.mgr.CompactReplicated(msg.CommitSeq)
+		}
+		seq, lterm := n.mgr.ReplState()
+		return Reply{Term: term, OK: true, Seq: seq, LastTerm: lterm}
 	}
-	cur, err := n.mgr.ApplyReplicated(msg.Seq, msg.Payload, msg.CRC)
+	if cur, _ := n.mgr.ReplState(); msg.Seq <= cur {
+		// Our log extends to or past the incoming record: the suffix from
+		// msg.Seq on was appended under a dead reign and the elected
+		// leader's history overrides it. Truncate to just below the record
+		// so it can land; committed records are never lost — a conflicting
+		// suffix is uncommitted by definition, and matching records are
+		// re-shipped byte-identically.
+		if r, done := n.truncateTo(term, msg.Seq-1); done {
+			return r
+		}
+	}
+	cur, lterm, err := n.mgr.ApplyReplicated(msg.Seq, msg.PrevTerm, msg.Payload, msg.CRC)
 	if err != nil {
-		return Reply{Term: term, Seq: cur, Reason: err.Error()}
+		if errors.Is(err, jobs.ErrReplicaConflict) {
+			// Our tip record disagrees with the leader's at the same seq:
+			// drop it and report the rewound position; the leader re-ships
+			// from there, stepping back once per conflicting record until
+			// the logs agree.
+			if cur == 0 {
+				return Reply{Term: term, Seq: cur, LastTerm: lterm, Diverged: true, Reason: err.Error()}
+			}
+			if r, done := n.truncateTo(term, cur-1); done {
+				return r
+			}
+			cur, lterm = n.mgr.ReplState()
+			return Reply{Term: term, Seq: cur, LastTerm: lterm, Reason: err.Error()}
+		}
+		return Reply{Term: term, Seq: cur, LastTerm: lterm, Reason: err.Error()}
 	}
-	return Reply{Term: term, OK: true, Seq: cur}
+	if msg.CommitSeq > 0 {
+		n.mgr.CompactReplicated(msg.CommitSeq)
+	}
+	return Reply{Term: term, OK: true, Seq: cur, LastTerm: lterm}
+}
+
+// truncateTo discards the store's records above toSeq. It returns a reply
+// and true when the truncation itself must answer the append — a failure,
+// or a conflict below the compaction horizon (Diverged: the replica needs
+// a full resync). On success it returns false and the caller proceeds
+// with the incoming record.
+func (n *Node) truncateTo(term, toSeq uint64) (Reply, bool) {
+	cur, lterm, err := n.mgr.TruncateReplicated(toSeq)
+	if err != nil {
+		if errors.Is(err, jobs.ErrNeedsResync) {
+			return Reply{Term: term, Seq: cur, LastTerm: lterm, Diverged: true, Reason: err.Error()}, true
+		}
+		return Reply{Term: term, Seq: cur, LastTerm: lterm, Reason: err.Error()}, true
+	}
+	n.mu.Lock()
+	n.stats.Truncations++
+	n.mu.Unlock()
+	n.logf("replica: truncated conflicting wal suffix to seq %d (term %d)", cur, lterm)
+	return Reply{}, false
 }
 
 // adoptTermLocked moves to a higher term as a follower, reporting whether
@@ -541,7 +671,7 @@ func (n *Node) adoptTermLocked(term uint64, leader string) bool {
 	n.role = RoleFollower
 	n.leaderURL = leader
 	if wasLeader {
-		n.failWaitersLocked(errDeposed)
+		n.failWaitersLocked(ErrDeposed)
 	}
 	if err := n.persistLocked(); err != nil {
 		n.logf("replica: persisting term %d: %v", term, err)
@@ -578,17 +708,24 @@ func (n *Node) shipOne(ctx context.Context, peer string) bool {
 	}
 	term := n.term
 	cursor := n.cursors[peer]
-	msg := Message{Kind: KindAppend, Term: term, From: n.self}
+	msg := Message{Kind: KindAppend, Term: term, From: n.self, CommitSeq: n.commitSeq}
 	more := false
 	switch {
 	case cursor == 0:
 		// fresh leadership: the peer's position is unknown until its first
 		// heartbeat reply, so probe instead of guessing
+		msg.LastSeq, msg.LastTerm = n.latest, n.lastTerm
 	case cursor > n.latest || len(n.backlog) == 0:
 		// caught up (or nothing to ship yet): bare heartbeat
+		msg.LastSeq, msg.LastTerm = n.latest, n.lastTerm
 	case cursor >= n.backlogBase:
 		e := n.backlog[cursor-n.backlogBase]
 		msg.Seq, msg.CRC, msg.Payload = e.seq, e.crc, e.payload
+		if cursor == n.backlogBase {
+			msg.PrevTerm = n.basePrevTerm
+		} else {
+			msg.PrevTerm = n.backlog[cursor-n.backlogBase-1].term
+		}
 		more = cursor < n.latest
 	default:
 		if !n.stalled[peer] {
@@ -619,31 +756,89 @@ func (n *Node) shipOne(ctx context.Context, peer string) bool {
 		demote = n.adoptTermLocked(reply.Term, "")
 		more = false
 	case msg.Seq != 0 && reply.OK:
-		if reply.Seq > n.acks[peer] {
-			n.acks[peer] = reply.Seq
-			n.flushWaitersLocked()
+		if n.ackVerifiedLocked(peer, reply.Seq, reply.LastTerm) {
+			n.cursors[peer] = reply.Seq + 1
+			delete(n.stalled, peer)
 		}
-		n.cursors[peer] = reply.Seq + 1
-		delete(n.stalled, peer)
-		more = n.cursors[peer] <= n.latest
-	case msg.Seq != 0: // rejected append: rewind to the peer's position
-		n.cursors[peer] = reply.Seq + 1
-		more = false // re-approach on the next wake, not in a hot loop
-	case reply.OK: // heartbeat reply: learn the peer's position
-		if reply.Seq > n.acks[peer] {
-			n.acks[peer] = reply.Seq
-			n.flushWaitersLocked()
-		}
-		if n.cursors[peer] == 0 || n.cursors[peer] > reply.Seq+1 {
+		more = n.cursors[peer] != 0 && n.cursors[peer] <= n.latest
+	case msg.Seq != 0: // rejected append
+		if reply.Diverged {
+			// The conflict reaches below the peer's compaction horizon:
+			// record-by-record repair is impossible, only a full resync can
+			// bring it back. Stall rather than loop.
+			if !n.stalled[peer] {
+				n.stalled[peer] = true
+				n.logf("replica: peer %s diverged beyond repair (%s); stalled until resync", peer, reply.Reason)
+			}
+		} else {
+			// Rewind to the peer's (possibly just-truncated) position and
+			// re-approach on the next wake, not in a hot loop.
 			n.cursors[peer] = reply.Seq + 1
 		}
-		more = n.cursors[peer] <= n.latest
+		more = false
+	case reply.OK: // heartbeat reply: learn the peer's position
+		if n.ackVerifiedLocked(peer, reply.Seq, reply.LastTerm) {
+			if n.cursors[peer] == 0 || n.cursors[peer] > reply.Seq+1 {
+				n.cursors[peer] = reply.Seq + 1
+			}
+		}
+		more = n.cursors[peer] != 0 && n.cursors[peer] <= n.latest
 	}
 	n.mu.Unlock()
 	if demote {
 		n.mgr.Demote()
 	}
 	return more && !demote
+}
+
+// ackVerifiedLocked decides whether a peer's acknowledgement of position
+// seq (whose record term it reports as lterm) counts toward quorum: only
+// when (seq, lterm) names a record this leader also holds. A diverged
+// peer — its log extends past ours, or its record at seq carries a
+// different term — gets its cursor pointed at the first record whose
+// shipment will surface the conflict (triggering follower-side
+// truncation) and its ack is refused, so a replica holding different
+// bytes can never help commit them. Reports whether the ack was counted;
+// on refusal the cursor has already been repositioned. Callers hold n.mu.
+func (n *Node) ackVerifiedLocked(peer string, seq, lterm uint64) bool {
+	if seq == 0 {
+		return true // empty position: nothing to verify, nothing to ack
+	}
+	if seq > n.latest {
+		// The peer's log extends past ours: its suffix is from a dead
+		// reign. Serve it our tip record; landing it forces truncation.
+		c := n.latest
+		if c < n.backlogBase {
+			c = n.backlogBase
+		}
+		n.cursors[peer] = c
+		return false
+	}
+	switch {
+	case seq >= n.backlogBase && seq-n.backlogBase < uint64(len(n.backlog)):
+		if n.backlog[seq-n.backlogBase].term != lterm {
+			// Same position, different record: re-ship ours from seq so the
+			// peer truncates its conflicting copy.
+			n.cursors[peer] = seq
+			return false
+		}
+	case seq == n.backlogBase-1 && n.backlogBase > 0:
+		if n.basePrevTerm != lterm {
+			n.cursors[peer] = seq // below the backlog: the stall path catches it
+			return false
+		}
+	default:
+		// Below the horizon minus one: unverifiable, and useless for commit
+		// anyway (commit only advances within the current reign). Let the
+		// cursor land below the backlog so the stall path reports it.
+		n.cursors[peer] = seq + 1
+		return false
+	}
+	if seq > n.acks[peer] {
+		n.acks[peer] = seq
+		n.advanceCommitLocked()
+	}
+	return true
 }
 
 func (n *Node) noteShipError() {
@@ -661,10 +856,10 @@ func (n *Node) wakeSenders() {
 	}
 }
 
-// commitSeqLocked is the highest sequence a majority holds: the
+// quorumPosLocked is the highest sequence a majority holds: the
 // (quorum-1)th largest among self (latest, durable locally) and each
-// peer's acknowledged sequence.
-func (n *Node) commitSeqLocked() uint64 {
+// peer's verified acknowledged sequence.
+func (n *Node) quorumPosLocked() uint64 {
 	positions := make([]uint64, 0, len(n.peers)+1)
 	positions = append(positions, n.latest)
 	for _, p := range n.peers {
@@ -674,11 +869,24 @@ func (n *Node) commitSeqLocked() uint64 {
 	return positions[n.quorum-1]
 }
 
+// advanceCommitLocked moves the monotone commit point to the quorum
+// position — but only once that position has reached the current reign's
+// first record. Counting a majority on a prior reign's records alone is
+// the Raft figure-8 unsafety: such a record can still be overwritten by a
+// later leader. Once a current-term record has majority, everything below
+// it is committed transitively. Callers hold n.mu.
+func (n *Node) advanceCommitLocked() {
+	p := n.quorumPosLocked()
+	if p >= n.reignFirst && p > n.commitSeq {
+		n.commitSeq = p
+		n.flushWaitersLocked()
+	}
+}
+
 func (n *Node) flushWaitersLocked() {
-	commit := n.commitSeqLocked()
 	kept := n.waiters[:0]
 	for _, w := range n.waiters {
-		if w.seq <= commit {
+		if w.seq <= n.commitSeq {
 			w.ch <- nil
 			n.quorumFails = 0
 			continue
@@ -696,7 +904,9 @@ func (n *Node) failWaitersLocked(err error) {
 }
 
 // pruneBacklogLocked drops fully acknowledged records from the front and
-// caps the backlog; peers whose cursor is dropped stall.
+// caps the backlog; peers whose cursor is dropped stall. basePrevTerm
+// follows the horizon: it is always the term of the record just below the
+// first backlogged one.
 func (n *Node) pruneBacklogLocked() {
 	minNeeded := n.latest + 1
 	for _, p := range n.peers {
@@ -709,10 +919,14 @@ func (n *Node) pruneBacklogLocked() {
 		if drop > uint64(len(n.backlog)) {
 			drop = uint64(len(n.backlog))
 		}
+		if drop > 0 {
+			n.basePrevTerm = n.backlog[drop-1].term
+		}
 		n.backlog = append(n.backlog[:0], n.backlog[drop:]...)
 		n.backlogBase += drop
 	}
 	if over := len(n.backlog) - maxBacklog; over > 0 {
+		n.basePrevTerm = n.backlog[over-1].term
 		n.backlog = append(n.backlog[:0], n.backlog[over:]...)
 		n.backlogBase += uint64(over)
 	}
@@ -767,7 +981,7 @@ func (n *Node) electionTick(ctx context.Context) {
 		n.role = RoleFollower
 		n.leaderURL = ""
 		n.lastBeat = now
-		n.failWaitersLocked(errDeposed)
+		n.failWaitersLocked(ErrDeposed)
 		demote = true
 	}
 	if n.role != RoleLeader {
@@ -810,13 +1024,13 @@ func (n *Node) campaign(ctx context.Context) {
 	term := n.term
 	n.mu.Unlock()
 
-	lastSeq := n.mgr.ReplSeq()
+	lastSeq, lastTerm := n.mgr.ReplState()
 	votes := 1 // own ballot
 	for _, p := range n.peers {
 		if err := n.faults.Fire(ctx, faultinject.HookReplicaElect); err != nil {
 			continue // injected: this solicitation is lost
 		}
-		reply, err := n.transport.Send(ctx, p, Message{Kind: KindVote, Term: term, From: n.self, LastSeq: lastSeq})
+		reply, err := n.transport.Send(ctx, p, Message{Kind: KindVote, Term: term, From: n.self, LastSeq: lastSeq, LastTerm: lastTerm})
 		if err != nil {
 			continue
 		}
@@ -840,13 +1054,13 @@ func (n *Node) campaign(ctx context.Context) {
 	// crown, so followers a few records behind catch up record by record;
 	// then flip to leader (Ship starts enqueueing) and only then promote
 	// the store — every record the resumed jobs append lands in the
-	// backlog.
-	records, first, err := n.mgr.TailRecords()
+	// backlog, starting with the reign's no-op.
+	records, first, tailPrev, err := n.mgr.TailRecords()
 	if err != nil {
 		n.logf("replica: reading WAL tail after winning term %d: %v", term, err)
-		records, first = nil, lastSeq+1
+		records, first, tailPrev = nil, lastSeq+1, lastTerm
 	}
-	latest := n.mgr.ReplSeq()
+	latest, latestTerm := n.mgr.ReplState()
 
 	n.mu.Lock()
 	if n.closed || n.role != RoleCandidate || n.term != term {
@@ -856,15 +1070,28 @@ func (n *Node) campaign(ctx context.Context) {
 	n.role = RoleLeader
 	n.leaderURL = n.self
 	n.latest = latest
+	n.lastTerm = latestTerm
 	n.backlog = n.backlog[:0]
 	n.backlogBase = first
+	if len(records) > 0 {
+		n.basePrevTerm = tailPrev
+	} else {
+		n.basePrevTerm = latestTerm // empty tail: the backlog starts at latest+1
+	}
 	for i, rec := range records {
 		n.backlog = append(n.backlog, entry{
 			seq:     first + uint64(i),
-			crc:     jobs.RecordCRC(rec),
-			payload: rec,
+			crc:     jobs.RecordCRC(rec.Payload),
+			term:    rec.Term,
+			payload: rec.Payload,
 		})
 	}
+	// The reign's identity: every record this leadership appends is
+	// stamped with term, and commit only advances once a record at or
+	// above reignFirst — necessarily term-stamped — reaches a majority.
+	// commitSeq itself is never reset: committed once is committed forever.
+	n.reignTerm = term
+	n.reignFirst = latest + 1
 	n.acks = make(map[string]uint64, len(n.peers))
 	n.cursors = make(map[string]uint64, len(n.peers))
 	n.stalled = make(map[string]bool)
@@ -880,6 +1107,17 @@ func (n *Node) campaign(ctx context.Context) {
 			n.leaderURL = ""
 		}
 		n.mu.Unlock()
+		return
+	}
+	// A higher term observed while Promote ran means this reign is already
+	// over; the role flip happened in adoptTermLocked, but the store was
+	// just (re-)activated by our Promote — demote it so two stores never
+	// run at once.
+	n.mu.Lock()
+	deposed := n.role != RoleLeader || n.term != term
+	n.mu.Unlock()
+	if deposed {
+		n.mgr.Demote()
 		return
 	}
 	n.wakeSenders() // heartbeats announce the new leadership immediately

@@ -22,10 +22,11 @@ type memNet struct {
 	mu    sync.Mutex
 	nodes map[string]*Node
 	down  map[string]bool
+	cut   map[string]bool // symmetric partition: no link to or from
 }
 
 func newMemNet() *memNet {
-	return &memNet{nodes: make(map[string]*Node), down: make(map[string]bool)}
+	return &memNet{nodes: make(map[string]*Node), down: make(map[string]bool), cut: make(map[string]bool)}
 }
 
 func (t *memNet) add(url string, n *Node) {
@@ -40,10 +41,18 @@ func (t *memNet) setDown(url string, down bool) {
 	t.down[url] = down
 }
 
+// isolate severs every link to and from url — a symmetric partition,
+// unlike setDown which only makes url unreachable as a destination.
+func (t *memNet) isolate(url string, cut bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cut[url] = cut
+}
+
 func (t *memNet) Send(ctx context.Context, peer string, msg Message) (Reply, error) {
 	t.mu.Lock()
 	n, ok := t.nodes[peer]
-	down := t.down[peer]
+	down := t.down[peer] || t.cut[peer] || t.cut[msg.From]
 	t.mu.Unlock()
 	if !ok || down {
 		return Reply{}, fmt.Errorf("memnet: peer %s unreachable", peer)
@@ -138,7 +147,7 @@ func submitToLeader(t *testing.T, nodes []*Node, spec jobs.Spec) (jobs.Job, *Nod
 		if err == nil {
 			return job, leader
 		}
-		if errors.Is(err, jobs.ErrNotLeader) || errors.Is(err, errDeposed) {
+		if errors.Is(err, jobs.ErrNotLeader) || errors.Is(err, ErrDeposed) {
 			time.Sleep(10 * time.Millisecond)
 			continue
 		}
@@ -320,10 +329,10 @@ func TestSubmitWithoutQuorumFails(t *testing.T) {
 		if err == nil {
 			t.Fatal("quorum-unacked submit reported accepted")
 		}
-		if !strings.Contains(err.Error(), "quorum") && !errors.Is(err, errDeposed) && !errors.Is(err, jobs.ErrNotLeader) {
+		if !strings.Contains(err.Error(), "quorum") && !errors.Is(err, ErrDeposed) && !errors.Is(err, jobs.ErrNotLeader) {
 			t.Fatalf("submit error %v does not name the quorum failure", err)
 		}
-		if errors.Is(err, errDeposed) || errors.Is(err, jobs.ErrNotLeader) {
+		if errors.Is(err, ErrDeposed) || errors.Is(err, jobs.ErrNotLeader) {
 			break
 		}
 	}
@@ -418,7 +427,7 @@ func TestVoteRefusedToStaleLog(t *testing.T) {
 	leader.Close()
 	recs := ship.records()
 	for _, rec := range recs {
-		if _, err := n.Jobs().ApplyReplicated(rec.seq, rec.payload, jobs.RecordCRC(rec.payload)); err != nil {
+		if _, _, err := n.Jobs().ApplyReplicated(rec.seq, 0, rec.payload, jobs.RecordCRC(rec.payload)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -435,9 +444,75 @@ func TestVoteRefusedToStaleLog(t *testing.T) {
 	if !caught.Granted {
 		t.Fatalf("ballot refused to a caught-up candidate: %s", caught.Reason)
 	}
-	// The ballot is durable: a restart must not re-vote in term 6.
-	if st, err := loadElection(n.cfg.Dir); err != nil || st.Term != 6 || st.VotedFor != "candidate" {
+	// A higher last term dominates a longer log: a candidate holding
+	// fewer records from a newer reign is the safer leader, because the
+	// voter's longer same-term suffix can never have been committed.
+	newer := n.Handle(context.Background(), Message{Kind: KindVote, Term: 7, From: "candidate", LastSeq: 0, LastTerm: 1})
+	if !newer.Granted {
+		t.Fatalf("ballot refused to a candidate with a newer last term: %s", newer.Reason)
+	}
+	// The ballot is durable: a restart must not re-vote in term 7.
+	if st, err := loadElection(n.cfg.Dir); err != nil || st.Term != 7 || st.VotedFor != "candidate" {
 		t.Fatalf("persisted election state %+v (err %v)", st, err)
+	}
+}
+
+// TestDivergedLeaderRejoins: an isolated leader keeps appending records
+// no quorum ever saw — a quorum-failed submit and its annulment. After
+// the majority elects a successor and moves history forward, the old
+// leader rejoins, truncates its conflicting suffix, and converges on the
+// new reign's log bit for bit (the high-severity review finding: without
+// term-tagged truncation this divergence was silent and permanent).
+func TestDivergedLeaderRejoins(t *testing.T) {
+	net, nodes := newCluster(t, 3, func(i int, cfg *Config) {
+		cfg.QuorumTimeout = 200 * time.Millisecond
+	})
+	old := waitLeader(t, nodes)
+
+	// A quorum-committed job first: the shared prefix every reign keeps.
+	shared, _ := submitToLeader(t, nodes, testSpec(2, 2))
+	waitTerminal(t, old.Jobs(), shared.ID)
+
+	// Sever every link to and from the leader. Its next submit cannot
+	// reach quorum: the record lands in its WAL — and the annulment
+	// right behind it — a suffix no other replica will ever hold.
+	net.isolate(old.self, true)
+	if _, err := old.Jobs().Submit(testSpec(4, 2)); err == nil {
+		t.Fatal("isolated leader reported a submit accepted")
+	}
+
+	// The survivors elect a successor and move history forward — with a
+	// different spec than the annulled submit, so the diverged replica's
+	// local result can never pass for the successor's by coincidence.
+	var rest []*Node
+	for _, nd := range nodes {
+		if nd != old {
+			rest = append(rest, nd)
+		}
+	}
+	job, successor := submitToLeader(t, rest, testSpec(6, 2))
+	final := waitTerminal(t, successor.Jobs(), job.ID)
+	if final.State != jobs.StateDone {
+		t.Fatalf("successor job state %s: %s", final.State, final.Error)
+	}
+
+	// Rejoin: the old leader must shed its reign's unacked suffix and
+	// converge on the successor's history.
+	net.isolate(old.self, false)
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		j, err := old.Jobs().Get(job.ID)
+		if err == nil && j.State == jobs.StateDone && j.Result != nil &&
+			reflect.DeepEqual(stripElapsed(*j.Result), stripElapsed(*final.Result)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("diverged leader never converged (err %v, job %+v)", err, j)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if old.Stats().Truncations == 0 {
+		t.Fatal("rejoining leader converged without truncating its diverged suffix")
 	}
 }
 
@@ -459,6 +534,8 @@ func (c *captureShip) Ship(seq uint64, payload []byte) {
 }
 
 func (c *captureShip) WaitQuorum(ctx context.Context, seq uint64) error { return nil }
+
+func (c *captureShip) LeaderTerm() uint64 { return 0 }
 
 func (c *captureShip) records() []shippedRec {
 	c.mu.Lock()

@@ -29,11 +29,24 @@ type Message struct {
 	CRC uint32 `json:"crc,omitempty"`
 	// Payload is the WAL record exactly as the leader appended it.
 	Payload []byte `json:"payload,omitempty"`
+	// PrevTerm is the term of the leader's record at Seq-1 — the
+	// log-matching check: a follower whose record at Seq-1 carries a
+	// different term holds a conflicting suffix and must truncate it
+	// before this record can land.
+	PrevTerm uint64 `json:"prev_term,omitempty"`
+	// CommitSeq is the leader's committed sequence — the highest record a
+	// quorum is known to hold. Followers may fold records at or below it
+	// into their snapshot (they can never be truncated away) and must
+	// never truncate below it.
+	CommitSeq uint64 `json:"commit_seq,omitempty"`
 
-	// LastSeq is a vote solicitation's replicated-log position; voters
-	// refuse candidates whose log is behind their own, so a stale replica
-	// can never win an election and roll back acknowledged records.
-	LastSeq uint64 `json:"last_seq,omitempty"`
+	// LastSeq/LastTerm are the sender's log-tip position. On a vote
+	// solicitation voters refuse candidates whose (LastTerm, LastSeq) is
+	// behind their own — a stale replica can never win an election and
+	// roll back acknowledged records. On a heartbeat they let a follower
+	// whose log extends past the leader's detect the divergence.
+	LastSeq  uint64 `json:"last_seq,omitempty"`
+	LastTerm uint64 `json:"last_term,omitempty"`
 }
 
 // Reply answers one Message.
@@ -48,8 +61,18 @@ type Reply struct {
 	// cursor; on a heartbeat it tells the leader how far behind the
 	// follower is.
 	Seq uint64 `json:"seq,omitempty"`
+	// LastTerm is the term of the receiver's record at Seq — the other
+	// half of the ack: the leader only counts an acknowledgement toward
+	// quorum when (Seq, LastTerm) names a record it also holds, so a
+	// diverged replica's acks can never commit bytes the leader doesn't
+	// have.
+	LastTerm uint64 `json:"last_term,omitempty"`
 	// Granted reports a vote ballot granted.
 	Granted bool `json:"granted,omitempty"`
+	// Diverged reports a conflict below the receiver's compaction horizon:
+	// record-by-record repair is impossible and the replica needs a full
+	// resync; the leader stalls it instead of retrying.
+	Diverged bool `json:"diverged,omitempty"`
 	// Reason carries the rejection cause, for logs.
 	Reason string `json:"reason,omitempty"`
 }

@@ -121,7 +121,17 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, replica.ErrNoQuorum):
 		writeError(w, http.StatusServiceUnavailable, "no_quorum",
-			"the submit was not acknowledged by a quorum of replicas; retry later")
+			"the submit was not acknowledged by a quorum of replicas and was annulled; retry later")
+		return
+	case errors.Is(err, replica.ErrDeposed):
+		// Transient cluster condition, not a client error: leadership moved
+		// while the submit awaited quorum. 503 keeps the client retrying
+		// (against the new leader, once a heartbeat names it).
+		writeError(w, http.StatusServiceUnavailable, "leadership_lost",
+			"leadership changed while the submit awaited quorum acknowledgement; the submission was annulled — retry")
+		return
+	case errors.Is(err, replica.ErrClosed):
+		s.writeOverloaded(w, "server is shutting down", 0)
 		return
 	default:
 		writeError(w, http.StatusBadRequest, "invalid_params", err.Error())

@@ -849,6 +849,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counters["yapserve_replica_ship_errors_total"] = st.ShipErrors
 		counters["yapserve_replica_votes_granted_total"] = st.VotesGranted
 		counters["yapserve_replica_quorum_timeouts_total"] = st.QuorumTimeouts
+		counters["yapserve_replica_truncations_total"] = st.Truncations
 	}
 	counters["yapserve_early_stops_total"] = earlyStops
 	counters["yapserve_samples_saved_total"] = samplesSaved
