@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race chaos dist jobs stream ha bench cover figures report serve clean
+.PHONY: all build vet lint test test-race chaos dist jobs stream ha layout bench cover figures report serve clean
 
 all: build vet lint test
 
@@ -74,6 +74,14 @@ ha:
 	$(GO) test -race -run 'Replica|Election|Leader|Quorum|Failover|Sweep|Priority' ./internal/replica/ ./internal/jobs/ ./internal/service/ ./internal/client/
 	$(GO) run -race ./cmd/yapload -ha
 
+# Pad-layout drill: the YAP+ heterogeneous-region tests under the race
+# detector — the layout validation/canonicalization unit tests, the
+# uniform-vs-legacy bit-identity pins (analytic and Monte-Carlo, across
+# shard counts and worker counts), and the end-to-end layout acceptance
+# on the evaluate/simulate/jobs endpoints including crash-resume.
+layout:
+	$(GO) test -race -run 'Layout|Region|Uniform|PadArrayIn|CanonicalHash|ParamsEqual|Golden' ./internal/layout/ ./internal/wafer/ ./internal/overlay/ ./internal/core/ ./internal/sim/ ./internal/dist/ ./internal/service/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -88,6 +96,13 @@ BENCH_jobs.json:
 # regressions show up in review diffs.
 BENCH_converge.json:
 	$(GO) test -json -run '^$$' -bench '.' -benchmem ./internal/converge/ > $@
+
+# Machine-readable benchmark record for the pad-layout kernels: one full
+# W2W wafer / 1000 D2W dies at 1 region (the uniform-grid degenerate case)
+# vs 8 heterogeneous regions. Committed so the per-region loop's overhead
+# shows up in review diffs.
+BENCH_layout.json:
+	$(GO) test -json -run '^$$' -bench 'BenchmarkLayout' -benchmem ./internal/sim/ > $@
 
 cover:
 	$(GO) test -cover ./...

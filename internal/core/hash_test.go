@@ -2,7 +2,10 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
+
+	"yap/internal/layout"
 )
 
 func TestCanonicalHashEqualParamsEqualHash(t *testing.T) {
@@ -42,6 +45,110 @@ func TestCanonicalHashNegativeZero(t *testing.T) {
 	b.EdgeExclusion = math.Copysign(0, -1)
 	if a.CanonicalHash() != b.CanonicalHash() {
 		t.Error("-0.0 and +0.0 hash differently")
+	}
+}
+
+// TestCanonicalHashGolden pins the digests of the two canonical parameter
+// sets. These hashes key the service result cache, the dist shard planner
+// and the durable job specs; a silent change would orphan every cached and
+// persisted artifact, so any intentional change to the walk must update
+// these values knowingly.
+func TestCanonicalHashGolden(t *testing.T) {
+	if got := Baseline().HashString(); got != "c181c4a6248bec32" {
+		t.Errorf("Baseline hash = %s, want c181c4a6248bec32", got)
+	}
+	if got := Baseline().WithPitch(4e-6).HashString(); got != "38098dae1e83ee06" {
+		t.Errorf("WithPitch(4µm) hash = %s, want 38098dae1e83ee06", got)
+	}
+}
+
+// TestCanonicalHashLayout checks the layout extension of the hash walk: a
+// nil layout contributes nothing (the golden values above predate the
+// field), any non-nil layout changes the digest, distinct layouts hash
+// distinctly, and equal layouts behind different pointers hash equal.
+func TestCanonicalHashLayout(t *testing.T) {
+	base := Baseline()
+	uni := layout.Uniform(base.DieWidth, base.DieHeight, base.PadGeometry())
+
+	withUni := base
+	withUni.PadLayout = &uni
+	if withUni.CanonicalHash() == base.CanonicalHash() {
+		t.Error("explicit uniform layout hashes like nil layout; layout must be part of the key")
+	}
+
+	uni2 := layout.Uniform(base.DieWidth, base.DieHeight, base.PadGeometry())
+	withUni2 := base
+	withUni2.PadLayout = &uni2
+	if withUni.CanonicalHash() != withUni2.CanonicalHash() {
+		t.Error("equal layouts behind different pointers hash differently")
+	}
+
+	two := layout.Layout{Regions: []layout.Region{
+		{Name: "core", X0: -5e-3, Y0: -5e-3, X1: 0, Y1: 5e-3},
+		{Name: "io", X0: 0, Y0: -5e-3, X1: 5e-3, Y1: 5e-3, Pitch: 12e-6},
+	}}
+	withTwo := base
+	withTwo.PadLayout = &two
+	if withTwo.CanonicalHash() == withUni.CanonicalHash() {
+		t.Error("distinct layouts collide")
+	}
+
+	renamed := layout.Layout{Regions: []layout.Region{
+		{Name: "kore", X0: -5e-3, Y0: -5e-3, X1: 0, Y1: 5e-3},
+		{Name: "io", X0: 0, Y0: -5e-3, X1: 5e-3, Y1: 5e-3, Pitch: 12e-6},
+	}}
+	withRenamed := base
+	withRenamed.PadLayout = &renamed
+	if withRenamed.CanonicalHash() == withTwo.CanonicalHash() {
+		t.Error("region names not distinguished")
+	}
+}
+
+// TestParamsFieldKinds pins the closed-world assumption hash.go's walk
+// panics on: every Params field is either a float64 or the *layout.Layout
+// pad-layout pointer. Growing a field of any other kind must extend the
+// walk (and this pin) first.
+func TestParamsFieldKinds(t *testing.T) {
+	layoutPtr := reflect.TypeOf((*layout.Layout)(nil))
+	typ := reflect.TypeOf(Params{})
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if f.Type.Kind() == reflect.Float64 || f.Type == layoutPtr {
+			continue
+		}
+		t.Errorf("field %s has kind %s; CanonicalHash only walks float64 and *layout.Layout", f.Name, f.Type)
+	}
+}
+
+func TestParamsEqual(t *testing.T) {
+	base := Baseline()
+	uni := layout.Uniform(base.DieWidth, base.DieHeight, base.PadGeometry())
+	uniCopy := layout.Uniform(base.DieWidth, base.DieHeight, base.PadGeometry())
+
+	a, b := base, base
+	a.PadLayout, b.PadLayout = &uni, &uniCopy
+	if !a.Equal(b) {
+		t.Error("equal layouts behind different pointers compare unequal")
+	}
+	if !base.Equal(Baseline()) {
+		t.Error("identical nil-layout params compare unequal")
+	}
+	if base.Equal(a) {
+		t.Error("nil layout compares equal to explicit uniform layout")
+	}
+	c := a
+	c.Pitch *= 2
+	if a.Equal(c) {
+		t.Error("differing non-layout field not detected")
+	}
+	d := base
+	two := layout.Layout{Regions: []layout.Region{
+		{Name: "core", X0: -5e-3, Y0: -5e-3, X1: 0, Y1: 5e-3},
+		{Name: "io", X0: 0, Y0: -5e-3, X1: 5e-3, Y1: 5e-3, Pitch: 12e-6},
+	}}
+	d.PadLayout = &two
+	if a.Equal(d) {
+		t.Error("differing layouts compare equal")
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"yap/internal/contact"
 	"yap/internal/defect"
+	"yap/internal/layout"
 	"yap/internal/overlay"
 	"yap/internal/recess"
 	"yap/internal/units"
@@ -103,6 +104,19 @@ type Params struct {
 	// (extension after Singh [7]; zero — the paper's assumption — keeps
 	// particles uniform).
 	RadialDefectClustering float64
+
+	// --- Pad layout (YAP+ extension) ---
+
+	// PadLayout optionally partitions the die into heterogeneous pad
+	// regions (YAP+; internal/layout), each with its own pitch and pad
+	// geometry — region fields left zero inherit the die-level values
+	// above. nil — the default — keeps the paper's single uniform grid,
+	// and is equivalent to layout.Uniform over the die (pinned
+	// bit-identical by property tests). Serialized as "layout" on the
+	// wire; omitted when nil so legacy parameter JSON round-trips
+	// byte-stable. (The field is not named Layout because the wafer
+	// floorplan accessor below already claims that name.)
+	PadLayout *layout.Layout `json:"layout,omitempty"`
 }
 
 // Baseline returns the paper's Table I parameter set (mean values; the
@@ -177,7 +191,14 @@ func (p Params) Validate() error {
 	if err := p.DefectParams().Validate(); err != nil {
 		return err
 	}
-	if p.PadArray().Pads() == 0 {
+	if p.PadLayout != nil {
+		// Region validation subsumes the die-level pads-fit check below:
+		// every region must hold at least one pad at its resolved pitch,
+		// while the die-level pitch only serves as the inheritance default.
+		if err := p.PadLayout.Validate(p.DieWidth, p.DieHeight, p.PadGeometry()); err != nil {
+			return err
+		}
+	} else if p.PadArray().Pads() == 0 {
 		return fmt.Errorf("core: no pads fit a %s x %s die at pitch %s",
 			units.FormatMeters(p.DieWidth), units.FormatMeters(p.DieHeight), units.FormatMeters(p.Pitch))
 	}
@@ -304,6 +325,58 @@ func (p Params) DefectParams() defect.Params {
 		WaferRadius:      p.WaferRadius(),
 		RadialClustering: p.RadialDefectClustering,
 	}
+}
+
+// EffectiveLayout returns the pad layout in effect: the explicit PadLayout
+// when set, else the single full-die uniform region carrying the die-level
+// pad geometry — the layout.Uniform identity of the legacy grid.
+func (p Params) EffectiveLayout() layout.Layout {
+	if p.PadLayout != nil {
+		return *p.PadLayout
+	}
+	return layout.Uniform(p.DieWidth, p.DieHeight, p.PadGeometry())
+}
+
+// RegionGrids resolves the effective pad layout into per-region pad grids
+// with die-level inheritance applied.
+func (p Params) RegionGrids() []layout.RegionGrid {
+	return p.EffectiveLayout().Grids(p.PadGeometry())
+}
+
+// TotalPads returns the pad count of the effective layout — PadArray's
+// count for the legacy uniform grid, the per-region sum otherwise.
+func (p Params) TotalPads() int {
+	if p.PadLayout == nil {
+		return p.PadArray().Pads()
+	}
+	return p.PadLayout.TotalPads(p.PadGeometry())
+}
+
+// RegionRecessParams returns the Cu-recess submodel inputs for one region's
+// resolved pad geometry: identical to RecessParams except the Cu pattern
+// density follows the region's bottom-pad diameter and pitch (D_Cu is the
+// only recess input the pad layout touches).
+func (p Params) RegionRecessParams(g overlay.PadGeometry) recess.Params {
+	rp := p.RecessParams()
+	rp.CuDensity = recess.CuPatternDensity(g.BottomDiameter, g.Pitch)
+	return rp
+}
+
+// Equal reports whether p and q describe the same parameter set, pad
+// layout included. Params stopped being ==-comparable when it grew the
+// PadLayout pointer (pointer identity is not value identity), so callers
+// that compared parameter sets with == — the service cache's hash-collision
+// check — use Equal instead.
+func (p Params) Equal(q Params) bool {
+	pl, ql := p.PadLayout, q.PadLayout
+	p.PadLayout, q.PadLayout = nil, nil
+	if p != q {
+		return false
+	}
+	if (pl == nil) != (ql == nil) {
+		return false
+	}
+	return pl == nil || pl.Equal(*ql)
 }
 
 // WithPitch returns a copy of p at a new pitch with the case-study pad

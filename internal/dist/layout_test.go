@@ -1,0 +1,60 @@
+package dist
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"yap/internal/core"
+	"yap/internal/layout"
+	"yap/internal/sim"
+)
+
+// layoutParams is a heterogeneous two-pitch pad layout; the coordinator
+// ships it to workers inside each ShardRequest's params JSON, so this
+// exercises the full wire round-trip of the YAP+ extension.
+func layoutParams() core.Params {
+	p := core.Baseline()
+	l := layout.Layout{Regions: []layout.Region{
+		{Name: "core", X0: -5e-3, Y0: -5e-3, X1: 2e-3, Y1: 5e-3},
+		{Name: "io", X0: 2e-3, Y0: -5e-3, X1: 5e-3, Y1: 5e-3,
+			Pitch: 12e-6, TopPadDiameter: 4e-6, BottomPadDiameter: 6e-6},
+	}}
+	p.PadLayout = &l
+	return p
+}
+
+func TestCoordinatorLayoutBitIdenticalToSingleNode(t *testing.T) {
+	urls := []string{newWorker(t).URL, newWorker(t).URL}
+	c := newCoordinator(t, Config{Workers: urls, HeartbeatInterval: -1})
+
+	t.Run("w2w", func(t *testing.T) {
+		opts := sim.Options{Params: layoutParams(), Seed: 71, Wafers: 8, Workers: 2}
+		want, err := sim.RunW2WContext(context.Background(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := c.Simulate(context.Background(), "w2w", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(stripElapsed(got), stripElapsed(want)) {
+			t.Errorf("distributed layout run %+v != single-node %+v", stripElapsed(got), stripElapsed(want))
+		}
+	})
+
+	t.Run("d2w", func(t *testing.T) {
+		opts := sim.Options{Params: layoutParams(), Seed: 72, Dies: 400, Workers: 2}
+		want, err := sim.RunD2WContext(context.Background(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := c.Simulate(context.Background(), "d2w", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(stripElapsed(got), stripElapsed(want)) {
+			t.Errorf("distributed layout run %+v != single-node %+v", stripElapsed(got), stripElapsed(want))
+		}
+	})
+}

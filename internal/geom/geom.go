@@ -56,6 +56,11 @@ func (r Rect) Contains(p Vec2) bool {
 	return p.X >= r.X0 && p.X <= r.X1 && p.Y >= r.Y0 && p.Y <= r.Y1
 }
 
+// Translate returns r shifted by v.
+func (r Rect) Translate(v Vec2) Rect {
+	return Rect{r.X0 + v.X, r.Y0 + v.Y, r.X1 + v.X, r.Y1 + v.Y}
+}
+
 // Expand returns r grown outward by m on every side (shrunk if m < 0).
 func (r Rect) Expand(m float64) Rect {
 	return Rect{r.X0 - m, r.Y0 - m, r.X1 + m, r.Y1 + m}

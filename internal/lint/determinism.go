@@ -34,6 +34,11 @@ import (
 // WAL must reach exactly the tallies the dead leader would have. Election
 // timing flows through an injected clock; a stray wall-clock read or
 // ambient-random tiebreak would make failovers unreplayable.
+//
+// yap/internal/layout is in the tree because CanonicalBytes feeds
+// core.CanonicalHash (the service cache / dist shard key) and Grids fixes
+// the per-region sample-draw order of both MC kernels; either drifting
+// between runs would break cache identity and bit-identical merges.
 var deterministicPaths = []string{
 	"yap/internal/sim",
 	"yap/internal/randx",
@@ -43,6 +48,7 @@ var deterministicPaths = []string{
 	"yap/internal/jobs",
 	"yap/internal/converge",
 	"yap/internal/replica",
+	"yap/internal/layout",
 }
 
 // inTree reports whether path is root itself or a subpackage of it.

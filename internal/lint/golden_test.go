@@ -137,7 +137,7 @@ func testExports(t *testing.T) map[string]string {
 	goldenExports.once.Do(func() {
 		listed, err := goList(moduleRoot(), []string{
 			"fmt", "errors", "context", "time", "math/rand", "math/rand/v2",
-			"sync", "yap/internal/units",
+			"sync", "yap/internal/units", "yap/internal/layout",
 		})
 		if err != nil {
 			goldenExports.err = err

@@ -1,0 +1,26 @@
+package unitsafety
+
+import "yap/internal/layout"
+
+// RegionFieldMixing adds raw literals to layout.Region's implicit-unit
+// fields — the plain-float64 twin of the units.Length cases.
+func RegionFieldMixing(r layout.Region, pr *layout.Region) bool {
+	pitch := r.Pitch + 1e-6 // want `\[unit-safety\] raw numeric literal added to Region\.Pitch \(a length in meters\)`
+	if pr.X0 > 0.001 {      // want `\[unit-safety\] raw numeric literal compared against Region\.X0 \(a length in meters\)`
+		return true
+	}
+	return 2e-6-r.TopPadDiameter > pitch // want `\[unit-safety\] raw numeric literal subtracted from Region\.TopPadDiameter \(a length in meters\)`
+}
+
+// RegionFieldScaling multiplies/divides region fields by plain factors —
+// legal, as for the typed quantities.
+func RegionFieldScaling(r layout.Region) float64 {
+	return (r.X1 - r.X0) * 2 / 4
+}
+
+// RegionTypedPair keeps both operands unit-carrying — legal.
+func RegionTypedPair(r layout.Region) bool { return r.X1-r.X0 > r.Y1-r.Y0 }
+
+// RegionNameField is not a registered quantity field — legal to compare
+// however the caller likes.
+func RegionNameField(r layout.Region) bool { return len(r.Name)+1 > 2 }

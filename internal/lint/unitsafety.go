@@ -32,6 +32,26 @@ var additiveUnitOps = map[token.Token]bool{
 	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
 }
 
+// quantityFields extends the analyzer beyond the named types of
+// internal/units: plain-float64 struct fields that nonetheless carry an
+// implicit physical unit on the wire (JSON keeps them raw numbers, so the
+// struct cannot adopt the typed quantities without breaking its canonical
+// serialized form). Adding a raw literal to layout.Region.Pitch is the
+// same meters-vs-micrometers bug the typed layer exists to stop, so these
+// fields get the same literal-mixing check. Keyed "pkgpath.TypeName" →
+// field → quantity description for the finding message.
+var quantityFields = map[string]map[string]string{
+	"yap/internal/layout.Region": {
+		"X0":                "length in meters",
+		"Y0":                "length in meters",
+		"X1":                "length in meters",
+		"Y1":                "length in meters",
+		"Pitch":             "length in meters",
+		"TopPadDiameter":    "length in meters",
+		"BottomPadDiameter": "length in meters",
+	},
+}
+
 func runUnitSafety(pkg *Package) []Finding {
 	if inTree(pkg.ImportPath, unitsPath) {
 		return nil
@@ -52,6 +72,17 @@ func runUnitSafety(pkg *Package) []Finding {
 				out = append(out, pkg.finding(bin, "unit-safety",
 					"raw numeric literal %s a units.%s; convert explicitly (e.g. units.%s(...))",
 					opPhrase(bin.Op), yq, yq))
+			}
+			xf, xd := quantityField(pkg, bin.X)
+			yf, yd := quantityField(pkg, bin.Y)
+			if xf != "" && isRawNumericLiteral(pkg, bin.Y) {
+				out = append(out, pkg.finding(bin, "unit-safety",
+					"raw numeric literal %s %s (a %s); scale a named unit constant instead",
+					opPhrase(bin.Op), xf, xd))
+			} else if yf != "" && isRawNumericLiteral(pkg, bin.X) {
+				out = append(out, pkg.finding(bin, "unit-safety",
+					"raw numeric literal %s %s (a %s); scale a named unit constant instead",
+					opPhrase(bin.Op), yf, yd))
 			}
 			return true
 		})
@@ -80,6 +111,41 @@ func unitsQuantity(pkg *Package, expr ast.Expr) string {
 		return ""
 	}
 	return obj.Name()
+}
+
+// quantityField resolves expr to a field selection registered in
+// quantityFields, returning the display name ("Region.Pitch") and quantity
+// description, or empty strings. Pointer receivers select the same fields.
+func quantityField(pkg *Package, expr ast.Expr) (display, quantity string) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	selection, ok := pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return "", ""
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", ""
+	}
+	fields, ok := quantityFields[obj.Pkg().Path()+"."+obj.Name()]
+	if !ok {
+		return "", ""
+	}
+	q, ok := fields[sel.Sel.Name]
+	if !ok {
+		return "", ""
+	}
+	return obj.Name() + "." + sel.Sel.Name, q
 }
 
 // isRawNumericLiteral reports whether expr is a constant written purely

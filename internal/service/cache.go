@@ -62,7 +62,10 @@ func (c *resultCache) Get(mode string, hash uint64, p core.Params) (core.Breakdo
 		return core.Breakdown{}, false
 	}
 	entry := el.Value.(*cacheEntry)
-	if entry.params != p {
+	// Value equality, not == : Params carries the PadLayout pointer, whose
+	// identity differs on every decode even for equal layouts (Equal keeps
+	// layout-bearing requests cacheable instead of evict-thrashing).
+	if !entry.params.Equal(p) {
 		// Hash collision: drop the stale entry rather than serve a wrong
 		// result; the caller recomputes and Put replaces it.
 		c.ll.Remove(el)

@@ -14,12 +14,14 @@ import (
 	"yap/internal/wafer"
 )
 
-// d2wEnv is the per-run immutable state shared by all D2W workers.
+// d2wEnv is the per-run immutable state shared by all D2W workers. Pad
+// state is per region (internal/layout): the legacy uniform grid is the
+// single full-die region, for which every loop below degenerates to the
+// pre-layout scalar arithmetic bit-for-bit.
 type d2wEnv struct {
-	opts Options
-	pads wafer.PadArray
+	opts    Options
+	regions []simRegion
 
-	delta    float64
 	sigma1   float64
 	refR     float64 // rotation/magnification reference radius
 	halfDiag float64
@@ -29,7 +31,6 @@ type d2wEnv struct {
 	effR       float64 // effective die radius √(ab/π) of Eq. 24
 	extRect    geom.Rect
 	particleMu float64
-	padHalf    float64 // top-pad half-side r₁
 }
 
 func newD2WEnv(opts Options) (*d2wEnv, error) {
@@ -37,27 +38,27 @@ func newD2WEnv(opts Options) (*d2wEnv, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	pads := p.PadArray()
+	regions := buildRegions(p)
 	dp := p.DefectParams()
 	effR := wafer.EffectiveDieRadius(p.DieWidth, p.DieHeight)
 	// Particle-sampling margin: void squares larger than margin·knee are
 	// truncated; with the default factor 20 and z = 3 that is a ~20⁻⁴
-	// relative tail loss (DESIGN.md §2.8).
+	// relative tail loss (DESIGN.md §2.8). The pad-reach term uses the
+	// largest top-pad half-side over the regions, so a wide-pad region near
+	// the die edge still sees its full particle flux.
 	knee := dp.MainVoidRadius(effR, p.MinParticleThickness)
-	margin := opts.marginFactor()*knee + p.TopPadDiameter/2
+	margin := opts.marginFactor()*knee + maxPadHalf(regions)
 	ext := geom.RectAround(geom.Vec2{}, p.DieWidth, p.DieHeight).Expand(margin)
 	return &d2wEnv{
 		opts:       opts,
-		pads:       pads,
-		delta:      p.PadGeometry().MaxMisalignment(),
+		regions:    regions,
 		sigma1:     p.RandomMisalignmentSigma,
 		refR:       p.WaferRadius(),
 		halfDiag:   wafer.HalfDiagonal(p.DieWidth, p.DieHeight),
-		recessQ:    recessSurvivalProb(p, pads.Pads()),
+		recessQ:    regionRecessProb(regions),
 		effR:       effR,
 		extRect:    ext,
 		particleMu: p.DefectDensity * ext.Area(),
-		padHalf:    p.TopPadDiameter / 2,
 	}, nil
 }
 
@@ -198,29 +199,21 @@ func (e *d2wEnv) simulateDie(rng *randx.Source) Counts {
 }
 
 // recessCheck performs one die's Cu recess check: the exact Bernoulli
-// shortcut by default, or the explicit per-pad draw when requested. The
-// common-mode CMP drift (if configured) is drawn per bond event.
+// shortcut by default, or the explicit per-pad draw over every region when
+// requested. The common-mode CMP drift (if configured) is drawn per bond
+// event and shared by all regions.
 func (e *d2wEnv) recessCheck(rng *randx.Source) bool {
 	rp := e.opts.Params.RecessParams()
 	var shift float64
 	q := e.recessQ
 	if rp.WaferSigma > 0 {
 		shift = rng.Normal(0, rp.WaferSigma)
-		q = rp.ShiftedDieYield(e.pads.Pads(), shift)
+		q = regionRecessProbShifted(e.regions, shift)
 	}
 	if !e.opts.ExplicitRecessPads {
 		return rng.Bernoulli(q)
 	}
-	mu := rp.MeanHeightSum() + shift
-	sigma := rp.SigmaHeightSum()
-	lo, hi := rp.LowerBound(), rp.UpperBound()
-	for i := 0; i < e.pads.Pads(); i++ {
-		h := rng.Normal(mu, sigma)
-		if h <= lo || h >= hi {
-			return false
-		}
-	}
-	return true
+	return explicitRecessRegions(rng, e.regions, shift)
 }
 
 // overlayCheck draws this die's placement (systematic terms vary
@@ -238,10 +231,12 @@ func (e *d2wEnv) overlayCheck(rng *randx.Source) bool {
 
 	if e.opts.ExplicitOverlayPads {
 		u := rng.Normal(0, e.sigma1)
-		for ix := 0; ix < e.pads.NX; ix++ {
-			for iy := 0; iy < e.pads.NY; iy++ {
-				if math.Abs(dist.Magnitude(e.pads.PadCenter(ix, iy))+u) > e.delta {
-					return false
+		for _, reg := range e.regions {
+			for ix := 0; ix < reg.grid.NX; ix++ {
+				for iy := 0; iy < reg.grid.NY; iy++ {
+					if math.Abs(dist.Magnitude(reg.grid.PadCenter(ix, iy))+u) > reg.delta {
+						return false
+					}
 				}
 			}
 		}
@@ -249,21 +244,31 @@ func (e *d2wEnv) overlayCheck(rng *randx.Source) bool {
 	}
 	if e.opts.TwoDRandomMisalignment {
 		u := geom.Vec2{X: rng.Normal(0, e.sigma1), Y: rng.Normal(0, e.sigma1)}
-		worst := 0.0
-		for _, corner := range e.pads.Rect.Corners() {
-			if m := dist.Displacement(corner).Add(u).Norm(); m > worst {
-				worst = m
+		for _, reg := range e.regions {
+			worst := 0.0
+			for _, corner := range reg.rect.Corners() {
+				if m := dist.Displacement(corner).Add(u).Norm(); m > worst {
+					worst = m
+				}
+			}
+			if worst > reg.delta {
+				return false
 			}
 		}
-		return worst <= e.delta
+		return true
 	}
 	u := rng.Normal(0, e.sigma1)
-	sMax := dist.MaxOverRect(e.pads.Rect)
-	if math.Abs(sMax+u) > e.delta {
-		return false
+	for _, reg := range e.regions {
+		sMax := dist.MaxOverRect(reg.rect)
+		if math.Abs(sMax+u) > reg.delta {
+			return false
+		}
+		sMin := dist.MinOverRect(reg.rect)
+		if math.Abs(sMin+u) > reg.delta {
+			return false
+		}
 	}
-	sMin := dist.MinOverRect(e.pads.Rect)
-	return math.Abs(sMin+u) <= e.delta
+	return true
 }
 
 // defectCheck samples particles around the die and tests each main void
@@ -287,27 +292,32 @@ func (e *d2wEnv) defectCheck(rng *randx.Source) bool {
 }
 
 // voidKills reports whether a square void of half-side rv centered at pos
-// overlaps any square pad of half-side r₁: equivalently, whether the
-// nearest pad center lies within L∞ distance rv + r₁. On a full grid the
-// per-axis nearest center (clamped rounding) is the L∞-nearest pad, so the
-// test is exact in both branches of Eq. 25.
+// overlaps any square pad of any region: per region, whether the nearest
+// pad center lies within L∞ distance rv + r₁. On a full grid the per-axis
+// nearest center (clamped rounding) is the L∞-nearest pad, so the per-
+// region test is exact in both branches of Eq. 25.
 func (e *d2wEnv) voidKills(pos geom.Vec2, rv float64) bool {
-	reach := rv + e.padHalf
-	grid := e.pads
-	if grid.NX == 0 || grid.NY == 0 {
-		return false
-	}
-	nearest := func(v, lo float64, n int) float64 {
-		idx := math.Round((v-lo)/grid.Pitch - 0.5)
-		if idx < 0 {
-			idx = 0
+	for _, reg := range e.regions {
+		grid := reg.grid
+		if grid.NX == 0 || grid.NY == 0 {
+			continue
 		}
-		if idx > float64(n-1) {
-			idx = float64(n - 1)
+		reach := rv + reg.padHalf
+		nearest := func(v, lo float64, n int) float64 {
+			idx := math.Round((v-lo)/grid.Pitch - 0.5)
+			if idx < 0 {
+				idx = 0
+			}
+			if idx > float64(n-1) {
+				idx = float64(n - 1)
+			}
+			return lo + (idx+0.5)*grid.Pitch
 		}
-		return lo + (idx+0.5)*grid.Pitch
+		cx := nearest(pos.X, grid.Rect.X0, grid.NX)
+		cy := nearest(pos.Y, grid.Rect.Y0, grid.NY)
+		if math.Abs(pos.X-cx) <= reach && math.Abs(pos.Y-cy) <= reach {
+			return true
+		}
 	}
-	cx := nearest(pos.X, grid.Rect.X0, grid.NX)
-	cy := nearest(pos.Y, grid.Rect.Y0, grid.NY)
-	return math.Abs(pos.X-cx) <= reach && math.Abs(pos.Y-cy) <= reach
+	return false
 }

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"yap/internal/core"
+	"yap/internal/layout"
+	"yap/internal/units"
+)
+
+// benchLayoutParams builds an n-column heterogeneous layout over the
+// baseline die, alternating the die pitch with a 2× coarse pitch. n = 1
+// degenerates to the uniform single-region case, so the regions=1 vs
+// regions=8 pair prices the per-region loop the YAP+ kernels added.
+func benchLayoutParams(n int) core.Params {
+	p := core.Baseline()
+	w := p.DieWidth / float64(n)
+	regions := make([]layout.Region, n)
+	for i := range regions {
+		regions[i] = layout.Region{
+			Name: fmt.Sprintf("col%d", i),
+			X0:   -p.DieWidth/2 + float64(i)*w, Y0: -p.DieHeight / 2,
+			X1: -p.DieWidth/2 + float64(i+1)*w, Y1: p.DieHeight / 2,
+		}
+		if i%2 == 1 {
+			regions[i].Pitch = 12 * units.Micrometer
+			regions[i].TopPadDiameter = 4 * units.Micrometer
+			regions[i].BottomPadDiameter = 6 * units.Micrometer
+		}
+	}
+	l := layout.Layout{Regions: regions}
+	p.PadLayout = &l
+	return p
+}
+
+func BenchmarkLayoutW2W(b *testing.B) {
+	for _, n := range []int{1, 8} {
+		p := benchLayoutParams(n)
+		if err := p.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("regions=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunW2W(Options{Params: p, Seed: 1, Wafers: 1, Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLayoutD2W(b *testing.B) {
+	for _, n := range []int{1, 8} {
+		p := benchLayoutParams(n)
+		if err := p.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("regions=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunD2W(Options{Params: p, Seed: 1, Dies: 1000, Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

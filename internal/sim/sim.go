@@ -224,12 +224,6 @@ func resultFrom(mode string, c Counts, elapsed time.Duration) Result {
 // ErrNoDies is returned when the wafer layout holds no complete die.
 var ErrNoDies = errors.New("sim: wafer layout holds no complete die")
 
-// recessSurvivalProb returns the exact probability that all n pads of a die
-// pass the recess check.
-func recessSurvivalProb(p core.Params, n int) float64 {
-	return p.RecessParams().DieYield(n)
-}
-
 // chebyshevDistToRect returns the L∞ distance from point (x, y) to the
 // rectangle, zero inside. The square-void kill test is an L∞ ball test.
 func chebyshevDistToRect(x, y, x0, y0, x1, y1 float64) float64 {

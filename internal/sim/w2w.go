@@ -14,29 +14,34 @@ import (
 	"yap/internal/wafer"
 )
 
-// w2wEnv is the per-run immutable state shared by all W2W workers.
+// w2wEnv is the per-run immutable state shared by all W2W workers. Pad
+// state is per region (internal/layout): the legacy uniform grid is the
+// single full-die region, for which every loop below degenerates to the
+// pre-layout scalar arithmetic bit-for-bit.
 type w2wEnv struct {
-	opts     Options
-	dies     []wafer.Die
-	padRects []geom.Rect // pad-array rectangle of each die, wafer coords
+	opts    Options
+	dies    []wafer.Die
+	regions []simRegion
+	// padRects holds each die's per-region pad-array rectangles in wafer
+	// coordinates, flattened as padRects[die*len(regions)+region].
+	padRects []geom.Rect
 	// dieIndex maps a grid cell (col, row keyed as col<<32|row, both offset
 	// to be non-negative) to the die slice index, for fast segment lookup.
 	dieIndex   map[uint64]int
 	gridOffset int
 	dieW, dieH float64
 
-	delta    float64
 	sigma1   float64
 	baseDist overlay.Distortion
-	// sMin and sMax are the extreme systematic misalignments per die under
-	// baseDist (recomputed per wafer when systematics are redrawn).
+	// sMin and sMax are the extreme systematic misalignments per die×region
+	// rectangle under baseDist (recomputed per wafer when systematics are
+	// redrawn), indexed like padRects.
 	sMin, sMax []float64
 	// corners are the pad-rect corner displacement vectors used by the 2-D
-	// random misalignment mode.
+	// random misalignment mode, indexed like padRects.
 	corners [][4]geom.Vec2
 
-	recessQ     float64 // exact all-pads-pass probability
-	recessPads  int
+	recessQ     float64 // exact all-regions-all-pads-pass probability
 	waferRadius float64
 	particleMu  float64 // expected particles per wafer
 }
@@ -51,26 +56,28 @@ func newW2WEnv(opts Options) (*w2wEnv, error) {
 	if len(dies) == 0 {
 		return nil, ErrNoDies
 	}
-	pads := p.PadArray()
+	regions := buildRegions(p)
 	env := &w2wEnv{
 		opts:        opts,
 		dies:        dies,
-		padRects:    make([]geom.Rect, len(dies)),
+		regions:     regions,
+		padRects:    make([]geom.Rect, len(dies)*len(regions)),
 		dieIndex:    make(map[uint64]int, len(dies)),
 		gridOffset:  1 << 16,
 		dieW:        p.DieWidth,
 		dieH:        p.DieHeight,
-		delta:       p.PadGeometry().MaxMisalignment(),
 		sigma1:      p.RandomMisalignmentSigma,
 		baseDist:    p.Distortion(),
-		recessQ:     recessSurvivalProb(p, pads.Pads()),
-		recessPads:  pads.Pads(),
+		recessQ:     regionRecessProb(regions),
 		waferRadius: p.WaferRadius(),
 		particleMu:  p.DefectDensity * math.Pi * p.WaferRadius() * p.WaferRadius(),
 	}
 	for i, d := range dies {
-		env.padRects[i] = pads.PadArrayRectOn(d)
-		env.dieIndex[env.cellKeyFor(d.Rect.Center())] = i
+		c := d.Center()
+		for r, reg := range regions {
+			env.padRects[i*len(regions)+r] = reg.rect.Translate(c)
+		}
+		env.dieIndex[env.cellKeyFor(c)] = i
 	}
 	env.prepareOverlay(env.baseDist)
 	return env, nil
@@ -83,11 +90,11 @@ func (e *w2wEnv) cellKeyFor(p geom.Vec2) uint64 {
 	return uint64(i)<<32 | uint64(uint32(j))
 }
 
-// prepareOverlay precomputes per-die systematic extremes for dist.
+// prepareOverlay precomputes per-die×region systematic extremes for dist.
 func (e *w2wEnv) prepareOverlay(dist overlay.Distortion) {
-	e.sMin = make([]float64, len(e.dies))
-	e.sMax = make([]float64, len(e.dies))
-	e.corners = make([][4]geom.Vec2, len(e.dies))
+	e.sMin = make([]float64, len(e.padRects))
+	e.sMax = make([]float64, len(e.padRects))
+	e.corners = make([][4]geom.Vec2, len(e.padRects))
 	for i, r := range e.padRects {
 		e.sMin[i] = dist.MinOverRect(r)
 		e.sMax[i] = dist.MaxOverRect(r)
@@ -244,13 +251,15 @@ func (e *w2wEnv) simulateWafer(rng *randx.Source, perDie []Counts) Counts {
 			Magnification: overlay.MagnificationFromWarpage(
 				p.KMag, rng.Normal(p.Warpage, p.PlacementWarpageSigma)),
 		}
-		local := &w2wEnv{dies: e.dies, padRects: e.padRects}
+		local := &w2wEnv{dies: e.dies, regions: e.regions, padRects: e.padRects}
 		local.prepareOverlay(dist)
 		sMin, sMax, corners = local.sMin, local.sMax, local.corners
 	}
 
 	// Overlay Check. The random misalignment is drawn once per die (shared
-	// by its pads); a die passes when its worst pad stays within ±δ.
+	// by all its regions' pads); a die passes when the worst pad of every
+	// region stays within that region's ±δ.
+	nR := len(e.regions)
 	overlayPass := make([]bool, n)
 	for i := 0; i < n; i++ {
 		if e.opts.ExplicitOverlayPads {
@@ -258,16 +267,26 @@ func (e *w2wEnv) simulateWafer(rng *randx.Source, perDie []Counts) Counts {
 			overlayPass[i] = e.explicitOverlayCheck(i, u)
 		} else if e.opts.TwoDRandomMisalignment {
 			u := geom.Vec2{X: rng.Normal(0, e.sigma1), Y: rng.Normal(0, e.sigma1)}
-			worst := 0.0
-			for _, v := range corners[i] {
-				if m := v.Add(u).Norm(); m > worst {
-					worst = m
+			pass := true
+			for r := 0; r < nR && pass; r++ {
+				worst := 0.0
+				for _, v := range corners[i*nR+r] {
+					if m := v.Add(u).Norm(); m > worst {
+						worst = m
+					}
 				}
+				pass = worst <= e.regions[r].delta
 			}
-			overlayPass[i] = worst <= e.delta
+			overlayPass[i] = pass
 		} else {
 			u := rng.Normal(0, e.sigma1)
-			overlayPass[i] = math.Abs(sMax[i]+u) <= e.delta && math.Abs(sMin[i]+u) <= e.delta
+			pass := true
+			for r := 0; r < nR && pass; r++ {
+				k := i*nR + r
+				delta := e.regions[r].delta
+				pass = math.Abs(sMax[k]+u) <= delta && math.Abs(sMin[k]+u) <= delta
+			}
+			overlayPass[i] = pass
 		}
 		if overlayPass[i] {
 			c.OverlayPass++
@@ -303,7 +322,7 @@ func (e *w2wEnv) simulateWafer(rng *randx.Source, perDie []Counts) Counts {
 	recessQ := e.recessQ
 	if rp.WaferSigma > 0 {
 		waferShift = rng.Normal(0, rp.WaferSigma)
-		recessQ = rp.ShiftedDieYield(e.recessPads, waferShift)
+		recessQ = regionRecessProbShifted(e.regions, waferShift)
 	}
 	for i := 0; i < n; i++ {
 		recessPass := e.recessCheck(rng, recessQ, waferShift)
@@ -333,20 +352,20 @@ func (e *w2wEnv) simulateWafer(rng *randx.Source, perDie []Counts) Counts {
 	return c
 }
 
-// explicitOverlayCheck walks every pad of die i, evaluating the systematic
-// displacement at the pad center plus the shared random error — the
-// O(N)-per-die path the paper's simulator takes.
+// explicitOverlayCheck walks every pad of every region of die i, evaluating
+// the systematic displacement at the pad center plus the shared random
+// error — the O(N)-per-die path the paper's simulator takes.
 func (e *w2wEnv) explicitOverlayCheck(i int, u float64) bool {
-	p := e.opts.Params
-	pads := wafer.PadArrayFor(p.DieWidth, p.DieHeight, p.Pitch)
 	center := e.dies[i].Rect.Center()
 	dist := e.baseDist
-	for ix := 0; ix < pads.NX; ix++ {
-		for iy := 0; iy < pads.NY; iy++ {
-			local := pads.PadCenter(ix, iy)
-			s := dist.Magnitude(geom.Vec2{X: center.X + local.X, Y: center.Y + local.Y})
-			if math.Abs(s+u) > e.delta {
-				return false
+	for _, reg := range e.regions {
+		for ix := 0; ix < reg.grid.NX; ix++ {
+			for iy := 0; iy < reg.grid.NY; iy++ {
+				local := reg.grid.PadCenter(ix, iy)
+				s := dist.Magnitude(geom.Vec2{X: center.X + local.X, Y: center.Y + local.Y})
+				if math.Abs(s+u) > reg.delta {
+					return false
+				}
 			}
 		}
 	}
@@ -355,22 +374,12 @@ func (e *w2wEnv) explicitOverlayCheck(i int, u float64) bool {
 
 // recessCheck performs one die's Cu recess check at the given wafer-level
 // survival probability (exact Bernoulli path) or mean shift (explicit
-// per-pad path).
+// per-pad path over every region).
 func (e *w2wEnv) recessCheck(rng *randx.Source, q, shift float64) bool {
 	if !e.opts.ExplicitRecessPads {
 		return rng.Bernoulli(q)
 	}
-	rp := e.opts.Params.RecessParams()
-	mu := rp.MeanHeightSum() + shift
-	sigma := rp.SigmaHeightSum()
-	lo, hi := rp.LowerBound(), rp.UpperBound()
-	for i := 0; i < e.recessPads; i++ {
-		h := rng.Normal(mu, sigma)
-		if h <= lo || h >= hi {
-			return false
-		}
-	}
-	return true
+	return explicitRecessRegions(rng, e.regions, shift)
 }
 
 // modelConventionDefects draws defects under the analytic model's
@@ -426,10 +435,11 @@ func (e *w2wEnv) applyParticle(pos geom.Vec2, t float64, killed []bool) {
 	e.killAlongSegment(seg, voidR, killed)
 }
 
-// killAlongSegment marks the dies whose pad array is touched by the tail
-// segment (or, when voidR > 0, by the main-void disk around the segment's
-// anchor). Candidate dies come from the regular grid cells overlapped by
-// the defect's bounding box rather than a scan of all dies.
+// killAlongSegment marks the dies whose pad regions are touched by the
+// tail segment (or, when voidR > 0, by the main-void disk around the
+// segment's anchor). Candidate dies come from the regular grid cells
+// overlapped by the defect's bounding box rather than a scan of all dies;
+// each candidate tests every region's pad-array rectangle.
 func (e *w2wEnv) killAlongSegment(seg geom.Segment, voidR float64, killed []bool) {
 	bx0 := math.Min(seg.A.X, seg.B.X) - voidR
 	bx1 := math.Max(seg.A.X, seg.B.X) + voidR
@@ -439,19 +449,23 @@ func (e *w2wEnv) killAlongSegment(seg geom.Segment, voidR float64, killed []bool
 	i1 := int(math.Floor(bx1/e.dieW)) + e.gridOffset
 	j0 := int(math.Floor(by0/e.dieH)) + e.gridOffset
 	j1 := int(math.Floor(by1/e.dieH)) + e.gridOffset
+	nR := len(e.regions)
 	for i := i0; i <= i1; i++ {
 		for j := j0; j <= j1; j++ {
 			idx, ok := e.dieIndex[uint64(i)<<32|uint64(uint32(j))]
 			if !ok || killed[idx] {
 				continue
 			}
-			rect := e.padRects[idx]
-			if seg.IntersectsRect(rect) {
-				killed[idx] = true
-				continue
-			}
-			if voidR > 0 && geom.CircleOverlapsRect(seg.A, voidR, rect) {
-				killed[idx] = true
+			for r := 0; r < nR; r++ {
+				rect := e.padRects[idx*nR+r]
+				if seg.IntersectsRect(rect) {
+					killed[idx] = true
+					break
+				}
+				if voidR > 0 && geom.CircleOverlapsRect(seg.A, voidR, rect) {
+					killed[idx] = true
+					break
+				}
 			}
 		}
 	}

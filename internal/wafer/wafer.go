@@ -115,21 +115,35 @@ func (p PadArray) Pads() int { return p.NX * p.NY }
 // a pitch of clearance on each side (i.e. the full cell area), which is the
 // region the defect kill test uses.
 func PadArrayFor(dieW, dieH, pitch float64) PadArray {
-	if pitch <= 0 || dieW <= 0 || dieH <= 0 {
+	if dieW <= 0 || dieH <= 0 {
 		return PadArray{Pitch: pitch}
 	}
-	nx := int(math.Floor(dieW / pitch))
-	ny := int(math.Floor(dieH / pitch))
+	return PadArrayIn(geom.Rect{X0: -dieW / 2, Y0: -dieH / 2, X1: dieW / 2, Y1: dieH / 2}, pitch)
+}
+
+// PadArrayIn lays out the largest pitch-aligned pad array that fits in the
+// given rectangle (die-local coordinates), centered within it — the
+// per-region generalization of PadArrayFor used by heterogeneous pad
+// layouts (internal/layout). For the full-die rectangle the result is
+// bit-identical to PadArrayFor: the rect's width w/2 − (−w/2) recovers w
+// exactly (binary halving is exact) and its center is exactly the origin.
+func PadArrayIn(rect geom.Rect, pitch float64) PadArray {
+	if pitch <= 0 {
+		return PadArray{Pitch: pitch}
+	}
+	nx := int(math.Floor(rect.Width() / pitch))
+	ny := int(math.Floor(rect.Height() / pitch))
 	if nx < 1 || ny < 1 {
 		return PadArray{Pitch: pitch}
 	}
 	w := float64(nx) * pitch
 	h := float64(ny) * pitch
+	c := rect.Center()
 	return PadArray{
 		Pitch: pitch,
 		NX:    nx,
 		NY:    ny,
-		Rect:  geom.Rect{X0: -w / 2, Y0: -h / 2, X1: w / 2, Y1: h / 2},
+		Rect:  geom.Rect{X0: c.X - w/2, Y0: c.Y - h/2, X1: c.X + w/2, Y1: c.Y + h/2},
 	}
 }
 

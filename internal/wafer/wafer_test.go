@@ -111,6 +111,52 @@ func TestPadArrayFor(t *testing.T) {
 	}
 }
 
+// TestPadArrayInFullDieBitIdentical pins the identity PadArrayFor is built
+// on: laying out in the explicit full-die rectangle reproduces the legacy
+// grid field for field, floats bit for bit (w/2 − (−w/2) recovers w
+// exactly; the center is exactly the origin).
+func TestPadArrayInFullDieBitIdentical(t *testing.T) {
+	for _, dims := range [][3]float64{
+		{10e-3, 10e-3, 6e-6},
+		{7.3e-3, 11.1e-3, 4e-6},
+		{2e-3, 2e-3, 50e-6},
+	} {
+		dieW, dieH, pitch := dims[0], dims[1], dims[2]
+		legacy := PadArrayFor(dieW, dieH, pitch)
+		in := PadArrayIn(geom.Rect{X0: -dieW / 2, Y0: -dieH / 2, X1: dieW / 2, Y1: dieH / 2}, pitch)
+		if legacy != in {
+			t.Errorf("PadArrayIn(full die %gx%g @ %g) = %+v, PadArrayFor = %+v",
+				dieW, dieH, pitch, in, legacy)
+		}
+	}
+}
+
+func TestPadArrayInOffCenterRegion(t *testing.T) {
+	rect := geom.Rect{X0: 1e-3, Y0: 2e-3, X1: 4e-3, Y1: 4.5e-3}
+	p := PadArrayIn(rect, 6e-6)
+	if p.NX != 500 || p.NY != 416 { // floor(3mm/6µm), floor(2.5mm/6µm)
+		t.Errorf("pad grid %dx%d, want 500x416", p.NX, p.NY)
+	}
+	if c, rc := p.Rect.Center(), rect.Center(); !almostEq(c.X, rc.X, 1e-12) || !almostEq(c.Y, rc.Y, 1e-12) {
+		t.Errorf("grid center %v, want region center %v", c, rc)
+	}
+	if p.Rect.X0 < rect.X0 || p.Rect.X1 > rect.X1 || p.Rect.Y0 < rect.Y0 || p.Rect.Y1 > rect.Y1 {
+		t.Errorf("grid rect %+v escapes region %+v", p.Rect, rect)
+	}
+}
+
+func TestPadArrayInDegenerate(t *testing.T) {
+	if p := PadArrayIn(geom.Rect{X0: 0, Y0: 0, X1: 1e-6, Y1: 1e-6}, 6e-6); p.Pads() != 0 {
+		t.Errorf("region smaller than pitch should hold no pads, got %d", p.Pads())
+	}
+	if p := PadArrayIn(geom.Rect{X0: 0, Y0: 0, X1: 1e-3, Y1: 1e-3}, 0); p.Pads() != 0 {
+		t.Errorf("zero pitch should hold no pads, got %d", p.Pads())
+	}
+	if p := PadArrayIn(geom.Rect{X0: 0, Y0: 0, X1: 1e-3, Y1: 1e-3}, -1); p.Pads() != 0 {
+		t.Errorf("negative pitch should hold no pads, got %d", p.Pads())
+	}
+}
+
 func TestPadArrayDegenerate(t *testing.T) {
 	if p := PadArrayFor(1e-6, 1e-6, 6e-6); p.Pads() != 0 {
 		t.Errorf("die smaller than pitch should hold no pads, got %d", p.Pads())

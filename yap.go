@@ -37,6 +37,7 @@ import (
 	"context"
 
 	"yap/internal/core"
+	"yap/internal/layout"
 	"yap/internal/sim"
 )
 
@@ -57,6 +58,17 @@ type SimResult = sim.Result
 
 // VoidMap is a materialized single-wafer defect simulation (Fig. 6).
 type VoidMap = sim.VoidMap
+
+// PadLayout partitions a die into heterogeneous pad regions (the YAP+
+// extension): each region carries its own pitch and pad geometry, with
+// zero-valued region fields inheriting the die-level process. Attach one
+// with WithPadLayout; Params with a nil layout behave exactly as the
+// paper's uniform full-die grid.
+type PadLayout = layout.Layout
+
+// PadRegion is one rectangular pad group of a PadLayout. Coordinates are
+// die-local meters with the origin at the die center.
+type PadRegion = layout.Region
 
 // Baseline returns the paper's Table I baseline process.
 func Baseline() Params { return core.Baseline() }
@@ -120,4 +132,13 @@ func WithDieArea(p Params, area float64) Params { return p.WithDieArea(area) }
 // WithDefectDensity returns p with a new particle defect density (m⁻²).
 func WithDefectDensity(p Params, density float64) Params {
 	return p.WithDefectDensity(density)
+}
+
+// WithPadLayout returns p carrying the given heterogeneous pad layout.
+// An explicit layout equivalent to the uniform full-die grid (a single
+// region with zero overrides) yields bit-identical results — analytic and
+// Monte-Carlo — to the nil-layout legacy path.
+func WithPadLayout(p Params, l PadLayout) Params {
+	p.PadLayout = &l
+	return p
 }
