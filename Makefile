@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-race chaos dist jobs stream ha layout bench cover figures report serve clean
+.PHONY: all build vet lint test test-race chaos dist jobs stream ha layout cache bench cover figures report serve clean
 
 all: build vet lint test
 
@@ -82,6 +82,17 @@ ha:
 layout:
 	$(GO) test -race -run 'Layout|Region|Uniform|PadArrayIn|CanonicalHash|ParamsEqual|Golden' ./internal/layout/ ./internal/wafer/ ./internal/overlay/ ./internal/core/ ./internal/sim/ ./internal/dist/ ./internal/service/
 
+# Fleet-cache drill: the singleflight/rendezvous/peer-fetch/batch tests
+# under the race detector, then the true multi-process dedup exercise via
+# `yapload -cache` — a three-member fleet of re-exec'd daemons with
+# peer-exchange delay faults armed, the same point set swept through
+# /v1/evaluate/batch on every member, one member SIGKILLed mid-drill, and
+# the fleet-wide engine-computation total (summed /metrics counters)
+# required to stay ≈ the number of DISTINCT points, not members × points.
+cache:
+	$(GO) test -race -run 'Fleet|Flight|Batch|Cache|Herd|Rendezvous|Owner|LRU|Evaluate' ./internal/fleetcache/ ./internal/service/ ./internal/client/ ./internal/jobs/
+	$(GO) run -race ./cmd/yapload -cache
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -103,6 +114,14 @@ BENCH_converge.json:
 # shows up in review diffs.
 BENCH_layout.json:
 	$(GO) test -json -run '^$$' -bench 'BenchmarkLayout' -benchmem ./internal/sim/ > $@
+
+# Machine-readable benchmark record for the fleet cache: the local-hit
+# fast path, a full verified peer fetch, and the batch endpoint end to
+# end (256 points). Committed so cache-path perf regressions show up in
+# review diffs.
+BENCH_cache.json:
+	$(GO) test -json -run '^$$' -bench 'BenchmarkEvaluateLocalHit|BenchmarkFleetFetch' -benchmem ./internal/fleetcache/ > $@
+	$(GO) test -json -run '^$$' -bench 'BenchmarkBatchEvaluate' -benchmem ./internal/service/ >> $@
 
 cover:
 	$(GO) test -cover ./...

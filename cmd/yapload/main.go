@@ -82,7 +82,7 @@ var knownErrorCodes = map[string]bool{
 	"deadline_exceeded": true, "canceled": true, "overloaded": true,
 	"internal": true, "not_found": true, "jobs_disabled": true,
 	"job_terminal": true, "not_leader": true, "replica_disabled": true,
-	"no_quorum": true,
+	"no_quorum": true, "cache_miss": true, "hash_mismatch": true,
 }
 
 // tally aggregates outcomes across workers.
@@ -130,6 +130,10 @@ func main() {
 		runHAServer(logger)
 		return
 	}
+	if *cacheServerX {
+		runCacheServer(logger)
+		return
+	}
 	if *distMode {
 		os.Exit(runDistDrill(logger, *seed, *wafers, *dies))
 	}
@@ -141,6 +145,9 @@ func main() {
 	}
 	if *haMode {
 		os.Exit(runHADrill(logger, *seed))
+	}
+	if *cacheMode {
+		os.Exit(runCacheDrill(logger, *seed))
 	}
 
 	base := *target

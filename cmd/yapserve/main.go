@@ -15,7 +15,8 @@
 //	         [-jobs-dir dir] [-checkpoint-every n] [-job-ttl d]
 //	         [-job-runners n] [-stream-heartbeat 15s]
 //	         [-peers url1,url2 -advertise url] [-election-lease 2s]
-//	         [-election-heartbeat d] [-quorum-timeout d] [-version]
+//	         [-election-heartbeat d] [-quorum-timeout d]
+//	         [-cache-peers url1,url2] [-version]
 //
 // Resilience: simulate admission beyond -max-queued waiting requests is
 // shed with 503 "overloaded" plus a Retry-After hint; a deadline that
@@ -64,9 +65,24 @@
 // bit-identically. Job mutations on a follower answer 409 "not_leader"
 // with the leader's URL; the Go client follows it automatically.
 //
+// Fleet cache (internal/fleetcache): -cache-peers names the OTHER
+// members of a fleet-wide evaluate cache (it defaults to reusing -peers,
+// so an HA cluster shares its cache for free; -advertise is this
+// member's identity either way). Analytic evaluations — /v1/evaluate,
+// batch, sweeps, sweep jobs — then deduplicate fleet-wide: concurrent
+// identical requests coalesce onto one in-flight computation
+// (singleflight), local misses consult the key's rendezvous-hashed owner
+// member before computing, and a member that computes a remotely-owned
+// key pushes the entry to its owner. Peer exchanges are hash-verified,
+// deadline-bounded and circuit-broken, so a dead peer degrades to local
+// compute — never an error.
+//
 // Endpoints:
 //
 //	POST   /v1/evaluate   analytic W2W/D2W breakdown (Eq. 22 / Eq. 28)
+//	POST   /v1/evaluate/batch  N points over a shared base, streamed per-point results
+//	GET    /v1/cache/{mode}/{hash}  one fleet-cache entry (peer fetch; local store only)
+//	PUT    /v1/cache/{mode}/{hash}  owner-warming offer (hash re-verified)
 //	POST   /v1/simulate   Monte-Carlo yield simulation (sharded when -workers is set)
 //	POST   /v1/shard      one slice of a distributed run (worker protocol)
 //	POST   /v1/sweep      batch evaluation with partial-failure reporting
@@ -96,9 +112,11 @@ import (
 	"syscall"
 	"time"
 
+	"yap/internal/client"
 	"yap/internal/core"
 	"yap/internal/dist"
 	"yap/internal/faultinject"
+	"yap/internal/fleetcache"
 	"yap/internal/jobs"
 	"yap/internal/replica"
 	"yap/internal/service"
@@ -138,6 +156,8 @@ func main() {
 		electionLease = flag.Duration("election-lease", 0, "how long a follower trusts the leader after its last heartbeat (0 = 2s)")
 		electionBeat  = flag.Duration("election-heartbeat", 0, "leader heartbeat cadence (0 = lease/8)")
 		quorumTimeout = flag.Duration("quorum-timeout", 0, "how long a submit waits for quorum acknowledgement (0 = 2×lease)")
+
+		cachePeers = flag.String("cache-peers", "", "comma-separated base URLs of the OTHER fleet-cache members (requires -advertise; empty reuses -peers)")
 
 		printVersion = flag.Bool("version", false, "print version and exit")
 	)
@@ -211,6 +231,31 @@ func main() {
 		}
 	}
 
+	// The fleet cache is built unconditionally — unpeered it is the
+	// daemon's local evaluate cache, shared between the HTTP handlers and
+	// sweep jobs; with peers it deduplicates computations fleet-wide.
+	cachePeerURLs := peerURLs
+	if *cachePeers != "" {
+		cachePeerURLs = nil
+		for _, u := range strings.Split(*cachePeers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				cachePeerURLs = append(cachePeerURLs, u)
+			}
+		}
+	}
+	fcfg := fleetcache.Config{CacheSize: *cacheSize, Faults: faults}
+	if len(cachePeerURLs) > 0 {
+		if *advertise == "" {
+			logger.Fatal("-cache-peers requires -advertise: the URL this member is reached at is its identity in the fleet")
+		}
+		fcfg.Self = *advertise
+		fcfg.Members = append(append([]string{}, cachePeerURLs...), *advertise)
+		fcfg.Transport = &client.CacheTransport{}
+		logger.Printf("fleet cache: %s + %d peers", *advertise, len(cachePeerURLs))
+	}
+	fleet := fleetcache.New(fcfg)
+	defer fleet.Close()
+
 	var jm *jobs.Manager
 	var node *replica.Node
 	if *jobsDir != "" {
@@ -222,6 +267,8 @@ func main() {
 			SimWorkers:      *workers,
 			Faults:          faults,
 			Logger:          logger,
+			// Sweep jobs evaluate through the shared cache tier.
+			Evaluate: fleet.EvaluateParams,
 		}
 		if coord != nil {
 			// Jobs shard across the fleet like synchronous simulations;
@@ -279,6 +326,7 @@ func main() {
 		StreamHeartbeat:   *streamHB,
 		Faults:            faults,
 		Logger:            logger,
+		FleetCache:        fleet,
 	}
 	if coord != nil {
 		cfg.Distributor = coord

@@ -1,0 +1,155 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"yap/internal/core"
+	"yap/internal/fleetcache"
+	"yap/internal/service"
+)
+
+// This file is the client half of the fleet cache: the typed batch
+// endpoint wrapper, a helper for reading one member's cache entry, and
+// the HTTP implementation of fleetcache.Transport that cmd/yapserve
+// wires between fleet members.
+
+// EvaluateBatch calls POST /v1/evaluate/batch: N parameter points over a
+// shared base, evaluated through the server's fleet cache tier. Points
+// come back in index order with per-point error isolation — check
+// resp.Failed and each point's Error. The call is idempotent (analytic
+// evaluation is a pure function), so the client's full retry schedule
+// applies.
+func (c *Client) EvaluateBatch(ctx context.Context, req service.BatchEvaluateRequest) (*service.BatchEvaluateResponse, error) {
+	var resp service.BatchEvaluateResponse
+	if err := c.do(ctx, "/v1/evaluate/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// GetCached calls GET /v1/cache/{mode}/{hash} — one member's local cache
+// entry, never a computation. A cold member answers an *APIError with
+// code "cache_miss" (404).
+func (c *Client) GetCached(ctx context.Context, mode string, hash uint64) (*service.CacheEntryResponse, error) {
+	var resp service.CacheEntryResponse
+	if err := c.doMethod(ctx, http.MethodGet, cachePath(mode, hash), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func cachePath(mode string, hash uint64) string {
+	return fmt.Sprintf("/v1/cache/%s/%016x", mode, hash)
+}
+
+// CacheTransport is the HTTP fleetcache.Transport: GET for peer fetch,
+// PUT for owner-warming offers. It deliberately bypasses the Client
+// retry machinery — the fleet cache runs its own tight deadline and
+// per-peer breaker, and a retried peer fetch is worse than a local
+// compute. The zero value is usable.
+type CacheTransport struct {
+	// HTTPClient overrides http.DefaultClient (for timeouts, transports,
+	// httptest servers). The fleet cache passes an already-deadlined ctx,
+	// so no client timeout is required.
+	HTTPClient *http.Client
+	// MaxBodyBytes caps entry bodies read into memory; 0 means 1 MiB —
+	// far above any real entry (params plus four floats), so hitting it
+	// means the peer is not speaking the protocol.
+	MaxBodyBytes int64
+}
+
+var _ fleetcache.Transport = (*CacheTransport)(nil)
+
+func (t *CacheTransport) client() *http.Client {
+	if t.HTTPClient != nil {
+		return t.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (t *CacheTransport) maxBody() int64 {
+	if t.MaxBodyBytes > 0 {
+		return t.MaxBodyBytes
+	}
+	return 1 << 20
+}
+
+// FetchCached implements fleetcache.Transport. A 404 from the peer is
+// fleetcache.ErrPeerMiss (cold cache — healthy); anything else non-200
+// is a peer error the caller's breaker counts.
+func (t *CacheTransport) FetchCached(ctx context.Context, peer, mode string, hash uint64) (fleetcache.Entry, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+cachePath(mode, hash), nil)
+	if err != nil {
+		return fleetcache.Entry{}, fmt.Errorf("client: cache fetch request: %w", err)
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return fleetcache.Entry{}, fmt.Errorf("client: cache fetch %s: %w", peer, err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	body, err := io.ReadAll(io.LimitReader(resp.Body, t.maxBody()))
+	if err != nil {
+		return fleetcache.Entry{}, fmt.Errorf("client: cache fetch %s: read: %w", peer, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return fleetcache.Entry{}, fleetcache.ErrPeerMiss
+	default:
+		return fleetcache.Entry{}, fmt.Errorf("client: cache fetch %s: status %d: %s", peer, resp.StatusCode, body)
+	}
+	var e service.CacheEntryResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		return fleetcache.Entry{}, fmt.Errorf("client: cache fetch %s: decode: %w", peer, err)
+	}
+	return fleetcache.Entry{
+		Mode:   mode,
+		Hash:   hash,
+		Params: e.Params,
+		Breakdown: core.Breakdown{
+			Overlay: e.Breakdown.Overlay,
+			Recess:  e.Breakdown.Recess,
+			Defect:  e.Breakdown.Defect,
+			Total:   e.Breakdown.Total,
+		},
+	}, nil
+}
+
+// OfferCached implements fleetcache.Transport: PUT the computed entry to
+// its owner. The owner re-verifies the hash; a 400 here means this
+// member and the owner disagree on canonical hashing and is surfaced as
+// an error.
+func (t *CacheTransport) OfferCached(ctx context.Context, peer string, e fleetcache.Entry) error {
+	body, err := json.Marshal(service.CachePutRequest{
+		Params: e.Params,
+		Breakdown: service.Breakdown{
+			Overlay: e.Breakdown.Overlay,
+			Recess:  e.Breakdown.Recess,
+			Defect:  e.Breakdown.Defect,
+			Total:   e.Breakdown.Total,
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("client: cache offer: marshal: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, peer+cachePath(e.Mode, e.Hash), bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("client: cache offer request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: cache offer %s: %w", peer, err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, t.maxBody()))
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("client: cache offer %s: status %d: %s", peer, resp.StatusCode, msg)
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"yap/internal/core"
+	"yap/internal/fleetcache"
+	"yap/internal/service"
+)
+
+// newFleet builds an n-member yapserve fleet over real HTTP: each member
+// is a service.Server with its own fleetcache wired to the others
+// through CacheTransport — the same topology cmd/yapserve -cache-peers
+// assembles.
+func newFleet(t *testing.T, n int) (urls []string, caches []*fleetcache.Cache) {
+	t.Helper()
+	servers := make([]*service.Server, n)
+	urls = make([]string, n)
+	for i := 0; i < n; i++ {
+		i := i
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			servers[i].ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	caches = make([]*fleetcache.Cache, n)
+	for i := 0; i < n; i++ {
+		c := fleetcache.New(fleetcache.Config{
+			Self:      urls[i],
+			Members:   urls,
+			Transport: &CacheTransport{},
+		})
+		t.Cleanup(c.Close)
+		caches[i] = c
+		servers[i] = service.New(service.Config{FleetCache: c})
+	}
+	return urls, caches
+}
+
+func memberClient(t *testing.T, url string) *Client {
+	t.Helper()
+	c, err := New(Config{BaseURL: url})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// indexOf returns the position of url in urls.
+func indexOf(t *testing.T, urls []string, url string) int {
+	t.Helper()
+	for i, u := range urls {
+		if u == url {
+			return i
+		}
+	}
+	t.Fatalf("%q not in fleet %v", url, urls)
+	return -1
+}
+
+// TestFleetPeerFetchOverHTTP: a key computed on its owner is answered on
+// every other member by one peer fetch, bit-identically, with no second
+// engine computation anywhere in the fleet.
+func TestFleetPeerFetchOverHTTP(t *testing.T) {
+	urls, caches := newFleet(t, 3)
+	p := core.Baseline()
+	p.Warpage = 30e-6
+	hash := p.CanonicalHash()
+	owner := indexOf(t, urls, fleetcache.Owner(urls, "w2w", hash))
+
+	ctx := context.Background()
+	req := service.EvaluateRequest{Mode: "w2w", Params: json.RawMessage(`{"Warpage": 30e-6}`)}
+	first, err := memberClient(t, urls[owner]).Evaluate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first evaluation reported cached")
+	}
+	for i := range urls {
+		if i == owner {
+			continue
+		}
+		got, err := memberClient(t, urls[i]).Evaluate(ctx, req)
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		if !got.Cached {
+			t.Errorf("member %d did not answer from the fleet cache", i)
+		}
+		if *got.W2W != *first.W2W {
+			t.Errorf("member %d breakdown %+v != owner %+v", i, got.W2W, first.W2W)
+		}
+		if st := caches[i].Stats(); st.PeerHits != 1 || st.Computes != 0 {
+			t.Errorf("member %d stats: peer_hits=%d computes=%d, want 1/0", i, st.PeerHits, st.Computes)
+		}
+	}
+	var computes uint64
+	for _, c := range caches {
+		computes += c.Stats().Computes
+	}
+	if computes != 1 {
+		t.Errorf("fleet-wide computes = %d, want 1", computes)
+	}
+}
+
+// TestFleetPushWarmsOwner: a key computed on a NON-owner is pushed to
+// its owner asynchronously, so the owner later answers from its local
+// store without computing.
+func TestFleetPushWarmsOwner(t *testing.T) {
+	urls, caches := newFleet(t, 3)
+	p := core.Baseline()
+	p.Warpage = 42e-6
+	hash := p.CanonicalHash()
+	owner := indexOf(t, urls, fleetcache.Owner(urls, "w2w", hash))
+	nonOwner := (owner + 1) % len(urls)
+
+	ctx := context.Background()
+	req := service.EvaluateRequest{Mode: "w2w", Params: json.RawMessage(`{"Warpage": 42e-6}`)}
+	if _, err := memberClient(t, urls[nonOwner]).Evaluate(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	// The push is asynchronous; poll the owner's cache endpoint until it
+	// lands (the GET never computes, so a hit proves the push arrived).
+	oc := memberClient(t, urls[owner])
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := oc.GetCached(ctx, "w2w", hash); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("push never reached the owner; pusher stats: %+v", caches[nonOwner].Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	got, err := oc.Evaluate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cached {
+		t.Error("owner recomputed a key that was pushed to it")
+	}
+	if st := caches[owner].Stats(); st.Computes != 0 || st.Adopted != 1 {
+		t.Errorf("owner stats: computes=%d adopted=%d, want 0/1", st.Computes, st.Adopted)
+	}
+}
+
+// TestEvaluateBatchClient: the typed batch wrapper returns per-point
+// results identical to individual Evaluate calls.
+func TestEvaluateBatchClient(t *testing.T) {
+	urls, _ := newFleet(t, 1)
+	c := memberClient(t, urls[0])
+	ctx := context.Background()
+	resp, err := c.EvaluateBatch(ctx, service.BatchEvaluateRequest{
+		Mode: "both",
+		Points: []json.RawMessage{
+			json.RawMessage(`{}`),
+			json.RawMessage(`{"Warpage": 30e-6}`),
+			json.RawMessage(`{"NoSuchKnob": 1}`),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != 3 || resp.Failed != 1 {
+		t.Fatalf("points=%d failed=%d", len(resp.Points), resp.Failed)
+	}
+	want, err := c.Evaluate(ctx, service.EvaluateRequest{Params: json.RawMessage(`{"Warpage": 30e-6}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := resp.Points[1]
+	if pt.ParamsHash != want.ParamsHash || *pt.W2W != *want.W2W || *pt.D2W != *want.D2W {
+		t.Errorf("batch point %+v != evaluate %+v", pt, want)
+	}
+	if resp.Points[2].Error == "" {
+		t.Error("invalid point did not report its error")
+	}
+}
+
+// TestGetCachedMiss: a cold member's cache endpoint surfaces the typed
+// cache_miss code.
+func TestGetCachedMiss(t *testing.T) {
+	urls, _ := newFleet(t, 1)
+	_, err := memberClient(t, urls[0]).GetCached(context.Background(), "w2w", 0xdeadbeef)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "cache_miss" || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("err = %v, want 404 cache_miss", err)
+	}
+}
+
+// TestCacheTransportPeerMiss: the transport maps a peer 404 to the
+// ErrPeerMiss sentinel the fleet cache's breaker treats as healthy.
+func TestCacheTransportPeerMiss(t *testing.T) {
+	urls, _ := newFleet(t, 1)
+	tr := &CacheTransport{}
+	_, err := tr.FetchCached(context.Background(), urls[0], "w2w", 0xdeadbeef)
+	if !errors.Is(err, fleetcache.ErrPeerMiss) {
+		t.Fatalf("err = %v, want ErrPeerMiss", err)
+	}
+}
+
+// TestCacheTransportRoundTrip: offer then fetch through real HTTP keeps
+// the entry bit-identical.
+func TestCacheTransportRoundTrip(t *testing.T) {
+	urls, _ := newFleet(t, 1)
+	tr := &CacheTransport{}
+	ctx := context.Background()
+	p := core.Baseline()
+	p.Warpage = 33e-6
+	b, err := p.EvaluateW2W()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := fleetcache.Entry{Mode: "w2w", Hash: p.CanonicalHash(), Params: raw, Breakdown: b}
+	if err := tr.OfferCached(ctx, urls[0], e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.FetchCached(ctx, urls[0], "w2w", p.CanonicalHash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Breakdown != b {
+		t.Errorf("breakdown %+v != %+v", got.Breakdown, b)
+	}
+	q, err := core.DecodeParams(core.Baseline(), bytes.NewReader(got.Params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Equal(p) || q.CanonicalHash() != p.CanonicalHash() {
+		t.Error("params did not survive the round trip")
+	}
+
+	// An offer whose params hash elsewhere is refused by the receiver.
+	bad := e
+	bad.Hash = e.Hash + 1
+	if err := tr.OfferCached(ctx, urls[0], bad); err == nil {
+		t.Error("mismatched offer was accepted")
+	}
+}

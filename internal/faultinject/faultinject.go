@@ -71,6 +71,17 @@ const (
 	// sent during an election; an injected error loses that vote exchange,
 	// forcing the term to retry — the chaos path over split elections.
 	HookReplicaElect = "replica.elect"
+	// HookFleetFlight fires inside the fleet cache's singleflight leader,
+	// immediately before the analytic engine computes a missed key — so a
+	// delay widens the coalescing window (the thundering-herd tests count
+	// computations by counting rolls here), an error fails the flight for
+	// every coalesced waiter, and a panic exercises containment.
+	HookFleetFlight = "fleetcache.flight"
+	// HookFleetFetch fires before each peer cache exchange (owner fetch or
+	// owner push); an injected error drops that exchange — a dropped fetch
+	// degrades to local compute, a dropped push leaves the owner cold — and
+	// a delay models a slow fleet link.
+	HookFleetFetch = "fleetcache.fetch"
 )
 
 // ErrInjected is the sentinel wrapped by every injected error; callers

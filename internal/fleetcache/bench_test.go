@@ -1,0 +1,64 @@
+package fleetcache
+
+import (
+	"context"
+	"testing"
+
+	"yap/internal/core"
+)
+
+// BenchmarkEvaluateLocalHit is the steady-state fast path: the key is in
+// the local LRU and no flight or peer exchange happens.
+func BenchmarkEvaluateLocalHit(b *testing.B) {
+	c := New(Config{CacheSize: 16})
+	defer c.Close()
+	p := core.Baseline()
+	hash := p.CanonicalHash()
+	ctx := context.Background()
+	if _, _, err := c.Evaluate(ctx, ModeW2W, hash, p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, out, err := c.Evaluate(ctx, ModeW2W, hash, p); err != nil || out != OutcomeLocalHit {
+			b.Fatalf("out=%v err=%v", out, err)
+		}
+	}
+}
+
+// BenchmarkFleetFetch measures a full peer fetch per operation: local
+// miss, singleflight entry, owner fetch through the transport, params
+// verification and adoption. The local store is disabled so every
+// Evaluate exercises the fetch path rather than degenerating to the
+// local-hit benchmark above.
+func BenchmarkFleetFetch(b *testing.B) {
+	tr := newStubTransport()
+	p := core.Baseline()
+	bd, err := p.EvaluateW2W()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Make the OTHER member the owner so every Evaluate fires the fetch
+	// path: rendezvous picks the owner, self is the remaining member.
+	members := []string{"http://a", "http://b"}
+	peer := Owner(members, ModeW2W, p.CanonicalHash())
+	self := members[0]
+	if self == peer {
+		self = members[1]
+	}
+	c := New(Config{CacheSize: -1, Self: self, Members: members, Transport: tr})
+	b.Cleanup(c.Close)
+	tr.seed(peer, ModeW2W, p, bd)
+
+	ctx := context.Background()
+	hash := p.CanonicalHash()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, out, err := c.Evaluate(ctx, ModeW2W, hash, p)
+		if err != nil || out != OutcomePeerHit || got != bd {
+			b.Fatalf("out=%v err=%v", out, err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package fleetcache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"yap/internal/core"
+)
+
+// flightKey identifies one coalescable evaluation.
+type flightKey struct {
+	mode string // ModeW2W or ModeD2W
+	hash uint64 // core.Params.CanonicalHash
+}
+
+// flight is one in-progress evaluation. done closes when the leader
+// finishes; b/out/err are written before done closes and read only
+// after, so waiters need no lock.
+type flight struct {
+	done chan struct{}
+	b    core.Breakdown
+	out  Outcome
+	err  error
+}
+
+// flightGroup coalesces concurrent evaluations of the same key onto one
+// leader per daemon.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[flightKey]*flight //yaplint:guardedby mu
+}
+
+// do runs fn once per concurrently-requested key. The first caller
+// becomes the leader and executes fn detached from its own request
+// context (one impatient client must not poison the result every
+// coalesced waiter is about to share); later callers wait for the
+// leader's result — or their own context, whichever ends first — and
+// report OutcomeCoalesced. A panicking fn is contained: the leader and
+// every waiter receive an error wrapping ErrFlightPanic.
+func (g *flightGroup) do(ctx context.Context, key flightKey, fn func(context.Context) (core.Breakdown, Outcome, error)) (core.Breakdown, Outcome, error) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.b, OutcomeCoalesced, f.err
+		case <-ctx.Done():
+			return core.Breakdown{}, OutcomeCoalesced, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				f.b, f.out = core.Breakdown{}, OutcomeComputed
+				f.err = fmt.Errorf("%w: %v", ErrFlightPanic, rec)
+			}
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			close(f.done)
+		}()
+		f.b, f.out, f.err = fn(context.WithoutCancel(ctx))
+	}()
+	return f.b, f.out, f.err
+}

@@ -1,0 +1,117 @@
+package fleetcache
+
+import (
+	"container/list"
+	"sync"
+
+	"yap/internal/core"
+)
+
+// lru is the local store: an LRU over (mode, canonical hash) keys that
+// treats a hash collision as a miss. Each entry keeps the full Params so
+// a colliding key can cost a recomputation but never serve a wrong
+// result. This is the resultCache that used to live in internal/service,
+// with eviction/collision signals surfaced so the owning Cache can count
+// them (cache effectiveness used to be invisible on /metrics).
+//
+// All methods are safe for concurrent use; capacity < 1 disables storage.
+type lru struct {
+	capacity int
+
+	mu sync.Mutex
+	ll *list.List                  //yaplint:guardedby mu — front = most recently used
+	m  map[flightKey]*list.Element //yaplint:guardedby mu
+}
+
+type lruEntry struct {
+	key    flightKey
+	params core.Params
+	value  core.Breakdown
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{
+		capacity: capacity,
+		ll:       list.New(),
+		m:        make(map[flightKey]*list.Element),
+	}
+}
+
+// get returns the cached breakdown for (mode, p). collided reports a
+// hash collision (entry present under the key but for different params;
+// the stale entry is dropped rather than served).
+func (c *lru) get(mode string, hash uint64, p core.Params) (b core.Breakdown, ok, collided bool) {
+	if c.capacity < 1 {
+		return core.Breakdown{}, false, false
+	}
+	key := flightKey{mode: mode, hash: hash}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.m[key]
+	if !found {
+		return core.Breakdown{}, false, false
+	}
+	entry := el.Value.(*lruEntry)
+	// Value equality, not == : Params carries the PadLayout pointer, whose
+	// identity differs on every decode even for equal layouts (Equal keeps
+	// layout-bearing requests cacheable instead of evict-thrashing).
+	if !entry.params.Equal(p) {
+		c.ll.Remove(el)
+		delete(c.m, key)
+		return core.Breakdown{}, false, true
+	}
+	c.ll.MoveToFront(el)
+	return entry.value, true, false
+}
+
+// peek returns the stored entry under (mode, hash) without comparing
+// params — the shape a peer lookup needs, where the asker verifies the
+// returned params itself. A peek refreshes recency like a get.
+func (c *lru) peek(mode string, hash uint64) (core.Params, core.Breakdown, bool) {
+	if c.capacity < 1 {
+		return core.Params{}, core.Breakdown{}, false
+	}
+	key := flightKey{mode: mode, hash: hash}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.m[key]
+	if !found {
+		return core.Params{}, core.Breakdown{}, false
+	}
+	c.ll.MoveToFront(el)
+	entry := el.Value.(*lruEntry)
+	return entry.params, entry.value, true
+}
+
+// put stores the breakdown for (mode, p) and returns how many entries
+// were evicted to make room.
+func (c *lru) put(mode string, hash uint64, p core.Params, v core.Breakdown) (evicted int) {
+	if c.capacity < 1 {
+		return 0
+	}
+	key := flightKey{mode: mode, hash: hash}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		entry := el.Value.(*lruEntry)
+		entry.params = p
+		entry.value = v
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	for c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+		evicted++
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, params: p, value: v})
+	return evicted
+}
+
+// len returns the number of stored entries.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,160 @@
+package fleetcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"yap/internal/core"
+)
+
+// The LRU tests migrated with the store from internal/service's
+// resultCache, plus coverage for the signals the move surfaced
+// (eviction counts, collision reporting, peek).
+
+func TestLRUHitAndEvict(t *testing.T) {
+	c := newLRU(2)
+	mk := func(pitch float64) (core.Params, uint64) {
+		p := core.Baseline().WithPitch(pitch)
+		return p, p.CanonicalHash()
+	}
+	pA, hA := mk(2e-6)
+	pB, hB := mk(4e-6)
+	pC, hC := mk(6e-6)
+
+	if _, ok, _ := c.get("w2w", hA, pA); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.put("w2w", hA, pA, core.Breakdown{Total: 0.1})
+	c.put("w2w", hB, pB, core.Breakdown{Total: 0.2})
+	if b, ok, _ := c.get("w2w", hA, pA); !ok || b.Total != 0.1 {
+		t.Fatalf("A: %v %v", b, ok)
+	}
+	// A was just touched; adding C must evict B (the LRU entry) and
+	// report exactly one eviction.
+	if n := c.put("w2w", hC, pC, core.Breakdown{Total: 0.3}); n != 1 {
+		t.Errorf("evicted = %d, want 1", n)
+	}
+	if _, ok, _ := c.get("w2w", hB, pB); ok {
+		t.Error("LRU entry B survived eviction")
+	}
+	if _, ok, _ := c.get("w2w", hA, pA); !ok {
+		t.Error("recently used entry A evicted")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d", c.len())
+	}
+}
+
+func TestLRUModeIsPartOfKey(t *testing.T) {
+	c := newLRU(4)
+	p := core.Baseline()
+	h := p.CanonicalHash()
+	c.put("w2w", h, p, core.Breakdown{Total: 0.5})
+	if _, ok, _ := c.get("d2w", h, p); ok {
+		t.Error("w2w entry served for d2w")
+	}
+}
+
+func TestLRUCollisionIsMissNotWrongAnswer(t *testing.T) {
+	c := newLRU(4)
+	pA := core.Baseline()
+	pB := core.Baseline().WithPitch(3e-6)
+	// Force a "collision": store under pA's hash, look up pB with the
+	// same hash. The params comparison must reject the entry and report
+	// the collision.
+	h := pA.CanonicalHash()
+	c.put("w2w", h, pA, core.Breakdown{Total: 0.9})
+	if _, ok, collided := c.get("w2w", h, pB); ok || !collided {
+		t.Fatalf("collision: ok=%v collided=%v, want miss+collided", ok, collided)
+	}
+	// The poisoned entry is dropped; the original key misses too now.
+	if _, ok, _ := c.get("w2w", h, pA); ok {
+		t.Error("collided entry not evicted")
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRU(-1)
+	p := core.Baseline()
+	h := p.CanonicalHash()
+	c.put("w2w", h, p, core.Breakdown{Total: 0.5})
+	if _, ok, _ := c.get("w2w", h, p); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if _, _, ok := c.peek("w2w", h); ok {
+		t.Error("disabled cache answered a peek")
+	}
+	if c.len() != 0 {
+		t.Errorf("len = %d", c.len())
+	}
+}
+
+func TestLRUPeekReturnsStoredParams(t *testing.T) {
+	c := newLRU(4)
+	p := core.Baseline().WithPitch(5e-6)
+	h := p.CanonicalHash()
+	if _, _, ok := c.peek("w2w", h); ok {
+		t.Fatal("peek hit an empty cache")
+	}
+	c.put("w2w", h, p, core.Breakdown{Total: 0.7})
+	q, b, ok := c.peek("w2w", h)
+	if !ok || b.Total != 0.7 {
+		t.Fatalf("peek: %v %v", b, ok)
+	}
+	if !q.Equal(p) {
+		t.Error("peek returned foreign params")
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRU(8)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				p := core.Baseline().WithPitch(float64(2+i%16) * 1e-6)
+				h := p.CanonicalHash()
+				if i%2 == 0 {
+					c.put("w2w", h, p, core.Breakdown{Total: float64(i)})
+				} else if b, ok, _ := c.get("w2w", h, p); ok && b.Total < 0 {
+					panic(fmt.Sprintf("impossible value %v", b))
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func TestLRUConcurrentEvictionChurn(t *testing.T) {
+	// Heavy churn with a keyset far larger than capacity forces constant
+	// eviction from every goroutine at once; the invariant under churn is
+	// that len never exceeds capacity and hits only return stored values.
+	const capacity = 4
+	c := newLRU(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p := core.Baseline().WithPitch(float64(2+(g*500+i)%64) * 1e-6)
+				h := p.CanonicalHash()
+				c.put("w2w", h, p, core.Breakdown{Total: 1})
+				if b, ok, _ := c.get("w2w", h, p); ok && b.Total != 1 {
+					t.Errorf("hit returned foreign value %+v", b)
+				}
+				if n := c.len(); n > capacity {
+					t.Errorf("len %d exceeds capacity %d mid-churn", n, capacity)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.len(); n > capacity {
+		t.Errorf("len %d exceeds capacity %d after churn", n, capacity)
+	}
+}

@@ -1,0 +1,45 @@
+package fleetcache
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Owner picks the fleet member that owns (mode, hash) by rendezvous
+// (highest-random-weight) hashing: every member scores the key with
+// FNV-1a over (member, mode, hash) and the highest score wins, ties
+// broken toward the lexically smaller member URL. Rendezvous gives each
+// key a stable home that every member computes identically with no
+// coordination, and removing a member reassigns only that member's keys
+// — the reassignment slack the fleet drill budgets for.
+//
+// Exported so out-of-package callers (the yapload drill, operators
+// debugging placement) can reproduce the fleet's key→owner mapping.
+// Returns "" for an empty member list.
+func Owner(members []string, mode string, hash uint64) string {
+	best := ""
+	var bestScore uint64
+	for _, m := range members {
+		if m == "" {
+			continue
+		}
+		s := rendezvousScore(m, mode, hash)
+		if best == "" || s > bestScore || (s == bestScore && m < best) {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}
+
+// rendezvousScore hashes (member, mode, key-hash) with FNV-1a 64.
+func rendezvousScore(member, mode string, hash uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(member)) //nolint:errcheck // fnv never errors
+	h.Write([]byte{0})      //nolint:errcheck
+	h.Write([]byte(mode))   //nolint:errcheck
+	h.Write([]byte{0})      //nolint:errcheck
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], hash)
+	h.Write(buf[:]) //nolint:errcheck
+	return h.Sum64()
+}

@@ -1,0 +1,41 @@
+package fleetcache
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+
+	"yap/internal/core"
+)
+
+// Entry is one cache entry on the peer wire: the full serialized
+// parameter set (so the receiver can hash-verify independently — an
+// entry is never trusted on its key alone) plus the breakdown. Params
+// round-trips through encoding/json bit-exactly (Go emits the shortest
+// representation that re-parses to the same float64), so a fetched
+// breakdown pairs with exactly the parameters that produced it.
+type Entry struct {
+	Mode      string          `json:"mode"`
+	Hash      uint64          `json:"-"` // carried in the URL path, not the body
+	Params    json.RawMessage `json:"params"`
+	Breakdown core.Breakdown  `json:"breakdown"`
+}
+
+// ErrPeerMiss is the Transport's "owner is up but doesn't have the key"
+// answer — a healthy outcome that must not count against the peer's
+// circuit breaker, unlike a timeout or a refused connection.
+var ErrPeerMiss = errors.New("fleetcache: peer cache miss")
+
+// Transport performs the peer cache exchanges. internal/client provides
+// the HTTP implementation (CacheTransport) against the service's
+// /v1/cache/{mode}/{hash} endpoints; the interface lives here so the
+// service layer can depend on fleetcache without an import cycle, and so
+// tests can substitute in-memory fleets.
+type Transport interface {
+	// FetchCached GETs the entry for (mode, hash) from peer's local
+	// store. A miss returns an error wrapping ErrPeerMiss.
+	FetchCached(ctx context.Context, peer, mode string, hash uint64) (Entry, error)
+	// OfferCached PUTs a computed entry to the key's owner so the fleet
+	// converges on the owner serving it. Best-effort.
+	OfferCached(ctx context.Context, peer string, e Entry) error
+}

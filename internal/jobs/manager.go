@@ -110,7 +110,18 @@ type Config struct {
 	// replica peers; Submit additionally blocks on quorum acknowledgement
 	// before reporting a job accepted.
 	Replicator Replicator
+	// Evaluate, when set, answers sweep jobs' per-point analytic
+	// evaluations (mode is "w2w" or "d2w") — cmd/yapserve wires the fleet
+	// cache here so sweep jobs populate and hit the shared evaluation
+	// tier. nil evaluates the model directly. Either path is a pure
+	// function of the resolved params, so the bit-identity contract of
+	// resumed sweeps is unaffected.
+	Evaluate EvaluateFunc
 }
+
+// EvaluateFunc answers one analytic evaluation; fleetcache.Cache's
+// EvaluateParams matches it.
+type EvaluateFunc func(ctx context.Context, mode string, p core.Params) (core.Breakdown, error)
 
 func (c Config) runners() int {
 	if c.Runners > 0 {
@@ -1698,7 +1709,7 @@ func (m *Manager) runSweepJob(jobCtx context.Context, js *jobState, spec Spec, c
 				interrupted()
 				return
 			}
-			done = append(done, evalSweepPoint(i, spec.Points[i], spec.Eval))
+			done = append(done, m.evalSweepPoint(jobCtx, i, spec.Points[i], spec.Eval))
 		}
 		completed += chunk
 
@@ -1730,8 +1741,9 @@ func (m *Manager) runSweepJob(jobCtx context.Context, js *jobState, spec Spec, c
 }
 
 // evalSweepPoint evaluates one resolved parameter set through the
-// analytic model, converting a panic into a per-point error.
-func evalSweepPoint(index int, p core.Params, eval string) (out SweepOutcome) {
+// configured evaluator (the fleet cache when wired, the analytic model
+// otherwise), converting a panic into a per-point error.
+func (m *Manager) evalSweepPoint(ctx context.Context, index int, p core.Params, eval string) (out SweepOutcome) {
 	out = SweepOutcome{Index: index, ParamsHash: p.HashString()}
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -1739,8 +1751,17 @@ func evalSweepPoint(index int, p core.Params, eval string) (out SweepOutcome) {
 			out.Error = fmt.Sprintf("panic: %v", rec)
 		}
 	}()
+	evaluate := m.cfg.Evaluate
+	if evaluate == nil {
+		evaluate = func(_ context.Context, mode string, p core.Params) (core.Breakdown, error) {
+			if mode == "d2w" {
+				return p.EvaluateD2W()
+			}
+			return p.EvaluateW2W()
+		}
+	}
 	if eval == "w2w" || eval == "both" {
-		b, err := p.EvaluateW2W()
+		b, err := evaluate(ctx, "w2w", p)
 		if err != nil {
 			out.Error = err.Error()
 			return out
@@ -1748,7 +1769,7 @@ func evalSweepPoint(index int, p core.Params, eval string) (out SweepOutcome) {
 		out.W2W = &b
 	}
 	if eval == "d2w" || eval == "both" {
-		b, err := p.EvaluateD2W()
+		b, err := evaluate(ctx, "d2w", p)
 		if err != nil {
 			out.W2W = nil
 			out.Error = err.Error()

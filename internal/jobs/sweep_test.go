@@ -8,6 +8,7 @@ import (
 
 	"yap/internal/core"
 	"yap/internal/faultinject"
+	"yap/internal/fleetcache"
 )
 
 // sweepPoints builds n resolved parameter sets differing in a single knob.
@@ -237,5 +238,47 @@ func TestSweepCancel(t *testing.T) {
 	}
 	if final.State == StateCanceled && len(final.Sweep) != final.Completed {
 		t.Fatalf("canceled sweep: %d outcomes for %d completed points", len(final.Sweep), final.Completed)
+	}
+}
+
+// TestSweepJobUsesConfiguredEvaluator: the Evaluate seam answers every
+// per-point evaluation. Backed by a fleet cache (as cmd/yapserve wires
+// it), a repeated sweep recomputes nothing: the cache's compute count
+// stays at one per distinct (point, mode).
+func TestSweepJobUsesConfiguredEvaluator(t *testing.T) {
+	fleet := fleetcache.New(fleetcache.Config{CacheSize: 64})
+	defer fleet.Close()
+	m, err := Open(Config{Dir: t.TempDir(), Evaluate: fleet.EvaluateParams})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	spec := sweepSpec(t, 4, 2)
+	for round := 0; round < 2; round++ {
+		job, err := m.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := waitTerminal(t, m, job.ID)
+		if final.State != StateDone {
+			t.Fatalf("round %d state %s: %s", round, final.State, final.Error)
+		}
+		for i, out := range final.Sweep {
+			want, err := spec.Points[i].EvaluateW2W()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.W2W == nil || *out.W2W != want {
+				t.Fatalf("round %d outcome %d = %+v, want %+v", round, i, out.W2W, want)
+			}
+		}
+	}
+	st := fleet.Stats()
+	if st.Computes != 8 { // 4 points × 2 modes, once despite 2 rounds
+		t.Errorf("computes = %d, want 8 (second sweep should hit the cache)", st.Computes)
+	}
+	if st.Hits != 8 {
+		t.Errorf("hits = %d, want 8 (the whole second round)", st.Hits)
 	}
 }

@@ -39,6 +39,13 @@ import (
 // core.CanonicalHash (the service cache / dist shard key) and Grids fixes
 // the per-region sample-draw order of both MC kernels; either drifting
 // between runs would break cache identity and bit-identical merges.
+//
+// yap/internal/fleetcache is in the tree because rendezvous owner
+// placement (Owner) must agree byte-for-byte across every fleet member —
+// an ambient-random or clock-flavoured tiebreak would scatter a key's
+// owner across the fleet and silently void the ≈1-compute-per-key
+// contract the cache drill pins. Time only enters through the injected
+// breaker Clock and context deadlines, never a direct wall-clock read.
 var deterministicPaths = []string{
 	"yap/internal/sim",
 	"yap/internal/randx",
@@ -49,6 +56,7 @@ var deterministicPaths = []string{
 	"yap/internal/converge",
 	"yap/internal/replica",
 	"yap/internal/layout",
+	"yap/internal/fleetcache",
 }
 
 // inTree reports whether path is root itself or a subpackage of it.

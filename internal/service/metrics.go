@@ -17,12 +17,10 @@ import (
 // histograms share one bucket layout spanning sub-millisecond analytic
 // evaluations to multi-second Monte-Carlo runs.
 type metrics struct {
-	requests    counterVec            // labels: endpoint, code
-	latency     map[string]*histogram // key: endpoint
-	inflight    atomic.Int64
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
-	simSamples  counterVec // labels: mode — dies simulated to completion
+	requests   counterVec            // labels: endpoint, code
+	latency    map[string]*histogram // key: endpoint
+	inflight   atomic.Int64
+	simSamples counterVec // labels: mode — dies simulated to completion
 
 	// Resilience counters: requests refused by admission control, handler
 	// panics converted to 500s, and simulations answered partially after
@@ -156,13 +154,6 @@ func (m *metrics) writePrometheus(w io.Writer, gauges map[string]int64, counters
 			e, float64(h.sumNs.Load())/1e9)
 		fmt.Fprintf(w, "yapserve_request_duration_seconds_count{endpoint=%q} %d\n", e, h.count.Load())
 	}
-
-	fmt.Fprintln(w, "# HELP yapserve_cache_hits_total Evaluate-cache hits.")
-	fmt.Fprintln(w, "# TYPE yapserve_cache_hits_total counter")
-	fmt.Fprintf(w, "yapserve_cache_hits_total %d\n", m.cacheHits.Load())
-	fmt.Fprintln(w, "# HELP yapserve_cache_misses_total Evaluate-cache misses.")
-	fmt.Fprintln(w, "# TYPE yapserve_cache_misses_total counter")
-	fmt.Fprintf(w, "yapserve_cache_misses_total %d\n", m.cacheMisses.Load())
 
 	fmt.Fprintln(w, "# HELP yapserve_sim_samples_total Simulated die samples completed, by bonding mode.")
 	fmt.Fprintln(w, "# TYPE yapserve_sim_samples_total counter")

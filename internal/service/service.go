@@ -38,12 +38,12 @@ import (
 	"runtime/debug"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"yap/internal/converge"
 	"yap/internal/core"
 	"yap/internal/faultinject"
+	"yap/internal/fleetcache"
 	"yap/internal/jobs"
 	"yap/internal/replica"
 	"yap/internal/resilience"
@@ -108,6 +108,14 @@ type Config struct {
 	// the node's own store (replica.Node.Jobs()). The Server does not own
 	// the node's lifecycle.
 	Replica *replica.Node
+	// FleetCache, when non-nil, is the shared evaluation tier analytic
+	// requests go through — typically fleet-configured by cmd/yapserve
+	// (-cache-peers) so members coalesce, peer-fetch and deduplicate
+	// computations fleet-wide. nil builds a private single-member cache
+	// of CacheSize entries, the drop-in equivalent of the old per-daemon
+	// resultCache. The Server does not own the cache's lifecycle (its
+	// background pusher outlives requests); whoever built it closes it.
+	FleetCache *fleetcache.Cache
 	// StreamHeartbeat is the idle keep-alive interval of the SSE job
 	// stream (comment frames that defeat proxy idle timeouts); 0 means
 	// 15s, negative disables heartbeats.
@@ -166,14 +174,14 @@ func (c Config) withDefaults() Config {
 
 // endpoints are the instrumented routes (the label set of the request
 // metrics).
-var endpoints = []string{"evaluate", "simulate", "shard", "sweep", "jobs", "stream", "replica", "healthz", "metrics"}
+var endpoints = []string{"evaluate", "batch", "simulate", "shard", "sweep", "cache", "jobs", "stream", "replica", "healthz", "metrics"}
 
 // Server is the yield-as-a-service HTTP handler. Create with New; safe
 // for concurrent use; graceful shutdown is the embedding http.Server's
 // job (Server holds no background goroutines of its own).
 type Server struct {
 	cfg     Config
-	cache   *resultCache
+	cache   *fleetcache.Cache
 	pool    *workerPool
 	breaker *resilience.Breaker // nil when disabled
 	metrics *metrics
@@ -184,9 +192,18 @@ type Server struct {
 // New returns a ready-to-serve Server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.FleetCache == nil {
+		// Private single-member tier: same LRU semantics the old
+		// resultCache had, plus singleflight. No peers, so no pusher
+		// goroutine starts and no Close is owed.
+		cfg.FleetCache = fleetcache.New(fleetcache.Config{
+			CacheSize: cfg.CacheSize,
+			Faults:    cfg.Faults,
+		})
+	}
 	s := &Server{
 		cfg:     cfg,
-		cache:   newResultCache(cfg.CacheSize),
+		cache:   cfg.FleetCache,
 		pool:    newWorkerPool(cfg.MaxConcurrentSims, cfg.MaxQueuedSims, cfg.Faults),
 		metrics: newMetrics(endpoints),
 		mux:     http.NewServeMux(),
@@ -199,6 +216,12 @@ func New(cfg Config) *Server {
 		})
 	}
 	s.mux.HandleFunc("/v1/evaluate", s.instrument("evaluate", http.MethodPost, s.handleEvaluate))
+	s.mux.HandleFunc("/v1/evaluate/batch", s.instrument("batch", http.MethodPost, s.handleEvaluateBatch))
+	// The peer cache exchange of internal/fleetcache: GET serves this
+	// member's local store (never computes), PUT accepts an owner-warming
+	// offer from the member that computed the key.
+	s.mux.HandleFunc("GET /v1/cache/{mode}/{hash}", s.instrument("cache", http.MethodGet, s.handleCacheGet))
+	s.mux.HandleFunc("PUT /v1/cache/{mode}/{hash}", s.instrument("cache", http.MethodPut, s.handleCachePut))
 	s.mux.HandleFunc("/v1/simulate", s.instrument("simulate", http.MethodPost, s.handleSimulate))
 	s.mux.HandleFunc("/v1/shard", s.instrument("shard", http.MethodPost, s.handleShard))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", http.MethodPost, s.handleSweep))
@@ -368,33 +391,34 @@ func evalModes(mode string) (w2w, d2w bool, err error) {
 	}
 }
 
-// evaluateCached returns the analytic breakdown for (mode, p), consulting
-// the LRU first. mode is "w2w" or "d2w". The cache is a pure
-// optimization, so injected faults degrade it rather than the request: a
-// fault at the get hook turns the lookup into a miss, a fault at the put
-// hook skips the store.
+// evaluateCached returns the analytic breakdown for (mode, p) through
+// the fleet cache tier: local LRU, then singleflight coalescing, then
+// owner-peer fetch, then compute. mode is "w2w" or "d2w". The cache
+// tiers are pure optimization — injected faults and dead peers degrade
+// toward local compute, never into a request error. The reported bool is
+// the wire-level "cached": the answer came from a cache (local or peer)
+// rather than an engine run.
 func (s *Server) evaluateCached(ctx context.Context, mode string, hash uint64, p core.Params) (core.Breakdown, bool, error) {
-	if err := s.cfg.Faults.Fire(ctx, faultinject.HookCacheGet); err == nil {
-		if b, ok := s.cache.Get(mode, hash, p); ok {
-			s.metrics.cacheHits.Add(1)
-			return b, true, nil
-		}
-	}
-	s.metrics.cacheMisses.Add(1)
-	var b core.Breakdown
-	var err error
-	if mode == "w2w" {
-		b, err = p.EvaluateW2W()
-	} else {
-		b, err = p.EvaluateD2W()
-	}
+	b, out, err := s.cache.Evaluate(ctx, mode, hash, p)
 	if err != nil {
 		return core.Breakdown{}, false, err
 	}
-	if err := s.cfg.Faults.Fire(ctx, faultinject.HookCachePut); err == nil {
-		s.cache.Put(mode, hash, p, b)
+	return b, out.Cached(), nil
+}
+
+// writeEvaluateError maps an evaluateCached failure: model rejections are
+// the client's 422, while contained flight panics and injected faults are
+// the server's 500 (the parameters may be fine; the flight infrastructure
+// failed).
+func (s *Server) writeEvaluateError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, fleetcache.ErrFlightPanic), errors.Is(err, faultinject.ErrInjected):
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.writeSimError(w, err)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, "invalid_params", err.Error())
 	}
-	return b, false, nil
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
@@ -416,7 +440,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if wantW2W {
 		b, cached, err := s.evaluateCached(r.Context(), "w2w", hash, p)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "invalid_params", err.Error())
+			s.writeEvaluateError(w, err)
 			return
 		}
 		resp.W2W = breakdownFrom(b)
@@ -425,7 +449,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if wantD2W {
 		b, cached, err := s.evaluateCached(r.Context(), "d2w", hash, p)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "invalid_params", err.Error())
+			s.writeEvaluateError(w, err)
 			return
 		}
 		resp.D2W = breakdownFrom(b)
@@ -712,36 +736,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	// Each point evaluates independently through the shared pool; an
-	// invalid point reports its error in place (partial failure) instead
-	// of failing the batch. Points use the unbounded-queue admission path
-	// — the batch was already admitted as one request and is bounded by
-	// MaxSweepPoints, so shedding individual points would tear it.
-	results := make([]SweepPoint, len(req.Points))
-	var wg sync.WaitGroup
-	for i, raw := range req.Points {
-		wg.Add(1)
-		go func(i int, raw json.RawMessage) {
-			defer wg.Done()
-			// The instrument middleware's recover sits on the request
-			// goroutine; a panic here (e.g. an injected cache fault) must
-			// be folded into the point's error instead.
-			defer func() {
-				if rec := recover(); rec != nil {
-					s.metrics.panicsRecovered.Add(1)
-					results[i].Error = fmt.Sprintf("internal: %v", rec)
-				}
-			}()
-			results[i] = SweepPoint{Index: i}
-			err := s.pool.RunQueued(ctx, func() {
-				results[i] = s.evaluatePoint(ctx, i, raw, wantW2W, wantD2W)
-			})
-			if err != nil {
-				results[i].Error = err.Error()
-			}
-		}(i, raw)
+	// Sweep rides the same per-point runner as the batch endpoint, so
+	// sweep points populate and hit the fleet cache like any other
+	// evaluation. Each point evaluates independently with its failure
+	// folded into its Error field (partial failure, never a torn sweep).
+	results, done := s.startPoints(ctx, s.resolveParams, req.Points, wantW2W, wantD2W, &batchTally{})
+	for _, ch := range done {
+		<-ch
 	}
-	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		s.writeSimError(w, err)
 		return
@@ -756,38 +758,6 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// evaluatePoint resolves and evaluates one sweep point, folding any
-// failure into the point's Error field.
-func (s *Server) evaluatePoint(ctx context.Context, i int, raw json.RawMessage, wantW2W, wantD2W bool) SweepPoint {
-	pt := SweepPoint{Index: i}
-	p, hash, err := s.resolveParams(raw)
-	if err != nil {
-		pt.Error = err.Error()
-		return pt
-	}
-	pt.ParamsHash = p.HashString()
-	pt.Cached = true
-	if wantW2W {
-		b, cached, err := s.evaluateCached(ctx, "w2w", hash, p)
-		if err != nil {
-			pt.Error = err.Error()
-			return pt
-		}
-		pt.W2W = breakdownFrom(b)
-		pt.Cached = pt.Cached && cached
-	}
-	if wantD2W {
-		b, cached, err := s.evaluateCached(ctx, "d2w", hash, p)
-		if err != nil {
-			pt.Error = err.Error()
-			return pt
-		}
-		pt.D2W = breakdownFrom(b)
-		pt.Cached = pt.Cached && cached
-	}
-	return pt
-}
-
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
@@ -797,21 +767,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	cs := s.cache.Stats()
 	gauges := map[string]int64{
-		"yapserve_cache_entries":       int64(s.cache.Len()),
-		"yapserve_pool_capacity":       int64(s.pool.Capacity()),
-		"yapserve_pool_queue_capacity": int64(s.pool.QueueCapacity()),
-		"yapserve_pool_active":         s.pool.Active(),
-		"yapserve_pool_queued":         s.pool.Queued(),
-		"yapserve_breaker_state":       int64(s.breaker.State()),
-		"yapserve_uptime_seconds":      int64(time.Since(s.started).Seconds()),
-		"yapserve_stream_subscribers":  s.metrics.streamSubscribers.Load(),
+		"yapserve_cache_entries":            int64(cs.Entries),
+		"yapserve_fleetcache_members":       int64(cs.Members),
+		"yapserve_fleetcache_breakers_open": int64(cs.BreakersOpen),
+		"yapserve_pool_capacity":            int64(s.pool.Capacity()),
+		"yapserve_pool_queue_capacity":      int64(s.pool.QueueCapacity()),
+		"yapserve_pool_active":              s.pool.Active(),
+		"yapserve_pool_queued":              s.pool.Queued(),
+		"yapserve_breaker_state":            int64(s.breaker.State()),
+		"yapserve_uptime_seconds":           int64(time.Since(s.started).Seconds()),
+		"yapserve_stream_subscribers":       s.metrics.streamSubscribers.Load(),
 	}
 	// Early-stop accounting sums the synchronous simulate path (service
 	// atomics) with the asynchronous job path (manager stats).
 	earlyStops := s.metrics.earlyStops.Load()
 	samplesSaved := s.metrics.samplesSaved.Load()
-	counters := map[string]uint64{}
+	counters := map[string]uint64{
+		// The fleet-cache family. computes_total is the drill's load-bearing
+		// counter: summed across members it proves fleet-wide deduplication.
+		"yapserve_cache_hits_total":               uint64(cs.Hits),
+		"yapserve_cache_misses_total":             uint64(cs.Misses),
+		"yapserve_cache_evictions_total":          uint64(cs.Evictions),
+		"yapserve_fleetcache_collisions_total":    uint64(cs.Collisions),
+		"yapserve_fleetcache_computes_total":      uint64(cs.Computes),
+		"yapserve_fleetcache_coalesced_total":     uint64(cs.Coalesced),
+		"yapserve_fleetcache_flight_panics_total": uint64(cs.FlightPanics),
+		"yapserve_fleetcache_peer_hits_total":     uint64(cs.PeerHits),
+		"yapserve_fleetcache_peer_misses_total":   uint64(cs.PeerMisses),
+		"yapserve_fleetcache_peer_errors_total":   uint64(cs.PeerErrors),
+		"yapserve_fleetcache_peer_served_total":   uint64(cs.PeerServed),
+		"yapserve_fleetcache_adopted_total":       uint64(cs.Adopted),
+		"yapserve_fleetcache_pushes_total":        uint64(cs.Pushes),
+		"yapserve_fleetcache_push_drops_total":    uint64(cs.PushDrops),
+	}
 	if d := s.cfg.Distributor; d != nil {
 		st := d.Stats()
 		gauges["yapserve_dist_workers_known"] = int64(st.WorkersKnown)

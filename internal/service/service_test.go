@@ -113,7 +113,7 @@ func TestEvaluateCacheHit(t *testing.T) {
 	}
 	// Both modes of the repeat must be answered from cache: 2 hits, and
 	// the /metrics counter must say so.
-	if hits := s.metrics.cacheHits.Load(); hits != 2 {
+	if hits := s.cache.Stats().Hits; hits != 2 {
 		t.Errorf("cache hits = %d, want 2", hits)
 	}
 	metrics := get(t, s, "/metrics").Body.String()

@@ -249,6 +249,59 @@ type SweepResponse struct {
 	Failed int          `json:"failed"`
 }
 
+// BatchEvaluateRequest is the body of POST /v1/evaluate/batch: N
+// parameter points evaluated analytically through the fleet cache tier.
+// Params is a shared base (a partial override of the daemon defaults —
+// the sweep axes' common block, layout included); each point is a
+// partial override of that base. An empty point (null or {}) evaluates
+// the base itself. Compared with /v1/sweep, batch adds the shared base
+// and a streamed, per-point-partitioned response — the dispatch
+// amortization million-point design sweeps want.
+type BatchEvaluateRequest struct {
+	// Mode selects "w2w", "d2w" or "both" (the default) for every point.
+	Mode   string            `json:"mode,omitempty"`
+	Params json.RawMessage   `json:"params,omitempty"`
+	Points []json.RawMessage `json:"points"`
+}
+
+// BatchEvaluateResponse is the body of a successful POST
+// /v1/evaluate/batch. Points stream back in index order as they
+// complete, each with per-point error isolation (a bad point reports in
+// place; the batch keeps going). The tail fields partition the
+// per-point-per-mode evaluations by how the fleet cache answered them:
+// local cache hit, owner-peer hit, coalesced onto a concurrent identical
+// computation, or computed here. Breakdowns are bit-identical to N
+// individual /v1/evaluate calls.
+type BatchEvaluateResponse struct {
+	Points    []SweepPoint `json:"points"`
+	Failed    int          `json:"failed"`
+	CacheHits int64        `json:"cache_hits"`
+	PeerHits  int64        `json:"peer_hits"`
+	Coalesced int64        `json:"coalesced"`
+	Computed  int64        `json:"computed"`
+}
+
+// CacheEntryResponse is the body of GET /v1/cache/{mode}/{hash} — one
+// fleet-cache entry served from this member's local store. Params is the
+// FULL resolved parameter set (not a partial): the fetching peer decodes
+// it and verifies the canonical hash independently, so a corrupt or
+// colliding entry is rejected rather than trusted on its key.
+type CacheEntryResponse struct {
+	Mode       string          `json:"mode"`
+	ParamsHash string          `json:"params_hash"`
+	Params     json.RawMessage `json:"params"`
+	Breakdown  Breakdown       `json:"breakdown"`
+}
+
+// CachePutRequest is the body of PUT /v1/cache/{mode}/{hash}: an
+// owner-warming offer from the fleet member that computed the key. The
+// receiver re-derives the canonical hash from Params and rejects a
+// mismatch with 400 "hash_mismatch".
+type CachePutRequest struct {
+	Params    json.RawMessage `json:"params"`
+	Breakdown Breakdown       `json:"breakdown"`
+}
+
 // JobSubmitRequest is the body of POST /v1/jobs: a simulate request that
 // runs asynchronously and durably. The daemon answers 202 with the job's
 // ID immediately; progress and the final result are polled via
@@ -379,7 +432,7 @@ type ErrorResponse struct {
 // Codes: method_not_allowed, invalid_json, invalid_params, invalid_mode,
 // too_many_points, body_too_large, deadline_exceeded, canceled, overloaded,
 // internal, not_found, jobs_disabled, job_terminal, not_leader,
-// replica_disabled, no_quorum.
+// replica_disabled, no_quorum, cache_miss, hash_mismatch.
 type ErrorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
